@@ -1,0 +1,102 @@
+// Benchmarks for the extension experiments: derived-metric impact
+// (jitter, throughput, loss), overhead attribution, and the server-side
+// overhead sweep — the design points EXPERIMENTS.md records beyond the
+// paper's own tables/figures.
+package browsermetric
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkImpact_Jitter measures how much jitter each method class
+// injects on a 20-probe train (Section 2.2's jitter claim).
+func BenchmarkImpact_Jitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sock, err := MeasureJitter(MethodJavaTCP, Firefox, Windows, Options{Timing: NanoTime}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flash, err := MeasureJitter(MethodFlashGet, Firefox, Windows, Options{Timing: NanoTime}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sock.Inflation(), "socket_jitter_ms")
+		b.ReportMetric(flash.Inflation(), "flash_jitter_ms")
+	}
+}
+
+// BenchmarkImpact_Throughput measures the round-trip throughput bias of a
+// 256 KiB transfer (Section 2.2's throughput claim).
+func BenchmarkImpact_Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		xhr, err := MeasureThroughput(MethodXHRGet, IE, Windows, Options{Timing: NanoTime}, 256<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sock, err := MeasureThroughput(MethodJavaTCP, IE, Windows, Options{Timing: NanoTime}, 256<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*xhr.Bias(), "xhr_bias_pct")
+		b.ReportMetric(100*sock.Bias(), "socket_bias_pct")
+	}
+}
+
+// BenchmarkImpact_Loss verifies tool-reported and capture-observed loss
+// agree under 10% injected frame loss (Section 2's no-distortion claim).
+func BenchmarkImpact_Loss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		li, err := MeasureLoss(Chrome, Ubuntu, Options{
+			Timing:  NanoTime,
+			Testbed: TestbedConfig{Seed: int64(i + 1), LossRate: 0.10},
+		}, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*li.BrowserLoss, "tool_loss_pct")
+		b.ReportMetric(100*li.WireLoss, "wire_loss_pct")
+	}
+}
+
+// BenchmarkImpact_Attribution decomposes Opera's Flash GET Δd1 into
+// mechanism shares (the Section 4.1 investigation, automated).
+func BenchmarkImpact_Attribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, attributed, err := AppraiseAttributed(MethodFlashGet, Opera, Windows, Options{
+			Timing: NanoTime, Runs: benchRuns,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hs, resid float64
+		n := 0
+		for _, a := range attributed {
+			if a.Round != 1 {
+				continue
+			}
+			hs += float64(a.Attribution.Handshake) / float64(time.Millisecond)
+			resid += float64(a.Residual) / float64(time.Millisecond)
+			n++
+		}
+		b.ReportMetric(hs/float64(n), "handshake_ms")
+		b.ReportMetric(resid/float64(n), "residual_ms")
+	}
+}
+
+// BenchmarkImpact_ServerOverhead sweeps server processing cost and shows
+// the wire RTT absorbing it one-for-one (the Section 7 extension).
+func BenchmarkImpact_ServerOverhead(b *testing.B) {
+	costs := []time.Duration{0, 5 * time.Millisecond, 10 * time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		rows, err := MeasureServerOverhead(MethodXHRGet, Chrome, Ubuntu, Options{
+			Timing: NanoTime, Runs: 8,
+		}, costs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(float64(last.ServerShare())/1e6, "server_share_ms")
+		b.ReportMetric(last.ClientOverhead, "client_d2_ms")
+	}
+}

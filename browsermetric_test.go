@@ -1,0 +1,95 @@
+package browsermetric
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAppraiseQuick(t *testing.T) {
+	exp, err := Appraise(MethodWebSocket, Chrome, Ubuntu, Options{Timing: NanoTime, Runs: 8, Gap: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := exp.Box(2)
+	if box.N != 8 {
+		t.Fatalf("N = %d", box.N)
+	}
+	if box.Median < 0 || box.Median > 2 {
+		t.Fatalf("WebSocket Δd2 median = %.2f ms", box.Median)
+	}
+}
+
+func TestAppraiseRejectsNonTable2Combo(t *testing.T) {
+	if _, err := Appraise(MethodXHRGet, IE, Ubuntu, Options{}); err == nil {
+		t.Fatal("expected error for IE on Ubuntu")
+	}
+}
+
+func TestAppraiseOracleJRE(t *testing.T) {
+	plain, err := Appraise(MethodJavaTCP, Safari, Windows, Options{Timing: NanoTime, Runs: 8, Gap: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Appraise(MethodJavaTCP, Safari, Windows, Options{Timing: NanoTime, Runs: 8, Gap: time.Second, OracleJRE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.MedianOverhead(2) >= plain.MedianOverhead(2) {
+		t.Fatalf("Oracle JRE %.3f should beat plugin %.3f", fixed.MedianOverhead(2), plain.MedianOverhead(2))
+	}
+}
+
+func TestPublicTaxonomy(t *testing.T) {
+	if len(Methods()) != 11 || len(ComparedMethods()) != 10 {
+		t.Fatal("taxonomy sizes wrong")
+	}
+	if len(Profiles()) != 8 {
+		t.Fatal("profile matrix size wrong")
+	}
+	if LookupProfile(Safari, Ubuntu) != nil {
+		t.Fatal("Safari on Ubuntu should not resolve")
+	}
+	if !strings.Contains(Table1(), "WebSocket") || !strings.Contains(Table2(), "Ubuntu") {
+		t.Fatal("static tables broken")
+	}
+}
+
+func TestPublicStudyAndRecommend(t *testing.T) {
+	st, err := RunStudy(StudyOptions{
+		Methods: []Method{MethodWebSocket, MethodFlashGet},
+		Runs:    5,
+		Gap:     time.Second,
+		Timing:  NanoTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Recommend(st)
+	if rec.BestMethod != MethodWebSocket {
+		t.Fatalf("best method = %v, want WebSocket (vs Flash)", rec.BestMethod)
+	}
+	if !strings.Contains(Fig3(st), "Figure 3") {
+		t.Fatal("Fig3 render broken")
+	}
+}
+
+func TestLiveRoundTrip(t *testing.T) {
+	srv, err := StartServer(ServerConfig{Delay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	m, err := NewLiveTCP(srv.Addrs().TCPEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	box, mean, _, err := AppraiseLive(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.N != 5 || mean > 10 {
+		t.Fatalf("box.N=%d mean=%.3f", box.N, mean)
+	}
+}

@@ -1,0 +1,187 @@
+// Command appraise regenerates the paper's evaluation artifacts: every
+// table and figure of "Appraising the Delay Accuracy in Browser-based
+// Network Measurement" (IMC 2013), from the simulated testbed.
+//
+// Usage:
+//
+//	appraise -all                # everything (50 runs per cell)
+//	appraise -table 1|2|3|4      # one table
+//	appraise -fig 3|4|5          # one figure
+//	appraise -recommend          # the Section 5 recommendations
+//	appraise -runs 20            # fewer repetitions (faster)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	bm "github.com/browsermetric/browsermetric"
+)
+
+// baseSeed decorrelates the study cells; settable via -seed.
+var baseSeed int64
+
+func main() {
+	var (
+		table       = flag.Int("table", 0, "regenerate one table (1-4)")
+		fig         = flag.Int("fig", 0, "regenerate one figure (3-5)")
+		runs        = flag.Int("runs", 50, "repetitions per experiment cell")
+		all         = flag.Bool("all", false, "regenerate every table and figure")
+		recommend   = flag.Bool("recommend", false, "print the Section 5 recommendations")
+		ascii       = flag.Bool("ascii", false, "render Figure 3 as terminal box-plot art")
+		attribution = flag.Bool("attribution", false, "decompose overheads (Section 4 investigations)")
+		impact      = flag.Bool("impact", false, "jitter/throughput/loss impact report")
+		csvPath     = flag.String("csv", "", "also export the full study's samples as CSV to this file")
+		mdPath      = flag.String("markdown", "", "write a Markdown report of the full study to this file")
+		seed        = flag.Int64("seed", 0, "base seed for the deterministic simulation")
+	)
+	flag.Parse()
+	baseSeed = *seed
+
+	if !*all && *table == 0 && *fig == 0 && !*recommend && !*attribution && !*impact && *csvPath == "" && *mdPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*table, *fig, *runs, *all, *recommend, *ascii, *attribution, *impact, *csvPath, *mdPath); err != nil {
+		fmt.Fprintln(os.Stderr, "appraise:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, csvPath, mdPath string) error {
+	var study *bm.Study
+	needStudy := all || fig == 3 || recommend || csvPath != "" || mdPath != ""
+	if needStudy {
+		fmt.Fprintf(os.Stderr, "running the full matrix (%d methods x %d combos x %d runs)...\n",
+			len(bm.ComparedMethods()), len(bm.Profiles()), runs)
+		start := time.Now()
+		var err error
+		study, err = bm.RunStudy(bm.StudyOptions{Runs: runs, BaseSeed: baseSeed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "matrix done in %v\n", time.Since(start))
+	}
+
+	if all || table == 1 {
+		fmt.Println(bm.Table1())
+	}
+	if all || table == 2 {
+		fmt.Println(bm.Table2())
+	}
+	if all || fig == 3 {
+		if ascii {
+			fmt.Println(bm.Fig3ASCII(study, 72))
+		} else {
+			fmt.Println(bm.Fig3(study))
+		}
+	}
+	if all || fig == 4 {
+		report, _, err := bm.Fig4(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+		if ascii {
+			art, err := bm.Fig4ASCII(runs, 50)
+			if err != nil {
+				return err
+			}
+			fmt.Println(art)
+		}
+	}
+	if all || fig == 5 {
+		report, _ := bm.Fig5(12)
+		fmt.Println(report)
+	}
+	if all || table == 3 {
+		report, _, err := bm.Table3(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+	if all || table == 4 {
+		report, _, err := bm.Table4(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+	}
+	if all || recommend {
+		if study == nil {
+			var err error
+			study, err = bm.RunStudy(bm.StudyOptions{Runs: runs, BaseSeed: baseSeed})
+			if err != nil {
+				return err
+			}
+		}
+		rec := bm.Recommend(study)
+		fmt.Println("Section 5: practical considerations (derived from the study)")
+		fmt.Printf("  best method overall:   %v\n", rec.BestMethod)
+		fmt.Printf("  best plugin-free:      %v\n", rec.BestNative)
+		for os, b := range rec.BestBrowser {
+			fmt.Printf("  preferred browser on %s: %v\n", os, b)
+		}
+		fmt.Printf("  avoid (uncalibratable): %v\n", rec.AvoidMethods)
+		for _, n := range rec.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+	}
+	if all || attribution {
+		// The two Section 4 investigations: Opera's Flash handshake and
+		// the Java socket clock error.
+		for _, c := range []struct {
+			m      bm.Method
+			b      bm.Browser
+			timing bm.TimingFunc
+			warp   time.Duration
+		}{
+			{bm.MethodFlashGet, bm.Opera, bm.NanoTime, 0},
+			{bm.MethodJavaTCP, bm.Chrome, bm.GetTime, 5 * time.Minute},
+		} {
+			report, err := bm.AttributionReport(c.m, c.b, bm.Windows, bm.Options{
+				Timing: c.timing, Runs: runs, Warp: c.warp,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(report)
+		}
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := study.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote study samples to %s\n", csvPath)
+	}
+	if mdPath != "" {
+		if err := os.WriteFile(mdPath, []byte(bm.MarkdownReport(study)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote Markdown report to %s\n", mdPath)
+	}
+	if all || impact {
+		report, err := bm.ImpactReport(bm.Firefox, bm.Windows, bm.NanoTime)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+		sweep, err := bm.ServerOverheadReport(bm.Firefox, bm.Windows, bm.NanoTime, runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sweep)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Command bmserver runs the real-network measurement server: HTTP probe
+// endpoints, a WebSocket echo service and TCP/UDP echo services that the
+// live client drivers (and, with a suitable page, real browsers) can
+// measure against.
+//
+// Usage:
+//
+//	bmserver                 # bind loopback, no artificial delay
+//	bmserver -host 0.0.0.0   # expose on all interfaces
+//	bmserver -delay 50ms     # emulate the paper's testbed delay
+//	bmserver -duration 10s   # exit after a fixed time (0 = run forever)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	bm "github.com/browsermetric/browsermetric"
+)
+
+func main() {
+	var (
+		host     = flag.String("host", "127.0.0.1", "bind address")
+		delay    = flag.Duration("delay", 0, "artificial response delay")
+		duration = flag.Duration("duration", 0, "exit after this long (0 = until interrupted)")
+	)
+	flag.Parse()
+
+	srv, err := bm.StartServer(bm.ServerConfig{Host: *host, Delay: *delay})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmserver:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	a := srv.Addrs()
+	fmt.Printf("bmserver up (delay=%v)\n", *delay)
+	fmt.Printf("  HTTP probes : http://%s/probe   (container at /)\n", a.HTTP)
+	fmt.Printf("  WebSocket   : ws://%s/ws\n", a.WS)
+	fmt.Printf("  TCP echo    : %s\n", a.TCPEcho)
+	fmt.Printf("  UDP echo    : %s\n", a.UDPEcho)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	if *duration > 0 {
+		select {
+		case <-stop:
+		case <-time.After(*duration):
+		}
+	} else {
+		<-stop
+	}
+	h, w, t, u := srv.Stats()
+	fmt.Printf("served: %d http, %d ws, %d tcp, %d udp exchanges\n", h, w, t, u)
+}

@@ -1,0 +1,57 @@
+// Command liveprobe appraises the live client stacks against a running
+// bmserver (or a private one it starts itself), printing per-stack delay
+// overheads — the real-socket analogue of cmd/appraise.
+//
+// Usage:
+//
+//	liveprobe                      # self-contained: starts its own server
+//	liveprobe -delay 20ms          # with an artificial path delay
+//	liveprobe -http H -ws W -tcp T -udp U   # probe an external bmserver
+//	liveprobe -probes 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	bm "github.com/browsermetric/browsermetric"
+	"github.com/browsermetric/browsermetric/internal/liveclient"
+)
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "", "HTTP probe address (host:port); empty = start a private server")
+		wsAddr   = flag.String("ws", "", "WebSocket address")
+		tcpAddr  = flag.String("tcp", "", "TCP echo address")
+		udpAddr  = flag.String("udp", "", "UDP echo address")
+		probes   = flag.Int("probes", 25, "probes per client stack")
+		delay    = flag.Duration("delay", 10*time.Millisecond, "artificial delay for the private server")
+	)
+	flag.Parse()
+
+	addrs := liveclient.Addrs{HTTP: *httpAddr, WS: *wsAddr, TCPEcho: *tcpAddr, UDPEcho: *udpAddr}
+	if addrs.HTTP == "" {
+		srv, err := bm.StartServer(bm.ServerConfig{Delay: *delay})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "liveprobe:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		a := srv.Addrs()
+		addrs = liveclient.Addrs{HTTP: a.HTTP, WS: a.WS, TCPEcho: a.TCPEcho, UDPEcho: a.UDPEcho}
+		fmt.Printf("private server up (delay=%v)\n", *delay)
+	}
+
+	rows, err := liveclient.RunStudy(addrs, *probes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "liveprobe:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%-22s %12s %14s %16s %14s\n", "client stack", "probes", "median Δd", "mean ± 95% CI", "wire RTT")
+	for _, r := range rows {
+		fmt.Printf("%-22s %12d %11.3f ms %8.3f±%.3f ms %11.2f ms\n",
+			r.Name, r.Box.N, r.Box.Median, r.Mean, r.CIHalf, r.WireRTTMedian)
+	}
+}

@@ -1,0 +1,159 @@
+// Command pcaptool works with the libpcap files the simulated capture
+// produces: generate one from a testbed run, dump it tcpdump-style, or
+// compute the wire-level RTT pairs the appraisal uses as ground truth.
+//
+// Usage:
+//
+//	pcaptool -gen trace.pcap [-method 3] [-browser C] [-os W]
+//	pcaptool -dump trace.pcap
+//	pcaptool -rtt trace.pcap -port 8080
+//
+// Generated files are standard nanosecond pcap (Ethernet link type) and
+// open in Wireshark/tcpdump.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/capture"
+	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/netsim"
+	"github.com/browsermetric/browsermetric/internal/testbed"
+)
+
+func main() {
+	var (
+		gen    = flag.String("gen", "", "run one measurement and write its capture to this pcap file")
+		method = flag.Int("method", int(methods.WebSocket), "method kind for -gen (0-10, see Table 1 order)")
+		bName  = flag.String("browser", "C", "browser initial for -gen (C,F,IE,O,S)")
+		osName = flag.String("os", "W", "system initial for -gen (W,U)")
+		dump   = flag.String("dump", "", "print packets of this pcap file")
+		rtt    = flag.String("rtt", "", "compute request/response RTTs of this pcap file")
+		port   = flag.Uint("port", uint(testbed.WSPort), "server port for -rtt matching")
+		filter = flag.String("filter", "", "tcpdump-like filter for -dump (e.g. 'tcp and port 80')")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		if err := generate(*gen, methods.Kind(*method), *bName, *osName); err != nil {
+			fail(err)
+		}
+	case *dump != "":
+		if err := dumpFile(*dump, *filter); err != nil {
+			fail(err)
+		}
+	case *rtt != "":
+		if err := rttFile(*rtt, uint16(*port)); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pcaptool:", err)
+	os.Exit(1)
+}
+
+func parseBrowser(initial string) (browser.Name, error) {
+	for _, n := range []browser.Name{browser.Chrome, browser.Firefox, browser.IE, browser.Opera, browser.Safari} {
+		if n.Initial() == initial {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown browser initial %q", initial)
+}
+
+func generate(path string, kind methods.Kind, bInitial, osInitial string) error {
+	b, err := parseBrowser(bInitial)
+	if err != nil {
+		return err
+	}
+	osv := browser.Windows
+	if osInitial == "U" {
+		osv = browser.Ubuntu
+	}
+	prof := browser.Lookup(b, osv)
+	if prof == nil {
+		return fmt.Errorf("%s (%s) is not a Table 2 configuration", bInitial, osInitial)
+	}
+	tb := testbed.New(testbed.Config{Seed: 1})
+	runner := &methods.Runner{TB: tb, Profile: prof}
+	res, err := runner.Run(kind)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := tb.Cap.WriteTo(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d frames (%s on %s, probes on port %d) to %s\n",
+		len(tb.Cap.Records()), kind, prof.Label(), res.ServerPort, path)
+	return nil
+}
+
+func dumpFile(path, filterExpr string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := capture.ReadPcap(f)
+	if err != nil {
+		return err
+	}
+	var filt capture.Filter
+	if filterExpr != "" {
+		if filt, err = capture.ParseFilter(filterExpr); err != nil {
+			return err
+		}
+	}
+	for _, r := range recs {
+		p, err := netsim.Decode(r.Data, r.Time)
+		if err != nil {
+			fmt.Printf("%v [undecodable: %v]\n", r.Time, err)
+			continue
+		}
+		if filt != nil && !filt(p) {
+			continue
+		}
+		fmt.Println(p)
+	}
+	return nil
+}
+
+func rttFile(path string, port uint16) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := capture.ReadPcap(f)
+	if err != nil {
+		return err
+	}
+	cap := capture.FromRecords(recs)
+	pairs := cap.MatchRTT(port)
+	if len(pairs) == 0 {
+		fmt.Printf("no request/response pairs on port %d\n", port)
+		return nil
+	}
+	for i, p := range pairs {
+		hs := ""
+		if p.Handshake {
+			hs = "  (preceded by TCP handshake)"
+		}
+		fmt.Printf("pair %d: send=%v recv=%v rtt=%v%s\n", i+1, p.SendAt, p.RecvAt, p.RTT(), hs)
+	}
+	return nil
+}

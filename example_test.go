@@ -1,0 +1,84 @@
+package browsermetric_test
+
+import (
+	"fmt"
+	"time"
+
+	bm "github.com/browsermetric/browsermetric"
+)
+
+// The simulation is deterministic, so these examples have stable output.
+
+// ExampleAppraise measures the delay overhead of one method in one
+// browser environment.
+func ExampleAppraise() {
+	exp, err := bm.Appraise(bm.MethodJavaTCP, bm.Chrome, bm.Windows, bm.Options{
+		Timing: bm.NanoTime,
+		Runs:   20,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	mean, _ := exp.MeanCI(1)
+	fmt.Printf("Java socket Δd1 mean below 0.1 ms: %v\n", mean < 0.1)
+	fmt.Printf("samples per run: %d rounds\n", len(exp.Samples)/20)
+	// Output:
+	// Java socket Δd1 mean below 0.1 ms: true
+	// samples per run: 2 rounds
+}
+
+// ExampleAppraise_handshake shows the Table 3 mechanism: Opera's Flash
+// plugin opens a fresh TCP connection for the first request, absorbing a
+// full handshake into Δd1.
+func ExampleAppraise_handshake() {
+	exp, err := bm.Appraise(bm.MethodFlashGet, bm.Opera, bm.Windows, bm.Options{
+		Timing: bm.NanoTime,
+		Runs:   20,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	d1, d2 := exp.MedianOverhead(1), exp.MedianOverhead(2)
+	fmt.Printf("Δd1 exceeds Δd2 by at least 40 ms: %v\n", d1-d2 > 40)
+	hs := exp.HandshakeRounds()
+	fmt.Printf("fresh connections: round1=%d round2=%d\n", hs[0], hs[1])
+	// Output:
+	// Δd1 exceeds Δd2 by at least 40 ms: true
+	// fresh connections: round1=20 round2=0
+}
+
+// ExampleCalibration corrects a browser-level reading using the
+// calibrated median overhead.
+func ExampleCalibration() {
+	exp, err := bm.Appraise(bm.MethodWebSocket, bm.Firefox, bm.Ubuntu, bm.Options{
+		Timing: bm.NanoTime,
+		Runs:   25,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cal := exp.Calibrate()
+	reading := 50*time.Millisecond + time.Duration(cal.MedianOverhead[1]*float64(time.Millisecond))
+	corrected := cal.Correct(reading, 2)
+	fmt.Printf("corrected reading within 1 ms of the true 50 ms path: %v\n",
+		corrected > 49*time.Millisecond && corrected < 51*time.Millisecond)
+	fmt.Printf("calibratable: %v\n", cal.Calibratable(2))
+	// Output:
+	// corrected reading within 1 ms of the true 50 ms path: true
+	// calibratable: true
+}
+
+// ExampleMethods lists the Table 1 taxonomy.
+func ExampleMethods() {
+	for _, s := range bm.ComparedMethods()[:4] {
+		fmt.Printf("%s (%s, %s)\n", s.Name, s.Technology, s.Transport)
+	}
+	// Output:
+	// XHR GET (XHR, HTTP-based)
+	// XHR POST (XHR, HTTP-based)
+	// DOM (DOM, HTTP-based)
+	// WebSocket (WebSocket, socket-based)
+}

@@ -1,0 +1,73 @@
+// Calibration: derive per-method overhead-correction tables from a study
+// and use them to recover true network RTTs from browser-level readings —
+// then show which methods the paper deems calibratable at all and why the
+// Java timing API must be switched to System.nanoTime() first.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	bm "github.com/browsermetric/browsermetric"
+)
+
+func main() {
+	// 1. Calibrate three representative methods in Firefox on Windows
+	//    (the paper's preferred Windows browser).
+	fmt.Println("calibration tables — Firefox on Windows")
+	kinds := []bm.Method{bm.MethodWebSocket, bm.MethodXHRGet, bm.MethodFlashGet}
+	cals := map[bm.Method]bm.Calibration{}
+	for _, k := range kinds {
+		exp, err := bm.Appraise(k, bm.Firefox, bm.Windows, bm.Options{Runs: 40})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cal := exp.Calibrate()
+		cals[k] = cal
+		ok := "calibratable"
+		if !cal.Calibratable(2) {
+			ok = "NOT calibratable (overhead too unstable)"
+		}
+		fmt.Printf("  %-12v median Δd2=%6.2f ms  IQR=%5.2f ms  -> %s\n",
+			k, cal.MedianOverhead[1], cal.IQR[1], ok)
+	}
+
+	// 2. Apply the WebSocket calibration to a fresh reading.
+	fmt.Println("\ncorrecting a fresh browser-level reading with the WebSocket table:")
+	exp, err := bm.Appraise(bm.MethodWebSocket, bm.Firefox, bm.Windows, bm.Options{Runs: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal := cals[bm.MethodWebSocket]
+	for _, s := range exp.Samples {
+		if s.Round != 2 {
+			continue
+		}
+		corrected := cal.Correct(s.BrowserRTT, 2)
+		errBefore := s.BrowserRTT - s.WireRTT
+		errAfter := corrected - s.WireRTT
+		fmt.Printf("  reported %8v  corrected %8v  true %8v  (error %6v -> %6v)\n",
+			s.BrowserRTT.Round(10*time.Microsecond), corrected.Round(10*time.Microsecond),
+			s.WireRTT.Round(10*time.Microsecond), errBefore.Round(10*time.Microsecond),
+			errAfter.Round(10*time.Microsecond))
+	}
+
+	// 3. The timing-API trap: calibration cannot fix a quantized clock.
+	fmt.Println("\nwhy Java tools must switch timing APIs before calibrating:")
+	for _, timing := range []bm.TimingFunc{bm.GetTime, bm.NanoTime} {
+		exp, err := bm.Appraise(bm.MethodJavaTCP, bm.Firefox, bm.Windows, bm.Options{
+			Timing: timing, Runs: 40,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		box := exp.Box(1)
+		bimodal := ""
+		if exp.Bimodal(1) {
+			bimodal = "  <- bimodal: the ~15.6 ms Windows granularity regime"
+		}
+		fmt.Printf("  %-16v Δd1 range [%7.2f, %6.2f] ms, median %6.2f%s\n",
+			timing, box.Min, box.Max, box.Median, bimodal)
+	}
+}

@@ -1,0 +1,95 @@
+// Diagnose: a Netalyzr-style end-user network diagnosis built on the
+// appraisal library. Given the user's browser environment it (1) picks
+// the most accurate measurement method that environment supports,
+// (2) calibrates its overhead on a reference testbed, then (3) measures
+// unknown paths and reports corrected RTT estimates with error bars —
+// the workflow Section 5's recommendations exist to enable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	bm "github.com/browsermetric/browsermetric"
+)
+
+func main() {
+	// The user's environment: IE 9 on Windows — no WebSocket, so the
+	// recommended fallback order matters.
+	userBrowser, userOS := bm.IE, bm.Windows
+	fmt.Printf("diagnosing with %v on %v\n\n", userBrowser, userOS)
+
+	// 1. Pick the most accurate supported method: socket methods first
+	//    (with the nanoTime caveat), then DOM, then XHR.
+	preference := []bm.Method{bm.MethodJavaTCP, bm.MethodWebSocket, bm.MethodDOM, bm.MethodXHRGet}
+	prof := bm.LookupProfile(userBrowser, userOS)
+	specs := map[bm.Method]bm.Spec{}
+	for _, s := range bm.Methods() {
+		specs[s.Kind] = s
+	}
+	var chosen bm.Method
+	found := false
+	for _, m := range preference {
+		if prof.Supports(specs[m].API) {
+			chosen = m
+			found = true
+			break
+		}
+	}
+	if !found {
+		log.Fatal("no supported method")
+	}
+	fmt.Printf("selected method: %v (System.nanoTime timing)\n", chosen)
+
+	// 2. Calibrate on the reference testbed (known 50 ms path).
+	ref, err := bm.Appraise(chosen, userBrowser, userOS, bm.Options{Timing: bm.NanoTime, Runs: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal := ref.Calibrate()
+	fmt.Printf("calibrated overhead: Δd2 median %.3f ms (IQR %.3f ms, calibratable=%v)\n\n",
+		cal.MedianOverhead[1], cal.IQR[1], cal.Calibratable(2))
+
+	// 3. Measure three "unknown" paths (testbeds with different true
+	//    delays) and report corrected estimates.
+	fmt.Printf("%-12s %14s %14s %12s\n", "true RTT", "tool reading", "corrected", "error")
+	for _, trueRTT := range []time.Duration{20, 80, 140} {
+		d := trueRTT * time.Millisecond
+		exp, err := bm.Appraise(chosen, userBrowser, userOS, bm.Options{
+			Timing:  bm.NanoTime,
+			Runs:    10,
+			Testbed: bm.TestbedConfig{ServerDelay: d, Seed: int64(trueRTT)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The tool's reading: median browser-level RTT of warm rounds.
+		var readings []time.Duration
+		for _, s := range exp.Samples {
+			if s.Round == 2 {
+				readings = append(readings, s.BrowserRTT)
+			}
+		}
+		reading := medianDuration(readings)
+		corrected := cal.Correct(reading, 2)
+		errMs := float64(corrected-d) / float64(time.Millisecond)
+		fmt.Printf("%-12v %14v %14v %9.3f ms\n",
+			d, reading.Round(10*time.Microsecond), corrected.Round(10*time.Microsecond), errMs)
+	}
+	fmt.Println("\n(corrected estimates land within a fraction of a millisecond of the true")
+	fmt.Println(" path RTT — the accuracy the paper shows socket methods can reach)")
+}
+
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,3 @@
+module github.com/browsermetric/browsermetric
+
+go 1.22

@@ -1,0 +1,127 @@
+package browsermetric
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPublicAttribution(t *testing.T) {
+	exp, attributed, err := AppraiseAttributed(MethodFlashGet, Opera, Ubuntu, Options{
+		Timing: NanoTime, Runs: 5, Gap: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attributed) != len(exp.Samples) {
+		t.Fatal("attribution count mismatch")
+	}
+	foundHandshake := false
+	for _, a := range attributed {
+		if a.Round == 1 && a.Attribution.Handshake == 50*time.Millisecond {
+			foundHandshake = true
+		}
+	}
+	if !foundHandshake {
+		t.Fatal("no handshake attribution on Opera Flash round 1")
+	}
+}
+
+func TestPublicJitter(t *testing.T) {
+	ji, err := MeasureJitter(MethodWebSocket, Chrome, Ubuntu, Options{Timing: NanoTime}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.Probes != 10 || ji.Inflation() < 0 && ji.Inflation() < -1 {
+		t.Fatalf("jitter impact = %+v", ji)
+	}
+}
+
+func TestPublicThroughput(t *testing.T) {
+	ti, err := MeasureThroughput(MethodWebSocket, Chrome, Ubuntu, Options{Timing: NanoTime}, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.Bias() <= 0.8 || ti.Bias() > 1.0 {
+		t.Fatalf("WebSocket bias = %.3f", ti.Bias())
+	}
+}
+
+func TestPublicLoss(t *testing.T) {
+	li, err := MeasureLoss(Chrome, Ubuntu, Options{
+		Timing:  NanoTime,
+		Testbed: TestbedConfig{Seed: 5, LossRate: 0.15},
+	}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.BrowserLoss == 0 {
+		t.Fatal("no loss observed at 15% link loss")
+	}
+	if diff := li.BrowserLoss - li.WireLoss; diff < -0.05 || diff > 0.05 {
+		t.Fatalf("loss disagreement: %.3f vs %.3f", li.BrowserLoss, li.WireLoss)
+	}
+}
+
+func TestPublicServerOverhead(t *testing.T) {
+	rows, err := MeasureServerOverhead(MethodXHRGet, Chrome, Ubuntu, Options{Timing: NanoTime, Runs: 5},
+		[]time.Duration{0, 8 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	gain := rows[1].ServerShare() - rows[0].ServerShare()
+	if gain < 7*time.Millisecond || gain > 9*time.Millisecond {
+		t.Fatalf("server share gained %v for +8ms parse cost", gain)
+	}
+}
+
+func TestPublicReports(t *testing.T) {
+	rep, err := AttributionReport(MethodFlashGet, Opera, Windows, Options{Timing: NanoTime, Runs: 4})
+	if err != nil || !strings.Contains(rep, "handshake") {
+		t.Fatalf("attribution report: %v\n%s", err, rep)
+	}
+	imp, err := ImpactReport(Chrome, Ubuntu, NanoTime)
+	if err != nil || !strings.Contains(imp, "Loss agreement") {
+		t.Fatalf("impact report: %v", err)
+	}
+	sov, err := ServerOverheadReport(Chrome, Ubuntu, NanoTime, 4)
+	if err != nil || !strings.Contains(sov, "server share") {
+		t.Fatalf("server overhead report: %v", err)
+	}
+}
+
+func TestPublicFig3ASCII(t *testing.T) {
+	st, err := RunStudy(StudyOptions{Methods: []Method{MethodDOM}, Runs: 4, Gap: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := Fig3ASCII(st, 60)
+	if !strings.Contains(art, "╂") || !strings.Contains(art, "DOM") {
+		t.Fatalf("ASCII art missing glyphs:\n%s", art)
+	}
+}
+
+func TestPublicModernProfile(t *testing.T) {
+	modern := ModernProfile(Windows)
+	exp, err := AppraiseProfile(MethodXHRGet, modern, Options{Timing: NanoTime, Runs: 10, Gap: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Appraise(MethodXHRGet, Chrome, Windows, Options{Timing: NanoTime, Runs: 10, Gap: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.MedianOverhead(2) >= old.MedianOverhead(2)/2 {
+		t.Fatalf("modern XHR %.2f ms should be far below 2013's %.2f ms",
+			exp.MedianOverhead(2), old.MedianOverhead(2))
+	}
+	if _, err := AppraiseProfile(MethodFlashGet, modern, Options{Runs: 2}); err == nil {
+		t.Fatal("modern profile must reject plugin methods")
+	}
+	if _, err := AppraiseProfile(MethodXHRGet, nil, Options{}); err == nil {
+		t.Fatal("nil profile must error")
+	}
+}

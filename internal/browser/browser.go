@@ -1,0 +1,417 @@
+// Package browser models the browsers, plugins and runtimes of the
+// paper's Table 2 as parameterized cost profiles.
+//
+// The paper measures real Chrome/Firefox/IE/Opera/Safari builds on
+// Windows 7 and Ubuntu 12.04; those binaries (and the Flash/Java plugins)
+// are the one component of the study we cannot run, so — per the
+// substitution rule — this package reproduces the *mechanisms* that
+// generate browser-side delay overhead:
+//
+//   - per-API send/receive path costs (JS engine work, DOM insertion,
+//     event-listener dispatch, plugin bridge crossings), drawn from
+//     shifted-lognormal distributions calibrated per browser×OS to the
+//     medians and spreads of Figure 3;
+//   - first-use penalties that differentiate Δd1 from Δd2;
+//   - connection policies (notably Opera's Flash plugin opening a new TCP
+//     connection for the first request and for every POST — Table 3);
+//   - the timing API each technology exposes, including the quantized
+//     Date.getTime() clock whose Windows granularity regime produces
+//     Figure 4 and Table 4.
+//
+// Each distribution's parameters are data, not logic: recalibrating the
+// model against a different browser generation only means editing the
+// tables in profiles.go.
+package browser
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/clock"
+)
+
+// OS identifies the operating system of a testbed client.
+type OS int
+
+// The two systems of Table 2.
+const (
+	Windows OS = iota
+	Ubuntu
+)
+
+func (o OS) String() string {
+	switch o {
+	case Windows:
+		return "Windows"
+	case Ubuntu:
+		return "Ubuntu"
+	default:
+		return fmt.Sprintf("OS(%d)", int(o))
+	}
+}
+
+// Initial returns the single-letter tag used in the paper's figure labels
+// ("(W)" / "(U)").
+func (o OS) Initial() string {
+	if o == Windows {
+		return "W"
+	}
+	return "U"
+}
+
+// Name identifies a browser.
+type Name int
+
+// The five browsers of Table 2, plus the JDK appletviewer used in the
+// Figure 4(b) control experiment.
+const (
+	Chrome Name = iota
+	Firefox
+	IE
+	Opera
+	Safari
+	Appletviewer
+)
+
+func (n Name) String() string {
+	switch n {
+	case Chrome:
+		return "Chrome"
+	case Firefox:
+		return "Firefox"
+	case IE:
+		return "IE"
+	case Opera:
+		return "Opera"
+	case Safari:
+		return "Safari"
+	case Appletviewer:
+		return "appletviewer"
+	default:
+		return fmt.Sprintf("Name(%d)", int(n))
+	}
+}
+
+// Initial returns the figure-label initial ("C", "F", "IE", "O", "S").
+func (n Name) Initial() string {
+	switch n {
+	case Chrome:
+		return "C"
+	case Firefox:
+		return "F"
+	case IE:
+		return "IE"
+	case Opera:
+		return "O"
+	case Safari:
+		return "S"
+	case Appletviewer:
+		return "AV"
+	default:
+		return "?"
+	}
+}
+
+// API is a measurement-facing browser interface, i.e. the mechanism a
+// method uses to move bytes (Table 1 rows, modulo HTTP verb).
+type API int
+
+// The APIs the ten methods are built on.
+const (
+	APIXHR API = iota
+	APIDOM
+	APIWebSocket
+	APIFlashHTTP
+	APIFlashSocket
+	APIJavaHTTP
+	APIJavaSocket
+	APIJavaUDP
+)
+
+func (a API) String() string {
+	switch a {
+	case APIXHR:
+		return "XHR"
+	case APIDOM:
+		return "DOM"
+	case APIWebSocket:
+		return "WebSocket"
+	case APIFlashHTTP:
+		return "Flash HTTP"
+	case APIFlashSocket:
+		return "Flash socket"
+	case APIJavaHTTP:
+		return "Java HTTP"
+	case APIJavaSocket:
+		return "Java socket"
+	case APIJavaUDP:
+		return "Java UDP"
+	default:
+		return fmt.Sprintf("API(%d)", int(a))
+	}
+}
+
+// Runtime returns which runtime hosts the API: the browser's native
+// JavaScript engine, the Flash plugin, or the Java plugin (JRE).
+func (a API) Runtime() string {
+	switch a {
+	case APIXHR, APIDOM, APIWebSocket:
+		return "native"
+	case APIFlashHTTP, APIFlashSocket:
+		return "flash"
+	default:
+		return "java"
+	}
+}
+
+// ConnPolicy describes how an API obtains the TCP connection for an HTTP
+// request.
+type ConnPolicy int
+
+const (
+	// PolicyReuse reuses the container page's connection even for the
+	// first measurement (the common browser behaviour per Section 4.1).
+	PolicyReuse ConnPolicy = iota
+	// PolicyNewOnFirst opens a fresh connection for the first measurement
+	// and reuses it afterwards (Opera + Flash GET).
+	PolicyNewOnFirst
+	// PolicyNewAlways opens a fresh connection for every request
+	// (Opera + Flash POST).
+	PolicyNewAlways
+)
+
+func (p ConnPolicy) String() string {
+	switch p {
+	case PolicyReuse:
+		return "reuse"
+	case PolicyNewOnFirst:
+		return "new-on-first"
+	case PolicyNewAlways:
+		return "new-always"
+	default:
+		return fmt.Sprintf("ConnPolicy(%d)", int(p))
+	}
+}
+
+// TimingFunc selects the timestamping API the measurement code calls.
+type TimingFunc int
+
+const (
+	// GetTime is Date.getTime()/System.currentTimeMillis(): millisecond
+	// resolution, OS-dependent granularity (the paper's default).
+	GetTime TimingFunc = iota
+	// NanoTime is System.nanoTime()/performance.now(): effectively
+	// continuous (the paper's fix in Section 4.2).
+	NanoTime
+)
+
+func (t TimingFunc) String() string {
+	if t == NanoTime {
+		return "System.nanoTime"
+	}
+	return "Date.getTime"
+}
+
+// Dist is a shifted-lognormal delay distribution: Base + Scale·exp(σZ)
+// with Z standard normal. Its median is Base + Scale; Sigma controls the
+// spread (and the outlier tail the paper's box plots show).
+type Dist struct {
+	Base  time.Duration
+	Scale time.Duration
+	Sigma float64
+}
+
+// Sample draws one delay. Deterministic given the rng state.
+func (d Dist) Sample(rng *rand.Rand) time.Duration {
+	if d.Scale == 0 {
+		return d.Base
+	}
+	z := rng.NormFloat64()
+	return d.Base + time.Duration(float64(d.Scale)*math.Exp(d.Sigma*z))
+}
+
+// Median returns the distribution median.
+func (d Dist) Median() time.Duration { return d.Base + d.Scale }
+
+// apiCosts bundles the per-API delay components.
+type apiCosts struct {
+	send     Dist // measurement code "send" call -> request on the stack
+	recv     Dist // response at the stack -> receive timestamp taken
+	firstUse Dist // extra cost added to the first measurement's send path
+	// repeatExtra is added to the *second* GET measurement instead; some
+	// runtimes (Java URL reuse revalidation) do more work on reuse, which
+	// is how Table 4 shows GET Δd2 > Δd1.
+	repeatExtra Dist
+	// postRepeatExtra plays the same role for the second POST measurement
+	// (Table 4 shows POST Δd2 < Δd1, so this is typically negative).
+	postRepeatExtra Dist
+	postExtra       Dist // extra send cost for POST vs GET
+}
+
+// Profile is a calibrated browser×OS model.
+type Profile struct {
+	Browser Name
+	OS      OS
+
+	// Table 2 metadata.
+	Version      string
+	FlashVersion string
+	JavaVersion  string
+	// WebSocket reports whether the browser build supports WebSocket
+	// (IE 9 and Safari 5 do not).
+	WebSocket bool
+
+	costs map[API]apiCosts
+
+	// load is the background system-load factor (0 = idle testbed, the
+	// paper's setup; 1 = heavily loaded host). Section 3 notes overheads
+	// "may still vary, depending on how sensitive the measurement methods
+	// are to these system loads" — plugin bridges are hit hardest because
+	// each crossing contends for CPU.
+	load float64
+
+	// flashGetPolicy / flashPostPolicy capture the plugin connection
+	// behaviour of Section 4.1. All other HTTP APIs use PolicyReuse.
+	flashGetPolicy  ConnPolicy
+	flashPostPolicy ConnPolicy
+}
+
+// WithLoad returns a copy of the profile running under the given
+// background load factor (clamped to [0, 1]).
+func (p *Profile) WithLoad(load float64) *Profile {
+	if load < 0 {
+		load = 0
+	}
+	if load > 1 {
+		load = 1
+	}
+	q := *p
+	q.load = load
+	return &q
+}
+
+// loadSensitivity is the per-runtime multiplier on costs at full load:
+// native JS degrades least, the plugin bridges most.
+func loadSensitivity(api API) float64 {
+	switch api.Runtime() {
+	case "flash":
+		return 2.0
+	case "java":
+		return 1.5
+	default:
+		return 0.8
+	}
+}
+
+// applyLoad scales a drawn cost by the load factor, with extra noise
+// modeling scheduler contention.
+func (p *Profile) applyLoad(api API, d time.Duration, rng *rand.Rand) time.Duration {
+	if p.load == 0 || d <= 0 {
+		return d
+	}
+	scale := 1 + p.load*loadSensitivity(api)
+	noise := 1 + p.load*0.5*rng.Float64()
+	return time.Duration(float64(d) * scale * noise)
+}
+
+// Label returns the figure label, e.g. "C (U)".
+func (p *Profile) Label() string {
+	return fmt.Sprintf("%s (%s)", p.Browser.Initial(), p.OS.Initial())
+}
+
+// Supports reports whether the profile can run the API at all.
+func (p *Profile) Supports(api API) bool {
+	if p.Browser == Appletviewer {
+		return api == APIJavaHTTP || api == APIJavaSocket || api == APIJavaUDP
+	}
+	if api == APIWebSocket {
+		return p.WebSocket
+	}
+	_, ok := p.costs[api]
+	return ok
+}
+
+// SendCost draws the send-path delay for one measurement.
+// round is 1 for Δd1 and 2 for Δd2; post marks POST requests.
+func (p *Profile) SendCost(api API, round int, post bool, rng *rand.Rand) time.Duration {
+	c := p.mustCosts(api)
+	d := c.send.Sample(rng)
+	switch {
+	case round <= 1:
+		d += c.firstUse.Sample(rng)
+	case post:
+		d += c.postRepeatExtra.Sample(rng)
+	default:
+		d += c.repeatExtra.Sample(rng)
+	}
+	if post {
+		d += c.postExtra.Sample(rng)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return p.applyLoad(api, d, rng)
+}
+
+// RecvCost draws the receive-path delay (event dispatch, parse, bridge).
+func (p *Profile) RecvCost(api API, rng *rand.Rand) time.Duration {
+	d := p.mustCosts(api).recv.Sample(rng)
+	if d < 0 {
+		d = 0
+	}
+	return p.applyLoad(api, d, rng)
+}
+
+// MedianOverhead returns the calibrated steady-state (round 2, GET) median
+// of send+recv for an API — useful for calibration reports.
+func (p *Profile) MedianOverhead(api API) time.Duration {
+	c := p.mustCosts(api)
+	return c.send.Median() + c.recv.Median() + c.repeatExtra.Median()
+}
+
+func (p *Profile) mustCosts(api API) apiCosts {
+	c, ok := p.costs[api]
+	if !ok {
+		panic(fmt.Sprintf("browser: %s does not support %v", p.Label(), api))
+	}
+	return c
+}
+
+// HTTPConnPolicy returns the connection policy for an HTTP request through
+// the API.
+func (p *Profile) HTTPConnPolicy(api API, post bool) ConnPolicy {
+	if api == APIFlashHTTP {
+		if post {
+			return p.flashPostPolicy
+		}
+		return p.flashGetPolicy
+	}
+	return PolicyReuse
+}
+
+// Clock returns the timing API the measurement code sees for an API and
+// timing-function choice, over the given time source.
+//
+// Granularity model: the native JS Date.getTime() and Flash's timer carry
+// a steady 1 ms granularity on both systems; Java's Date.getTime() follows
+// the OS-dependent schedule (regime-switching on Windows, steady 1 ms on
+// Ubuntu); NanoTime is exact everywhere.
+func (p *Profile) Clock(api API, timing TimingFunc, src clock.Source) clock.Clock {
+	if timing == NanoTime {
+		return &clock.Perfect{Src: src}
+	}
+	var sched *clock.Schedule
+	switch api.Runtime() {
+	case "java":
+		if p.OS == Windows {
+			sched = clock.WindowsGetTimeSchedule()
+		} else {
+			sched = clock.LinuxGetTimeSchedule()
+		}
+	default:
+		sched = clock.LinuxGetTimeSchedule() // steady 1 ms
+	}
+	return &clock.Quantized{Src: src, Schedule: sched}
+}

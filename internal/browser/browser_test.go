@@ -1,0 +1,334 @@
+package browser
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/clock"
+	"github.com/browsermetric/browsermetric/internal/stats"
+)
+
+func TestProfilesMatchTable2(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 8 {
+		t.Fatalf("profiles = %d, want 8 (3 Ubuntu + 5 Windows)", len(ps))
+	}
+	byLabel := map[string]*Profile{}
+	for _, p := range ps {
+		byLabel[p.Label()] = p
+	}
+	for _, label := range []string{"C (U)", "F (U)", "O (U)", "C (W)", "F (W)", "IE (W)", "O (W)", "S (W)"} {
+		if byLabel[label] == nil {
+			t.Fatalf("missing profile %q", label)
+		}
+	}
+	// WebSocket support per Table 2: IE 9 and Safari 5 lack it.
+	if byLabel["IE (W)"].WebSocket || byLabel["S (W)"].WebSocket {
+		t.Fatal("IE/Safari must not support WebSocket")
+	}
+	for _, l := range []string{"C (U)", "F (U)", "O (U)", "C (W)", "F (W)", "O (W)"} {
+		if !byLabel[l].WebSocket {
+			t.Fatalf("%s should support WebSocket", l)
+		}
+	}
+	// Every profile carries plugin versions.
+	for _, p := range ps {
+		if p.FlashVersion == "" || p.JavaVersion == "" || p.Version == "" {
+			t.Fatalf("%s missing versions: %+v", p.Label(), p)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if Lookup(IE, Ubuntu) != nil {
+		t.Fatal("IE on Ubuntu is not in Table 2")
+	}
+	if p := Lookup(Safari, Windows); p == nil || p.Browser != Safari {
+		t.Fatal("Safari on Windows missing")
+	}
+	if p := Lookup(Appletviewer, Windows); p == nil {
+		t.Fatal("appletviewer profile missing")
+	}
+	if Lookup(Appletviewer, Ubuntu) != nil {
+		t.Fatal("appletviewer control ran on Windows only")
+	}
+}
+
+func TestSupports(t *testing.T) {
+	ie := Lookup(IE, Windows)
+	if ie.Supports(APIWebSocket) {
+		t.Fatal("IE9 must not support WebSocket")
+	}
+	if !ie.Supports(APIXHR) || !ie.Supports(APIFlashHTTP) || !ie.Supports(APIJavaSocket) {
+		t.Fatal("IE should support XHR/Flash/Java")
+	}
+	av := AppletviewerProfile()
+	if av.Supports(APIXHR) || av.Supports(APIFlashSocket) {
+		t.Fatal("appletviewer only hosts Java")
+	}
+	if !av.Supports(APIJavaSocket) || !av.Supports(APIJavaHTTP) {
+		t.Fatal("appletviewer must host Java APIs")
+	}
+}
+
+func TestOperaFlashPolicies(t *testing.T) {
+	for _, os := range []OS{Windows, Ubuntu} {
+		o := Lookup(Opera, os)
+		if got := o.HTTPConnPolicy(APIFlashHTTP, false); got != PolicyNewOnFirst {
+			t.Fatalf("Opera(%v) Flash GET policy = %v", os, got)
+		}
+		if got := o.HTTPConnPolicy(APIFlashHTTP, true); got != PolicyNewAlways {
+			t.Fatalf("Opera(%v) Flash POST policy = %v", os, got)
+		}
+	}
+	c := Lookup(Chrome, Windows)
+	if c.HTTPConnPolicy(APIFlashHTTP, false) != PolicyReuse || c.HTTPConnPolicy(APIXHR, true) != PolicyReuse {
+		t.Fatal("non-Opera methods must reuse the container connection")
+	}
+}
+
+// medians samples a cost function and returns the median in ms.
+func medianCost(t *testing.T, f func(rng *rand.Rand) time.Duration) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var s []float64
+	for i := 0; i < 2000; i++ {
+		s = append(s, stats.Ms(f(rng)))
+	}
+	return stats.Median(s)
+}
+
+func TestCalibratedOrdering(t *testing.T) {
+	// The paper's central comparative result, per profile: socket APIs
+	// incur far less overhead than HTTP APIs, DOM < XHR < Flash HTTP.
+	for _, p := range Profiles() {
+		p := p
+		total := func(api API) float64 {
+			return medianCost(t, func(rng *rand.Rand) time.Duration {
+				return p.SendCost(api, 2, false, rng) + p.RecvCost(api, rng)
+			})
+		}
+		dom, xhr, flash := total(APIDOM), total(APIXHR), total(APIFlashHTTP)
+		if !(dom <= xhr && xhr < flash) {
+			t.Errorf("%s: DOM %.2f <= XHR %.2f < Flash %.2f violated", p.Label(), dom, xhr, flash)
+		}
+		sock := total(APIJavaSocket)
+		if sock >= dom && p.Browser != Safari {
+			t.Errorf("%s: Java socket %.2f should be below DOM %.2f", p.Label(), sock, dom)
+		}
+		if p.WebSocket {
+			ws := total(APIWebSocket)
+			if ws >= dom {
+				t.Errorf("%s: WebSocket %.2f should be below DOM %.2f", p.Label(), ws, dom)
+			}
+		}
+	}
+}
+
+func TestFlashMediansInPaperRange(t *testing.T) {
+	// Figure 3(e): Flash HTTP median overheads fall between 20 and 100 ms.
+	for _, p := range Profiles() {
+		p := p
+		m := medianCost(t, func(rng *rand.Rand) time.Duration {
+			return p.SendCost(APIFlashHTTP, 2, false, rng) + p.RecvCost(APIFlashHTTP, rng)
+		})
+		if m < 15 || m > 100 {
+			t.Errorf("%s: Flash HTTP median %.1f ms outside [15,100]", p.Label(), m)
+		}
+	}
+}
+
+func TestJavaTable4Asymmetry(t *testing.T) {
+	// Table 4: GET Δd2 > Δd1, POST Δd2 < Δd1, socket Δd2 slightly > Δd1.
+	p := Lookup(Chrome, Windows)
+	get1 := medianCost(t, func(rng *rand.Rand) time.Duration {
+		return p.SendCost(APIJavaHTTP, 1, false, rng) + p.RecvCost(APIJavaHTTP, rng)
+	})
+	get2 := medianCost(t, func(rng *rand.Rand) time.Duration {
+		return p.SendCost(APIJavaHTTP, 2, false, rng) + p.RecvCost(APIJavaHTTP, rng)
+	})
+	post1 := medianCost(t, func(rng *rand.Rand) time.Duration {
+		return p.SendCost(APIJavaHTTP, 1, true, rng) + p.RecvCost(APIJavaHTTP, rng)
+	})
+	post2 := medianCost(t, func(rng *rand.Rand) time.Duration {
+		return p.SendCost(APIJavaHTTP, 2, true, rng) + p.RecvCost(APIJavaHTTP, rng)
+	})
+	if !(get2 > get1) {
+		t.Errorf("GET d2 %.2f should exceed d1 %.2f", get2, get1)
+	}
+	if !(post2 < post1) {
+		t.Errorf("POST d2 %.2f should be below d1 %.2f", post2, post1)
+	}
+	if get1 < 2 || get1 > 4.5 {
+		t.Errorf("GET d1 median %.2f outside Table 4 ballpark", get1)
+	}
+	sock1 := medianCost(t, func(rng *rand.Rand) time.Duration {
+		return p.SendCost(APIJavaSocket, 1, false, rng) + p.RecvCost(APIJavaSocket, rng)
+	})
+	if sock1 > 0.2 {
+		t.Errorf("Java socket d1 median %.3f ms should be ~0.01", sock1)
+	}
+}
+
+func TestSafariOracleJREFix(t *testing.T) {
+	s := Lookup(Safari, Windows)
+	fixed := s.WithOracleJRE()
+	broken := medianCost(t, func(rng *rand.Rand) time.Duration {
+		return s.SendCost(APIJavaSocket, 2, false, rng) + s.RecvCost(APIJavaSocket, rng)
+	})
+	ok := medianCost(t, func(rng *rand.Rand) time.Duration {
+		return fixed.SendCost(APIJavaSocket, 2, false, rng) + fixed.RecvCost(APIJavaSocket, rng)
+	})
+	if ok >= broken/5 {
+		t.Fatalf("Oracle JRE socket %.3f ms should be far below plugin %.3f ms", ok, broken)
+	}
+	// Non-Java APIs untouched.
+	if s.MedianOverhead(APIXHR) != fixed.MedianOverhead(APIXHR) {
+		t.Fatal("WithOracleJRE must not change XHR costs")
+	}
+}
+
+func TestClockSelection(t *testing.T) {
+	src := func() time.Duration { return 90*time.Second + 1234*time.Microsecond }
+	w := Lookup(Chrome, Windows)
+	u := Lookup(Chrome, Ubuntu)
+
+	// NanoTime is exact.
+	if got := w.Clock(APIJavaSocket, NanoTime, src).Now(); got != src() {
+		t.Fatalf("nanoTime = %v", got)
+	}
+	// JS getTime quantizes to 1 ms on both systems.
+	if got := w.Clock(APIXHR, GetTime, src).Now(); got != 90*time.Second+time.Millisecond {
+		t.Fatalf("JS getTime = %v", got)
+	}
+	// Java getTime on Ubuntu: steady 1 ms.
+	if got := u.Clock(APIJavaSocket, GetTime, src).Now(); got != 90*time.Second+time.Millisecond {
+		t.Fatalf("Java getTime (U) = %v", got)
+	}
+	// Java getTime on Windows follows the regime schedule: at t=90s we are
+	// in the 1 ms regime; deep into the cycle (t=5min) we are in the
+	// coarse regime.
+	late := func() time.Duration { return 5 * time.Minute }
+	q := w.Clock(APIJavaSocket, GetTime, late).(*clock.Quantized)
+	if q.Granularity() != clock.WindowsTimerPeriod {
+		t.Fatalf("Java getTime (W) granularity at 5min = %v", q.Granularity())
+	}
+}
+
+func TestSendCostNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := Lookup(Chrome, Windows)
+	for i := 0; i < 5000; i++ {
+		if d := p.SendCost(APIJavaHTTP, 2, true, rng); d < 0 {
+			t.Fatalf("negative send cost %v", d)
+		}
+	}
+}
+
+func TestUnsupportedAPIPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for WebSocket cost on IE")
+		}
+	}()
+	rng := rand.New(rand.NewSource(1))
+	Lookup(IE, Windows).SendCost(APIWebSocket, 1, false, rng)
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []string{
+		Windows.String(), Ubuntu.String(), Chrome.String(), Appletviewer.String(),
+		APIXHR.String(), APIJavaUDP.String(), PolicyReuse.String(), PolicyNewAlways.String(),
+		GetTime.String(), NanoTime.String(), OS(9).String(), Name(9).String(), API(99).String(),
+	} {
+		if s == "" {
+			t.Fatal("empty stringer output")
+		}
+	}
+	if Chrome.Initial() != "C" || IE.Initial() != "IE" || Windows.Initial() != "W" {
+		t.Fatal("initials wrong")
+	}
+}
+
+func TestAPIRuntime(t *testing.T) {
+	if APIXHR.Runtime() != "native" || APIFlashSocket.Runtime() != "flash" || APIJavaUDP.Runtime() != "java" {
+		t.Fatal("runtime mapping wrong")
+	}
+}
+
+func TestDistMedianAccuracy(t *testing.T) {
+	d := Dist{Scale: 10 * time.Millisecond, Sigma: 0.5}
+	rng := rand.New(rand.NewSource(3))
+	var s []float64
+	for i := 0; i < 20000; i++ {
+		s = append(s, stats.Ms(d.Sample(rng)))
+	}
+	sort.Float64s(s)
+	med := stats.Median(s)
+	if med < 9.5 || med > 10.5 {
+		t.Fatalf("empirical median %.2f, want ~10 (lognormal median = Scale)", med)
+	}
+	if d.Median() != 10*time.Millisecond {
+		t.Fatalf("Median() = %v", d.Median())
+	}
+}
+
+// Property: samples from a non-negative Dist are always >= Base, and a
+// zero-scale Dist is deterministic.
+func TestQuickDistBounds(t *testing.T) {
+	f := func(baseMs uint16, scaleMs uint16, seed int64) bool {
+		d := Dist{Base: time.Duration(baseMs) * time.Millisecond, Scale: time.Duration(scaleMs) * time.Millisecond, Sigma: 0.7}
+		rng := rand.New(rand.NewSource(seed))
+		v := d.Sample(rng)
+		if scaleMs == 0 {
+			return v == d.Base
+		}
+		return v >= d.Base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every profile returned by Profiles supports the paper's eight
+// non-WebSocket APIs minus DOM-only gaps; i.e. XHR, DOM, FlashHTTP,
+// FlashSocket, JavaHTTP, JavaSocket are universal.
+func TestQuickUniversalAPIs(t *testing.T) {
+	for _, p := range Profiles() {
+		for _, api := range []API{APIXHR, APIDOM, APIFlashHTTP, APIFlashSocket, APIJavaHTTP, APIJavaSocket, APIJavaUDP} {
+			if !p.Supports(api) {
+				t.Fatalf("%s lacks %v", p.Label(), api)
+			}
+		}
+	}
+}
+
+func TestModernProfile(t *testing.T) {
+	m := ModernProfile(Windows)
+	if !m.WebSocket || !m.Supports(APIWebSocket) {
+		t.Fatal("modern profile must support WebSocket")
+	}
+	if m.Supports(APIFlashHTTP) || m.Supports(APIJavaSocket) {
+		t.Fatal("modern profile must not host plugins")
+	}
+	// Modern XHR is far cheaper than the 2013 generation's.
+	old := Lookup(Chrome, Windows)
+	mm := medianCost(t, func(rng *rand.Rand) time.Duration {
+		return m.SendCost(APIXHR, 2, false, rng) + m.RecvCost(APIXHR, rng)
+	})
+	om := medianCost(t, func(rng *rand.Rand) time.Duration {
+		return old.SendCost(APIXHR, 2, false, rng) + old.RecvCost(APIXHR, rng)
+	})
+	if mm >= om/2 {
+		t.Fatalf("modern XHR %.2f ms should be well below 2013's %.2f ms", mm, om)
+	}
+	// And it is absent from the Table 2 matrix.
+	for _, p := range Profiles() {
+		if p.Version == "evergreen" {
+			t.Fatal("modern profile leaked into Profiles()")
+		}
+	}
+}

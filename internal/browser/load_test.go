@@ -1,0 +1,79 @@
+package browser
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/stats"
+)
+
+func medianLoaded(t *testing.T, p *Profile, api API) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	var s []float64
+	for i := 0; i < 2000; i++ {
+		s = append(s, stats.Ms(p.SendCost(api, 2, false, rng)+p.RecvCost(api, rng)))
+	}
+	return stats.Median(s)
+}
+
+func TestLoadInflatesOverheads(t *testing.T) {
+	idle := Lookup(Chrome, Windows)
+	busy := idle.WithLoad(1.0)
+	for _, api := range []API{APIXHR, APIFlashHTTP, APIJavaHTTP} {
+		mi, mb := medianLoaded(t, idle, api), medianLoaded(t, busy, api)
+		if mb <= mi {
+			t.Errorf("%v: loaded median %.2f should exceed idle %.2f", api, mb, mi)
+		}
+	}
+}
+
+func TestLoadHitsPluginsHardest(t *testing.T) {
+	idle := Lookup(Chrome, Windows)
+	busy := idle.WithLoad(1.0)
+	ratio := func(api API) float64 {
+		return medianLoaded(t, busy, api) / medianLoaded(t, idle, api)
+	}
+	js, flash := ratio(APIXHR), ratio(APIFlashHTTP)
+	if flash <= js {
+		t.Fatalf("flash degradation %.2fx should exceed native %.2fx", flash, js)
+	}
+}
+
+func TestLoadZeroIsIdentity(t *testing.T) {
+	p := Lookup(Firefox, Ubuntu)
+	q := p.WithLoad(0)
+	if medianLoaded(t, p, APIXHR) != medianLoaded(t, q, APIXHR) {
+		t.Fatal("zero load changed the distribution")
+	}
+}
+
+func TestLoadClamped(t *testing.T) {
+	p := Lookup(Firefox, Ubuntu)
+	over := p.WithLoad(5)
+	max := p.WithLoad(1)
+	// Same seed sequence, same clamp: identical medians.
+	if medianLoaded(t, over, APIXHR) != medianLoaded(t, max, APIXHR) {
+		t.Fatal("load not clamped to 1")
+	}
+	if p.WithLoad(-3).load != 0 {
+		t.Fatal("negative load not clamped to 0")
+	}
+}
+
+func TestLoadDoesNotAffectZeroCosts(t *testing.T) {
+	p := Lookup(Chrome, Windows).WithLoad(1)
+	rng := rand.New(rand.NewSource(1))
+	// Distributions with zero scale stay deterministic zero.
+	d := Dist{}
+	if d.Sample(rng) != 0 {
+		t.Fatal("zero dist sampled nonzero")
+	}
+	if p.applyLoad(APIXHR, 0, rng) != 0 {
+		t.Fatal("applyLoad inflated a zero cost")
+	}
+	if p.applyLoad(APIXHR, -time.Millisecond, rng) != -time.Millisecond {
+		t.Fatal("applyLoad touched a negative adjustment")
+	}
+}

@@ -1,0 +1,198 @@
+package capture
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/browsermetric/browsermetric/internal/netsim"
+)
+
+// ParseFilter compiles a tcpdump-like filter expression into a Filter.
+// The supported grammar is the subset the paper's methodology needs:
+//
+//	expr   := term (("and"|"or") term)*
+//	term   := "not" term | "(" expr ")" | primitive
+//	prim   := "tcp" | "udp" | "ip"
+//	        | ["src"|"dst"] "port" NUM
+//	        | ["src"|"dst"] "host" IPv4
+//
+// "and" binds tighter than "or", as in libpcap. Examples:
+//
+//	tcp port 80
+//	udp and dst port 9001
+//	not (port 80 or port 8080)
+//	src host 192.168.1.10 and tcp
+func ParseFilter(expr string) (Filter, error) {
+	toks, err := tokenize(expr)
+	if err != nil {
+		return nil, err
+	}
+	p := &filterParser{toks: toks}
+	f, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("capture: unexpected token %q", p.toks[p.pos])
+	}
+	return f, nil
+}
+
+func tokenize(expr string) ([]string, error) {
+	expr = strings.ReplaceAll(expr, "(", " ( ")
+	expr = strings.ReplaceAll(expr, ")", " ) ")
+	fields := strings.Fields(strings.ToLower(expr))
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("capture: empty filter expression")
+	}
+	return fields, nil
+}
+
+type filterParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *filterParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *filterParser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *filterParser) parseOr() (Filter, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "or" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l, r := left, right
+		left = func(pk *netsim.Packet) bool { return l(pk) || r(pk) }
+	}
+	return left, nil
+}
+
+func (p *filterParser) parseAnd() (Filter, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "and" {
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l, r := left, right
+		left = func(pk *netsim.Packet) bool { return l(pk) && r(pk) }
+	}
+	return left, nil
+}
+
+func (p *filterParser) parseTerm() (Filter, error) {
+	switch tok := p.next(); tok {
+	case "":
+		return nil, fmt.Errorf("capture: unexpected end of filter")
+	case "not":
+		inner, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return func(pk *netsim.Packet) bool { return !inner(pk) }, nil
+	case "(":
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("capture: missing closing parenthesis")
+		}
+		return inner, nil
+	case "tcp":
+		return func(pk *netsim.Packet) bool { return pk.TCP != nil }, nil
+	case "udp":
+		return func(pk *netsim.Packet) bool { return pk.UDP != nil }, nil
+	case "ip":
+		return func(pk *netsim.Packet) bool { return pk.IP != nil }, nil
+	case "port":
+		return p.parsePort("")
+	case "host":
+		return p.parseHost("")
+	case "src", "dst":
+		switch kw := p.next(); kw {
+		case "port":
+			return p.parsePort(tok)
+		case "host":
+			return p.parseHost(tok)
+		default:
+			return nil, fmt.Errorf("capture: expected 'port' or 'host' after %q, got %q", tok, kw)
+		}
+	default:
+		return nil, fmt.Errorf("capture: unknown primitive %q", tok)
+	}
+}
+
+func (p *filterParser) parsePort(dir string) (Filter, error) {
+	tok := p.next()
+	n, err := strconv.ParseUint(tok, 10, 16)
+	if err != nil {
+		return nil, fmt.Errorf("capture: bad port %q", tok)
+	}
+	port := uint16(n)
+	return func(pk *netsim.Packet) bool {
+		var src, dst uint16
+		switch {
+		case pk.TCP != nil:
+			src, dst = pk.TCP.SrcPort, pk.TCP.DstPort
+		case pk.UDP != nil:
+			src, dst = pk.UDP.SrcPort, pk.UDP.DstPort
+		default:
+			return false
+		}
+		switch dir {
+		case "src":
+			return src == port
+		case "dst":
+			return dst == port
+		default:
+			return src == port || dst == port
+		}
+	}, nil
+}
+
+func (p *filterParser) parseHost(dir string) (Filter, error) {
+	tok := p.next()
+	if tok == "" {
+		return nil, fmt.Errorf("capture: missing host address")
+	}
+	// Lazy validation: compare the textual form so the parser stays free
+	// of net dependencies; netip formats canonically.
+	return func(pk *netsim.Packet) bool {
+		if pk.IP == nil {
+			return false
+		}
+		src, dst := pk.IP.Src.String(), pk.IP.Dst.String()
+		switch dir {
+		case "src":
+			return src == tok
+		case "dst":
+			return dst == tok
+		default:
+			return src == tok || dst == tok
+		}
+	}, nil
+}

@@ -1,0 +1,184 @@
+// Package core implements the paper's primary contribution: the appraisal
+// of browser-side delay accuracy. It runs repeated two-round measurements
+// (Figure 1) on the testbed, computes the delay overhead of Eq. 1,
+//
+//	Δd = (tBr − tBs) − (tNr − tNs),
+//
+// by joining browser-level timestamps with capture-level ground truth, and
+// derives the statistics every table and figure of the evaluation reports
+// — plus calibration data and the Section 5 recommendations.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/stats"
+	"github.com/browsermetric/browsermetric/internal/testbed"
+)
+
+// Config describes one experiment: a (method, browser×OS, timing function)
+// cell measured Runs times.
+type Config struct {
+	Method  methods.Kind
+	Profile *browser.Profile
+	// Timing selects the timestamp API; the paper's default is GetTime.
+	Timing browser.TimingFunc
+	// Runs is the repetition count (default 50, as in the paper).
+	Runs int
+	// Gap is the idle time between repetitions (default 10 s). Spreading
+	// the runs over virtual minutes is what lets the Windows getTime
+	// granularity regimes show up within one experiment.
+	Gap time.Duration
+	// Warp advances the testbed clock before the first run (e.g. to park
+	// inside a particular granularity regime).
+	Warp time.Duration
+	// Testbed overrides testbed parameters; zero values use the paper's.
+	Testbed testbed.Config
+}
+
+func (c *Config) fillDefaults() {
+	if c.Runs == 0 {
+		c.Runs = 50
+	}
+	if c.Gap == 0 {
+		c.Gap = 10 * time.Second
+	}
+}
+
+// Sample is one round of one run: the browser-reported RTT, the wire RTT
+// from the capture, and their difference (the delay overhead).
+type Sample struct {
+	Run   int // 0-based repetition index
+	Round int // 1 (Δd1) or 2 (Δd2)
+
+	BrowserRTT time.Duration
+	WireRTT    time.Duration
+	Overhead   time.Duration
+	// Handshake reports that a fresh TCP connection was opened for this
+	// round's request (Section 4.1's inflation mechanism).
+	Handshake bool
+}
+
+// Experiment is a completed measurement cell.
+type Experiment struct {
+	Config  Config
+	Samples []Sample
+}
+
+// Run executes the experiment on a fresh deterministic testbed.
+func Run(cfg Config) (*Experiment, error) {
+	cfg.fillDefaults()
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("core: Config.Profile is nil")
+	}
+	tb := testbed.New(cfg.Testbed)
+	if cfg.Warp > 0 {
+		tb.Advance(cfg.Warp)
+	}
+	exp := &Experiment{Config: cfg}
+	for run := 0; run < cfg.Runs; run++ {
+		r := &methods.Runner{TB: tb, Profile: cfg.Profile, Timing: cfg.Timing}
+		tb.Cap.Reset()
+		res, err := r.Run(cfg.Method)
+		if err != nil {
+			return nil, fmt.Errorf("core: run %d: %w", run, err)
+		}
+		pairs := tb.Cap.MatchRTT(res.ServerPort)
+		if len(pairs) < methods.Rounds {
+			return nil, fmt.Errorf("core: run %d captured %d wire pairs, want >= %d", run, len(pairs), methods.Rounds)
+		}
+		// The last Rounds pairs are the probes (earlier ones belong to
+		// preparation: container fetch or WebSocket upgrade).
+		pairs = pairs[len(pairs)-methods.Rounds:]
+		for round := 1; round <= methods.Rounds; round++ {
+			wp := pairs[round-1]
+			browserRTT := res.BrowserRTT(round)
+			exp.Samples = append(exp.Samples, Sample{
+				Run:        run,
+				Round:      round,
+				BrowserRTT: browserRTT,
+				WireRTT:    wp.RTT(),
+				Overhead:   browserRTT - wp.RTT(),
+				// NewConnRounds is authoritative: the capture also sees
+				// preparation-phase SYNs (socket methods dial their echo
+				// connection just before probe 1), but those handshakes
+				// happen outside the timed window.
+				Handshake: res.NewConnRounds[round-1],
+			})
+		}
+		tb.Advance(cfg.Gap)
+	}
+	return exp, nil
+}
+
+// Overheads returns the Δd samples of one round in milliseconds.
+func (e *Experiment) Overheads(round int) []float64 {
+	var out []float64
+	for _, s := range e.Samples {
+		if s.Round == round {
+			out = append(out, stats.Ms(s.Overhead))
+		}
+	}
+	return out
+}
+
+// Box returns the Figure 3 box summary of one round's overheads.
+func (e *Experiment) Box(round int) stats.Box { return stats.NewBox(e.Overheads(round)) }
+
+// CDF returns the Figure 4 CDF of one round's overheads.
+func (e *Experiment) CDF(round int) *stats.CDF { return stats.NewCDF(e.Overheads(round)) }
+
+// MeanCI returns the Table 4 mean ± 95% CI of one round's overheads (ms).
+func (e *Experiment) MeanCI(round int) (mean, half float64) {
+	return stats.MeanCI95(e.Overheads(round))
+}
+
+// MedianOverhead returns the median Δd of a round (ms), the Table 3 unit.
+func (e *Experiment) MedianOverhead(round int) float64 {
+	return stats.Median(e.Overheads(round))
+}
+
+// HandshakeRounds counts per round how many runs opened a fresh TCP
+// connection for the probe.
+func (e *Experiment) HandshakeRounds() [methods.Rounds]int {
+	var out [methods.Rounds]int
+	for _, s := range e.Samples {
+		if s.Handshake {
+			out[s.Round-1]++
+		}
+	}
+	return out
+}
+
+// JitterInflation estimates how much the method inflates jitter
+// measurements: the standard deviation of the overhead (ms) per round.
+// A perfectly stable overhead cancels in jitter computations; a noisy one
+// is indistinguishable from network jitter (Section 2.2).
+func (e *Experiment) JitterInflation(round int) float64 {
+	return stats.StdDev(e.Overheads(round))
+}
+
+// ThroughputBias returns the median multiplicative error a round-trip
+// throughput estimate suffers when computed from browser RTTs instead of
+// wire RTTs: wireRTT/browserRTT (1.0 = unbiased, 0.5 = halved estimate).
+func (e *Experiment) ThroughputBias(round int) float64 {
+	var ratios []float64
+	for _, s := range e.Samples {
+		if s.Round == round && s.BrowserRTT > 0 {
+			ratios = append(ratios, float64(s.WireRTT)/float64(s.BrowserRTT))
+		}
+	}
+	if len(ratios) == 0 {
+		return 1
+	}
+	return stats.Median(ratios)
+}
+
+// Bimodal reports whether a round's overheads split into two levels at
+// least 10 ms apart (the Figure 4 granularity signature).
+func (e *Experiment) Bimodal(round int) bool {
+	return stats.Bimodal(e.Overheads(round), 3, 10, 0.08)
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/stats"
+)
+
+// quickExp runs a small experiment for tests.
+func quickExp(t *testing.T, kind methods.Kind, b browser.Name, os browser.OS, timing browser.TimingFunc, runs int) *Experiment {
+	t.Helper()
+	prof := browser.Lookup(b, os)
+	if prof == nil {
+		t.Fatalf("no profile for %v/%v", b, os)
+	}
+	exp, err := Run(Config{Method: kind, Profile: prof, Timing: timing, Runs: runs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+func TestRunProducesTwoRoundsPerRun(t *testing.T) {
+	exp := quickExp(t, methods.XHRGet, browser.Chrome, browser.Ubuntu, browser.NanoTime, 10)
+	if len(exp.Samples) != 20 {
+		t.Fatalf("samples = %d, want 20", len(exp.Samples))
+	}
+	if len(exp.Overheads(1)) != 10 || len(exp.Overheads(2)) != 10 {
+		t.Fatal("per-round sample counts wrong")
+	}
+	for _, s := range exp.Samples {
+		if s.WireRTT < 50*time.Millisecond || s.WireRTT > 55*time.Millisecond {
+			t.Fatalf("wire RTT %v outside testbed expectation", s.WireRTT)
+		}
+		if s.Overhead != s.BrowserRTT-s.WireRTT {
+			t.Fatal("Eq. 1 violated")
+		}
+	}
+}
+
+func TestRunRejectsNilProfile(t *testing.T) {
+	if _, err := Run(Config{Method: methods.XHRGet}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDeterministicAcrossInvocations(t *testing.T) {
+	a := quickExp(t, methods.WebSocket, browser.Firefox, browser.Ubuntu, browser.NanoTime, 8)
+	b := quickExp(t, methods.WebSocket, browser.Firefox, browser.Ubuntu, browser.NanoTime, 8)
+	for i := range a.Samples {
+		if a.Samples[i].Overhead != b.Samples[i].Overhead {
+			t.Fatalf("sample %d differs: %v vs %v", i, a.Samples[i].Overhead, b.Samples[i].Overhead)
+		}
+	}
+}
+
+func TestSocketBeatsHTTPOrdering(t *testing.T) {
+	// The paper's central result on one combo: Δd2 medians order as
+	// socket < DOM < XHR < Flash HTTP.
+	runs := 25
+	ws := quickExp(t, methods.WebSocket, browser.Chrome, browser.Ubuntu, browser.NanoTime, runs).MedianOverhead(2)
+	dom := quickExp(t, methods.DOM, browser.Chrome, browser.Ubuntu, browser.NanoTime, runs).MedianOverhead(2)
+	xhr := quickExp(t, methods.XHRGet, browser.Chrome, browser.Ubuntu, browser.NanoTime, runs).MedianOverhead(2)
+	flash := quickExp(t, methods.FlashGet, browser.Chrome, browser.Ubuntu, browser.NanoTime, runs).MedianOverhead(2)
+	if !(ws < dom && dom < xhr && xhr < flash) {
+		t.Fatalf("ordering violated: ws=%.2f dom=%.2f xhr=%.2f flash=%.2f", ws, dom, xhr, flash)
+	}
+	if ws > 1 {
+		t.Fatalf("WebSocket median %.2f ms, want sub-millisecond", ws)
+	}
+}
+
+func TestTable3OperaFlashShape(t *testing.T) {
+	get := quickExp(t, methods.FlashGet, browser.Opera, browser.Windows, browser.GetTime, 20)
+	post := quickExp(t, methods.FlashPost, browser.Opera, browser.Windows, browser.GetTime, 20)
+
+	g1, g2 := get.MedianOverhead(1), get.MedianOverhead(2)
+	p1, p2 := post.MedianOverhead(1), post.MedianOverhead(2)
+
+	// Table 3 shape: Δd1 > 100 ms for both; GET Δd2 ≈ 20 ms; POST Δd2 ≈
+	// GET Δd2 + 50 ms (the handshake).
+	if g1 < 80 || p1 < 80 {
+		t.Fatalf("Δd1 medians %.1f / %.1f, want > 80 ms", g1, p1)
+	}
+	if g2 > 45 {
+		t.Fatalf("GET Δd2 = %.1f, want well below Δd1", g2)
+	}
+	if diff := p2 - 50 - g2; diff < -15 || diff > 15 {
+		t.Fatalf("POST Δd2 − 50ms = %.1f should approximate GET Δd2 = %.1f", p2-50, g2)
+	}
+	// Handshake accounting matches the mechanism.
+	hs := get.HandshakeRounds()
+	if hs[0] != 20 || hs[1] != 0 {
+		t.Fatalf("GET handshake rounds = %v, want [20 0]", hs)
+	}
+	hsPost := post.HandshakeRounds()
+	if hsPost[0] != 20 || hsPost[1] != 20 {
+		t.Fatalf("POST handshake rounds = %v, want [20 20]", hsPost)
+	}
+}
+
+func TestFig4JavaSocketBimodalOnWindows(t *testing.T) {
+	// Runs spread over ~8 virtual minutes cross both granularity regimes,
+	// producing the two discrete Δd levels ~16 ms apart.
+	exp := quickExp(t, methods.JavaTCP, browser.Firefox, browser.Windows, browser.GetTime, 50)
+	if !exp.Bimodal(1) && !exp.Bimodal(2) {
+		t.Fatalf("Java socket overheads not bimodal: d1=%v", exp.Overheads(1))
+	}
+	// And negative overheads exist (RTT under-estimation).
+	neg := 0
+	for _, v := range exp.Overheads(1) {
+		if v < -1 {
+			neg++
+		}
+	}
+	if neg == 0 {
+		t.Fatal("no negative overheads with getTime on Windows")
+	}
+}
+
+func TestTable4NanoTimeFixes(t *testing.T) {
+	// With System.nanoTime the under-estimation disappears and the socket
+	// overhead is comparable to the capturer's own accuracy (~0.3 ms).
+	exp := quickExp(t, methods.JavaTCP, browser.Chrome, browser.Windows, browser.NanoTime, 30)
+	for round := 1; round <= 2; round++ {
+		mean, half := exp.MeanCI(round)
+		if mean < 0 {
+			t.Fatalf("round %d mean %.3f negative with nanoTime", round, mean)
+		}
+		if mean > 0.5 {
+			t.Fatalf("round %d mean %.3f ms, want ~0.01-0.1", round, mean)
+		}
+		if half > 0.2 {
+			t.Fatalf("round %d CI half-width %.3f too wide", round, half)
+		}
+	}
+	if exp.Bimodal(1) || exp.Bimodal(2) {
+		t.Fatal("nanoTime samples must not be bimodal")
+	}
+	// GET shape: Δd2 > Δd1 per Table 4.
+	get := quickExp(t, methods.JavaGet, browser.Chrome, browser.Windows, browser.NanoTime, 30)
+	m1, _ := get.MeanCI(1)
+	m2, _ := get.MeanCI(2)
+	if !(m2 > m1) {
+		t.Fatalf("Java GET means d1=%.2f d2=%.2f, want d2 > d1", m1, m2)
+	}
+}
+
+func TestJitterAndThroughputImpact(t *testing.T) {
+	flash := quickExp(t, methods.FlashGet, browser.Firefox, browser.Windows, browser.NanoTime, 20)
+	sock := quickExp(t, methods.JavaTCP, browser.Firefox, browser.Windows, browser.NanoTime, 20)
+	if flash.JitterInflation(2) <= sock.JitterInflation(2) {
+		t.Fatalf("flash jitter %.2f should exceed socket jitter %.4f",
+			flash.JitterInflation(2), sock.JitterInflation(2))
+	}
+	fb, sb := flash.ThroughputBias(2), sock.ThroughputBias(2)
+	if fb >= sb {
+		t.Fatalf("flash throughput bias %.3f should be below socket %.3f", fb, sb)
+	}
+	if sb < 0.98 || sb > 1.0 {
+		t.Fatalf("socket throughput bias = %.4f, want ~1", sb)
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	exp := quickExp(t, methods.XHRGet, browser.Chrome, browser.Ubuntu, browser.NanoTime, 25)
+	cal := exp.Calibrate()
+	if cal.Method != methods.XHRGet || cal.Label != "C (U)" {
+		t.Fatalf("calibration identity wrong: %+v", cal)
+	}
+	// Correcting a browser RTT by the median overhead should land near
+	// the true wire RTT for the median sample.
+	med := time.Duration(cal.MedianOverhead[1] * float64(time.Millisecond))
+	browserRTT := 50*time.Millisecond + med
+	corrected := cal.Correct(browserRTT, 2)
+	if corrected < 49*time.Millisecond || corrected > 51*time.Millisecond {
+		t.Fatalf("corrected RTT = %v, want ~50ms", corrected)
+	}
+}
+
+func TestCalibratability(t *testing.T) {
+	sock := quickExp(t, methods.JavaTCP, browser.Chrome, browser.Windows, browser.NanoTime, 20).Calibrate()
+	if !sock.Calibratable(2) {
+		t.Fatalf("Java socket should be calibratable: IQR=%v", sock.IQR)
+	}
+	flash := quickExp(t, methods.FlashGet, browser.Firefox, browser.Windows, browser.NanoTime, 20).Calibrate()
+	if flash.Calibratable(2) {
+		t.Fatalf("Flash HTTP should not be calibratable: IQR=%v", flash.IQR)
+	}
+}
+
+func TestStudySmall(t *testing.T) {
+	st, err := RunStudy(StudyOptions{
+		Methods:  []methods.Kind{methods.WebSocket, methods.FlashGet, methods.JavaTCP},
+		Profiles: browser.Profiles(),
+		Timing:   browser.NanoTime,
+		Runs:     6,
+		Gap:      2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Cells) != 3*8 {
+		t.Fatalf("cells = %d, want 24", len(st.Cells))
+	}
+	// WebSocket cells for IE/Safari must be skipped (Table 2).
+	for _, label := range []string{"IE (W)", "S (W)"} {
+		c := st.Cell(methods.WebSocket, label)
+		if c == nil || !c.Skipped {
+			t.Fatalf("WebSocket on %s should be skipped", label)
+		}
+	}
+	if got := len(st.MethodCells(methods.WebSocket)); got != 6 {
+		t.Fatalf("WebSocket ran on %d combos, want 6", got)
+	}
+	if got := len(st.MethodCells(methods.JavaTCP)); got != 8 {
+		t.Fatalf("Java TCP ran on %d combos, want 8", got)
+	}
+}
+
+func TestRecommendReflectsSection5(t *testing.T) {
+	st, err := RunStudy(StudyOptions{
+		Methods: []methods.Kind{
+			methods.XHRGet, methods.DOM, methods.WebSocket,
+			methods.FlashGet, methods.FlashPost, methods.JavaTCP,
+		},
+		Timing: browser.NanoTime,
+		Runs:   8,
+		Gap:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Recommend(st)
+	// Socket methods win overall; the native pick is WebSocket or DOM.
+	if rec.BestMethod != methods.JavaTCP && rec.BestMethod != methods.WebSocket {
+		t.Fatalf("best method = %v, want a socket method", rec.BestMethod)
+	}
+	if rec.BestNative != methods.WebSocket && rec.BestNative != methods.DOM {
+		t.Fatalf("best native = %v", rec.BestNative)
+	}
+	// Flash HTTP methods must be flagged as uncalibratable.
+	flagged := map[methods.Kind]bool{}
+	for _, k := range rec.AvoidMethods {
+		flagged[k] = true
+	}
+	if !flagged[methods.FlashGet] || !flagged[methods.FlashPost] {
+		t.Fatalf("avoid list %v must include Flash GET/POST", rec.AvoidMethods)
+	}
+	if flagged[methods.WebSocket] || flagged[methods.JavaTCP] {
+		t.Fatalf("avoid list %v must not include socket methods", rec.AvoidMethods)
+	}
+	if len(rec.BestBrowser) != 2 {
+		t.Fatalf("best browser per OS = %v", rec.BestBrowser)
+	}
+	if len(rec.Notes) == 0 {
+		t.Fatal("no notes")
+	}
+}
+
+func TestScoreLowerIsBetter(t *testing.T) {
+	ws := Cell{Exp: quickExp(t, methods.WebSocket, browser.Chrome, browser.Ubuntu, browser.NanoTime, 10)}
+	fl := Cell{Exp: quickExp(t, methods.FlashGet, browser.Chrome, browser.Ubuntu, browser.NanoTime, 10)}
+	if ws.Score() >= fl.Score() {
+		t.Fatalf("WebSocket score %.2f should be below Flash %.2f", ws.Score(), fl.Score())
+	}
+}
+
+func TestOverheadStatsHelpers(t *testing.T) {
+	exp := quickExp(t, methods.DOM, browser.Chrome, browser.Ubuntu, browser.NanoTime, 12)
+	b := exp.Box(2)
+	if b.N != 12 {
+		t.Fatalf("box N = %d", b.N)
+	}
+	c := exp.CDF(2)
+	if c.At(b.Max) != 1 {
+		t.Fatal("CDF at max != 1")
+	}
+	if got := exp.MedianOverhead(2); got != b.Median {
+		t.Fatalf("median mismatch %v vs %v", got, b.Median)
+	}
+	_ = stats.Ms(time.Millisecond)
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/methods"
+)
+
+func smallStudy(t *testing.T) *Study {
+	t.Helper()
+	st, err := RunStudy(StudyOptions{
+		Methods: []methods.Kind{methods.WebSocket, methods.JavaTCP},
+		Runs:    4,
+		Gap:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestWriteCSV(t *testing.T) {
+	st := smallStudy(t)
+	var buf bytes.Buffer
+	if err := st.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + (WS on 6 combos + JavaTCP on 8 combos) × 4 runs × 2 rounds.
+	want := 1 + (6+8)*4*2
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	if rows[0][0] != "method" || rows[0][8] != "handshake" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	// Every data row parses and satisfies Eq. 1.
+	for _, r := range rows[1:] {
+		browserMs, err1 := strconv.ParseFloat(r[5], 64)
+		wireMs, err2 := strconv.ParseFloat(r[6], 64)
+		ovMs, err3 := strconv.ParseFloat(r[7], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("unparseable row %v", r)
+		}
+		if d := browserMs - wireMs - ovMs; d > 0.001 || d < -0.001 {
+			t.Fatalf("Eq.1 violated in CSV row %v", r)
+		}
+	}
+}
+
+func TestSummaryCSV(t *testing.T) {
+	st := smallStudy(t)
+	var buf bytes.Buffer
+	if err := st.SummaryCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + (6+8)*2 // header + cells × rounds
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	// Box ordering invariant inside each row: q1 <= median <= q3.
+	for _, r := range rows[1:] {
+		q1, _ := strconv.ParseFloat(r[6], 64)
+		med, _ := strconv.ParseFloat(r[7], 64)
+		q3, _ := strconv.ParseFloat(r[8], 64)
+		if !(q1 <= med && med <= q3) {
+			t.Fatalf("quartiles out of order in %v", r)
+		}
+	}
+}
+
+func TestExperimentWriteCSV(t *testing.T) {
+	exp := quickExp(t, methods.DOM, browser.Chrome, browser.Ubuntu, browser.NanoTime, 5)
+	var buf bytes.Buffer
+	if err := exp.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DOM") {
+		t.Fatal("method name missing from experiment CSV")
+	}
+	lines := strings.Count(strings.TrimSpace(buf.String()), "\n")
+	if lines != 10 { // 5 runs × 2 rounds (header adds the 11th line - 1)
+		t.Fatalf("data lines = %d, want 10", lines)
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/stats"
+	"github.com/browsermetric/browsermetric/internal/testbed"
+)
+
+// Attribution decomposes one overhead sample into its mechanisms: the
+// send path (engine/plugin work before the request hits the stack), the
+// receive path (event dispatch before tBr), the connection handshake when
+// a fresh TCP connection was opened, and a residual dominated by the
+// timing API's quantization error (plus sub-ms stack/wire effects).
+type Attribution struct {
+	SendPath  time.Duration
+	RecvPath  time.Duration
+	Handshake time.Duration
+	Residual  time.Duration
+}
+
+// Attribute decomposes a sample. handshakeRTT is the path RTT a fresh
+// connection's SYN/SYN-ACK costs (the testbed's RTTBase); it is counted
+// only for samples flagged Handshake.
+func Attribute(s Sample, sendCost, recvCost, handshakeRTT time.Duration) Attribution {
+	a := Attribution{SendPath: sendCost, RecvPath: recvCost}
+	if s.Handshake {
+		a.Handshake = handshakeRTT
+	}
+	a.Residual = s.Overhead - a.SendPath - a.RecvPath - a.Handshake
+	return a
+}
+
+// AttributedSample pairs a sample with its decomposition.
+type AttributedSample struct {
+	Sample
+	Attribution
+}
+
+// RunAttributed is Run plus per-sample attribution: it returns the
+// experiment and the decomposed samples in the same order.
+func RunAttributed(cfg Config) (*Experiment, []AttributedSample, error) {
+	cfg.fillDefaults()
+	if cfg.Profile == nil {
+		return nil, nil, fmt.Errorf("core: Config.Profile is nil")
+	}
+	tb := testbed.New(cfg.Testbed)
+	if cfg.Warp > 0 {
+		tb.Advance(cfg.Warp)
+	}
+	exp := &Experiment{Config: cfg}
+	var attributed []AttributedSample
+	for run := 0; run < cfg.Runs; run++ {
+		r := &methods.Runner{TB: tb, Profile: cfg.Profile, Timing: cfg.Timing}
+		tb.Cap.Reset()
+		res, err := r.Run(cfg.Method)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: run %d: %w", run, err)
+		}
+		pairs := tb.Cap.MatchRTT(res.ServerPort)
+		if len(pairs) < methods.Rounds {
+			return nil, nil, fmt.Errorf("core: run %d captured %d wire pairs", run, len(pairs))
+		}
+		pairs = pairs[len(pairs)-methods.Rounds:]
+		for round := 1; round <= methods.Rounds; round++ {
+			wp := pairs[round-1]
+			s := Sample{
+				Run:        run,
+				Round:      round,
+				BrowserRTT: res.BrowserRTT(round),
+				WireRTT:    wp.RTT(),
+				Handshake:  res.NewConnRounds[round-1],
+			}
+			s.Overhead = s.BrowserRTT - s.WireRTT
+			exp.Samples = append(exp.Samples, s)
+			attributed = append(attributed, AttributedSample{
+				Sample:      s,
+				Attribution: Attribute(s, res.SendCosts[round-1], res.RecvCosts[round-1], tb.RTTBase()),
+			})
+		}
+		tb.Advance(cfg.Gap)
+	}
+	return exp, attributed, nil
+}
+
+// JitterImpact compares the jitter a tool would report against the true
+// wire jitter, over a K-probe train. Jitter is the mean absolute
+// difference of consecutive RTTs (RFC 3393-style IPDV magnitude).
+type JitterImpact struct {
+	Probes        int
+	BrowserJitter float64 // ms
+	WireJitter    float64 // ms
+}
+
+// Inflation is the jitter the browser side added (ms).
+func (j JitterImpact) Inflation() float64 { return j.BrowserJitter - j.WireJitter }
+
+// MeasureJitter runs a probe train and computes both jitters.
+func MeasureJitter(cfg Config, probes int) (JitterImpact, error) {
+	cfg.fillDefaults()
+	if cfg.Profile == nil {
+		return JitterImpact{}, fmt.Errorf("core: Config.Profile is nil")
+	}
+	tb := testbed.New(cfg.Testbed)
+	if cfg.Warp > 0 {
+		tb.Advance(cfg.Warp)
+	}
+	r := &methods.Runner{TB: tb, Profile: cfg.Profile, Timing: cfg.Timing}
+	tb.Cap.Reset()
+	train, err := r.RunTrain(cfg.Method, probes)
+	if err != nil {
+		return JitterImpact{}, err
+	}
+	browserRTTs := stats.DurationsToMs(train.BrowserRTTs())
+	pairs := tb.Cap.MatchRTT(train.ServerPort)
+	var wireRTTs []float64
+	for _, p := range pairs {
+		wireRTTs = append(wireRTTs, stats.Ms(p.RTT()))
+	}
+	// Drop the preparation exchange if present (HTTP/WS trains have none
+	// on the probe port beyond the upgrade; align from the tail).
+	if len(wireRTTs) > len(browserRTTs) {
+		wireRTTs = wireRTTs[len(wireRTTs)-len(browserRTTs):]
+	}
+	return JitterImpact{
+		Probes:        probes,
+		BrowserJitter: ipdv(browserRTTs),
+		WireJitter:    ipdv(wireRTTs),
+	}, nil
+}
+
+// ipdv returns the mean absolute consecutive difference.
+func ipdv(rtts []float64) float64 {
+	if len(rtts) < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 1; i < len(rtts); i++ {
+		d := rtts[i] - rtts[i-1]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(rtts)-1)
+}
+
+// ThroughputImpact compares tool-computed and wire-level round-trip
+// throughput for a bulk transfer.
+type ThroughputImpact struct {
+	Bytes        int
+	BrowserMbps  float64
+	WireMbps     float64
+	BrowserRTTms float64
+	WireRTTms    float64
+}
+
+// Bias is browser/wire throughput (1.0 = unbiased).
+func (t ThroughputImpact) Bias() float64 {
+	if t.WireMbps == 0 {
+		return 0
+	}
+	return t.BrowserMbps / t.WireMbps
+}
+
+// MeasureThroughput runs one bulk transfer and compares both estimates.
+func MeasureThroughput(cfg Config, size int) (ThroughputImpact, error) {
+	cfg.fillDefaults()
+	if cfg.Profile == nil {
+		return ThroughputImpact{}, fmt.Errorf("core: Config.Profile is nil")
+	}
+	tb := testbed.New(cfg.Testbed)
+	if cfg.Warp > 0 {
+		tb.Advance(cfg.Warp)
+	}
+	r := &methods.Runner{TB: tb, Profile: cfg.Profile, Timing: cfg.Timing}
+	tb.Cap.Reset()
+	res, err := r.RunThroughput(cfg.Method, size)
+	if err != nil {
+		return ThroughputImpact{}, err
+	}
+	tr, ok := tb.Cap.MatchTransfer(res.ServerPort)
+	if !ok {
+		return ThroughputImpact{}, fmt.Errorf("core: capture saw no transfer")
+	}
+	return ThroughputImpact{
+		Bytes:        res.Bytes,
+		BrowserMbps:  res.BrowserThroughput() / 1e6,
+		WireMbps:     tr.BitsPerSecond() / 1e6,
+		BrowserRTTms: stats.Ms(res.TBr - res.TBs),
+		WireRTTms:    stats.Ms(tr.Duration()),
+	}, nil
+}
+
+// LossImpact compares tool-reported and capture-observed loss over a UDP
+// probe train (Section 2's claim: overheads inflate delay, not loss).
+type LossImpact struct {
+	Probes      int
+	BrowserLoss float64 // fraction the tool reports
+	WireLoss    float64 // fraction the capture observes
+	LinkDropped int     // frames the lossy link actually discarded
+}
+
+// MeasureLoss runs a UDP train under the configured link loss rate.
+func MeasureLoss(cfg Config, probes int) (LossImpact, error) {
+	cfg.fillDefaults()
+	if cfg.Profile == nil {
+		return LossImpact{}, fmt.Errorf("core: Config.Profile is nil")
+	}
+	if cfg.Method != methods.JavaUDP {
+		return LossImpact{}, fmt.Errorf("core: loss measurement needs the Java UDP method")
+	}
+	tb := testbed.New(cfg.Testbed)
+	if cfg.Warp > 0 {
+		tb.Advance(cfg.Warp)
+	}
+	r := &methods.Runner{TB: tb, Profile: cfg.Profile, Timing: cfg.Timing}
+	tb.Cap.Reset()
+	train, err := r.RunTrain(methods.JavaUDP, probes)
+	if err != nil {
+		return LossImpact{}, err
+	}
+	sent, lost := tb.Cap.CountUnanswered(train.ServerPort)
+	li := LossImpact{
+		Probes:      probes,
+		BrowserLoss: train.LossRate(),
+		LinkDropped: tb.ServerLink.Dropped,
+	}
+	if sent > 0 {
+		li.WireLoss = float64(lost) / float64(sent)
+	}
+	return li, nil
+}
+
+// AttributionReport renders mean attribution per round for an experiment
+// configuration — the Section 4 "detailed investigation" view.
+func AttributionReport(cfg Config) (string, error) {
+	_, attributed, err := RunAttributed(cfg)
+	if err != nil {
+		return "", err
+	}
+	spec := methods.Get(cfg.Method)
+	out := fmt.Sprintf("Overhead attribution: %s on %s (%v, %d runs)\n",
+		spec.Name, cfg.Profile.Label(), cfg.Timing, cfg.Runs)
+	out += fmt.Sprintf("  %-4s %10s %10s %10s %10s %10s\n",
+		"Δd", "total", "sendPath", "recvPath", "handshake", "residual")
+	for round := 1; round <= methods.Rounds; round++ {
+		var tot, snd, rcv, hs, resid []float64
+		for _, a := range attributed {
+			if a.Round != round {
+				continue
+			}
+			tot = append(tot, stats.Ms(a.Overhead))
+			snd = append(snd, stats.Ms(a.SendPath))
+			rcv = append(rcv, stats.Ms(a.RecvPath))
+			hs = append(hs, stats.Ms(a.Attribution.Handshake))
+			resid = append(resid, stats.Ms(a.Residual))
+		}
+		out += fmt.Sprintf("  Δd%-3d %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+			round, stats.Mean(tot), stats.Mean(snd), stats.Mean(rcv), stats.Mean(hs), stats.Mean(resid))
+	}
+	return out, nil
+}

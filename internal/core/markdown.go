@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/browsermetric/browsermetric/internal/methods"
+)
+
+// MarkdownReport renders a complete study as a self-contained Markdown
+// document: the configuration matrix, a median-overhead matrix (the
+// compact form of Figure 3), per-method calibration verdicts and the
+// derived Section 5 recommendations.
+func MarkdownReport(st *Study) string {
+	var b strings.Builder
+	b.WriteString("# Browser-based RTT measurement: delay-overhead appraisal\n\n")
+	fmt.Fprintf(&b, "Methods: %d · Browser×OS combos: %d · Runs per cell: %d · Timing API: %v\n\n",
+		len(st.Options.Methods), len(st.Options.Profiles), orDefault(st.Options.Runs, 50), st.Options.Timing)
+
+	// Configuration matrix (Table 2).
+	b.WriteString("## Environments (Table 2)\n\n")
+	b.WriteString("| OS | Browser | Version | Flash | Java | WebSocket |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, p := range st.Options.Profiles {
+		ws := "yes"
+		if !p.WebSocket {
+			ws = "no"
+		}
+		fmt.Fprintf(&b, "| %v | %v | %s | %s | %s | %s |\n",
+			p.OS, p.Browser, p.Version, p.FlashVersion, p.JavaVersion, ws)
+	}
+
+	// Median overhead matrix (compact Figure 3).
+	b.WriteString("\n## Median delay overhead Δd2 (Δd1) in ms — compact Figure 3\n\n")
+	b.WriteString("| Method |")
+	for _, p := range st.Options.Profiles {
+		fmt.Fprintf(&b, " %s |", p.Label())
+	}
+	b.WriteString("\n|---|")
+	b.WriteString(strings.Repeat("---|", len(st.Options.Profiles)))
+	b.WriteString("\n")
+	for _, kind := range st.Options.Methods {
+		spec := methods.Get(kind)
+		fmt.Fprintf(&b, "| %s |", spec.Name)
+		for _, p := range st.Options.Profiles {
+			c := st.Cell(kind, p.Label())
+			if c == nil || c.Skipped {
+				b.WriteString(" — |")
+				continue
+			}
+			fmt.Fprintf(&b, " %.1f (%.1f) |", c.Exp.MedianOverhead(2), c.Exp.MedianOverhead(1))
+		}
+		b.WriteString("\n")
+	}
+
+	// Calibration verdicts.
+	b.WriteString("\n## Calibration verdicts (Δd2 stability)\n\n")
+	b.WriteString("| Method | Combos calibratable | Worst IQR (ms) |\n|---|---|---|\n")
+	for _, kind := range st.Options.Methods {
+		cells := st.MethodCells(kind)
+		if len(cells) == 0 {
+			continue
+		}
+		ok := 0
+		worst := 0.0
+		for _, c := range cells {
+			cal := c.Exp.Calibrate()
+			if cal.Calibratable(2) {
+				ok++
+			}
+			if iqr := cal.IQR[1]; iqr > worst {
+				worst = iqr
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %d/%d | %.2f |\n", methods.Get(kind).Name, ok, len(cells), worst)
+	}
+
+	// Recommendations.
+	rec := Recommend(st)
+	b.WriteString("\n## Recommendations (derived Section 5)\n\n")
+	fmt.Fprintf(&b, "- **Best method overall:** %v\n", rec.BestMethod)
+	fmt.Fprintf(&b, "- **Best plugin-free method:** %v\n", rec.BestNative)
+	for os, name := range rec.BestBrowser {
+		fmt.Fprintf(&b, "- **Preferred browser on %s:** %v\n", os, name)
+	}
+	if len(rec.AvoidMethods) > 0 {
+		names := make([]string, len(rec.AvoidMethods))
+		for i, k := range rec.AvoidMethods {
+			names[i] = methods.Get(k).Name
+		}
+		fmt.Fprintf(&b, "- **Avoid (uncalibratable):** %s\n", strings.Join(names, ", "))
+	}
+	for _, n := range rec.Notes {
+		fmt.Fprintf(&b, "- %s\n", n)
+	}
+	return b.String()
+}
+
+func orDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/methods"
+)
+
+func TestMarkdownReport(t *testing.T) {
+	st, err := RunStudy(StudyOptions{
+		Methods: []methods.Kind{methods.WebSocket, methods.FlashGet, methods.JavaTCP},
+		Runs:    6,
+		Gap:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := MarkdownReport(st)
+	for _, want := range []string{
+		"# Browser-based RTT measurement",
+		"## Environments (Table 2)",
+		"| OS | Browser |",
+		"## Median delay overhead",
+		"| WebSocket |",
+		"| Flash GET |",
+		"## Calibration verdicts",
+		"## Recommendations",
+		"**Best method overall:**",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// Skipped WebSocket cells (IE/Safari) render as em dashes.
+	if !strings.Contains(md, "—") {
+		t.Error("skipped cells not marked")
+	}
+	// Every table row is well-formed (equal pipe counts in the matrix).
+	var header string
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(line, "| Method |") {
+			header = line
+		}
+		if header != "" && strings.HasPrefix(line, "| WebSocket |") {
+			if strings.Count(line, "|") != strings.Count(header, "|") {
+				t.Errorf("row column count mismatch:\n%s\n%s", header, line)
+			}
+		}
+	}
+}
+
+func TestMarkdownReportOrDefault(t *testing.T) {
+	if orDefault(0, 50) != 50 || orDefault(7, 50) != 7 {
+		t.Fatal("orDefault broken")
+	}
+}

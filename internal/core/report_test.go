@@ -1,0 +1,181 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/clock"
+	"github.com/browsermetric/browsermetric/internal/methods"
+)
+
+func TestTable1Render(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"XHR GET", "WebSocket", "Java applet UDP socket", "Netalyzr", "Speedtest"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	if n := len(strings.Split(strings.TrimSpace(s), "\n")); n != 13 { // title + header + 11 rows
+		t.Fatalf("Table 1 has %d lines", n)
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	s := Table2()
+	for _, want := range []string{"Windows", "Ubuntu", "Chrome", "Safari", "11.7.700", "1.6.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+	// IE and Safari rows say "no" for WebSocket.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "IE") || strings.Contains(line, "Safari") {
+			if !strings.HasSuffix(strings.TrimSpace(line), "no") {
+				t.Errorf("row %q should end with 'no'", line)
+			}
+		}
+	}
+}
+
+func TestFig3Render(t *testing.T) {
+	st, err := RunStudy(StudyOptions{
+		Methods: []methods.Kind{methods.XHRGet, methods.WebSocket},
+		Runs:    5,
+		Gap:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Fig3(st)
+	if !strings.Contains(s, "Figure 3(a): XHR GET") {
+		t.Fatalf("missing subfigure header:\n%s", s)
+	}
+	if !strings.Contains(s, "C (U)") || !strings.Contains(s, "S (W)") {
+		t.Fatal("missing combo rows")
+	}
+	// WebSocket section must not include IE/Safari.
+	wsPart := s[strings.Index(s, "WebSocket"):]
+	if strings.Contains(wsPart, "IE (W)") || strings.Contains(wsPart, "S (W)") {
+		t.Fatal("WebSocket section lists unsupported browsers")
+	}
+}
+
+func TestFig4RowsBimodalInBrowsersAndAppletviewer(t *testing.T) {
+	report, rows, err := Fig4(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 6 environments × 2 rounds
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	if !strings.Contains(report, "appletviewer control") {
+		t.Fatal("missing appletviewer part")
+	}
+	// The discrete-level signature appears both in browsers and in the
+	// appletviewer control (that is the paper's point: the JRE, not the
+	// browser, causes it). Check a couple of environments show >= 2 levels.
+	multi := 0
+	for _, r := range rows {
+		if len(r.Levels) >= 2 {
+			multi++
+		}
+	}
+	if multi < 4 {
+		t.Fatalf("only %d rows show multiple discrete levels:\n%s", multi, report)
+	}
+	// Appletviewer specifically.
+	avMulti := false
+	for _, r := range rows {
+		if r.Label == "AV (W)" && len(r.Levels) >= 2 {
+			avMulti = true
+		}
+	}
+	if !avMulti {
+		t.Fatalf("appletviewer rows lack the bimodal signature:\n%s", report)
+	}
+}
+
+func TestFig5FindsBothGranularities(t *testing.T) {
+	report, distinct := Fig5(14)
+	if len(distinct) != 2 {
+		t.Fatalf("distinct granularities = %v, want two:\n%s", distinct, report)
+	}
+	if distinct[0] != time.Millisecond || distinct[1] != clock.WindowsTimerPeriod {
+		t.Fatalf("granularities = %v, want [1ms %v]", distinct, clock.WindowsTimerPeriod)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	report, vals, err := Table3(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"O (W)", "O (U)"} {
+		v, ok := vals[label]
+		if !ok {
+			t.Fatalf("missing %s in %v", label, vals)
+		}
+		getD1, getD2, postD1, postD2 := v[0], v[1], v[2], v[3]
+		if getD1 < 80 || postD1 < 80 {
+			t.Errorf("%s Δd1 = %.1f/%.1f, want > 80 (handshake + overheads)", label, getD1, postD1)
+		}
+		if getD2 > getD1/2 {
+			t.Errorf("%s GET Δd2 = %.1f should be far below Δd1 %.1f", label, getD2, getD1)
+		}
+		if d := postD2 - 50 - getD2; d < -15 || d > 15 {
+			t.Errorf("%s POST Δd2-50 = %.1f should approximate GET Δd2 %.1f", label, postD2-50, getD2)
+		}
+	}
+	if !strings.Contains(report, "GET Δd1") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	report, vals, err := Table4(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 5 {
+		t.Fatalf("browsers = %d, want 5", len(vals))
+	}
+	for b, row := range vals {
+		get, post, sock := row["GET"], row["POST"], row["Socket"]
+		// All means positive and small; socket ≈ 0.
+		for _, c := range []Table4Cell{get[0], get[1], post[0], post[1], sock[0], sock[1]} {
+			if c.Mean < 0 {
+				t.Errorf("%s: negative mean %v with nanoTime", b, c.Mean)
+			}
+			if c.Mean > 10 {
+				t.Errorf("%s: mean %.2f too large", b, c.Mean)
+			}
+		}
+		if sock[0].Mean > 0.5 || sock[1].Mean > 0.5 {
+			t.Errorf("%s: socket means %.3f/%.3f, want ~0", b, sock[0].Mean, sock[1].Mean)
+		}
+		// Table 4: GET Δd2 > Δd1 for every browser except Safari, whose
+		// Oracle-JRE row has Δd2 (1.52) below Δd1 (1.88).
+		if b != "Safari" && !(get[1].Mean > get[0].Mean) {
+			t.Errorf("%s: GET Δd2 %.2f should exceed Δd1 %.2f", b, get[1].Mean, get[0].Mean)
+		}
+		if !(post[1].Mean < post[0].Mean) {
+			t.Errorf("%s: POST Δd2 %.2f should be below Δd1 %.2f", b, post[1].Mean, post[0].Mean)
+		}
+	}
+	if !strings.Contains(report, "Safari") {
+		t.Fatal("report missing Safari row")
+	}
+}
+
+func TestFig4ASCII(t *testing.T) {
+	art, err := Fig4ASCII(20, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"F (W) Δd1", "AV (W) Δd2", "p100", "#"} {
+		if !strings.Contains(art, want) {
+			t.Fatalf("ASCII Fig4 missing %q", want)
+		}
+	}
+}

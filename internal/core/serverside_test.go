@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/methods"
+)
+
+func TestServerOverheadSweep(t *testing.T) {
+	cfg := Config{
+		Method:  methods.XHRGet,
+		Profile: browser.Lookup(browser.Chrome, browser.Ubuntu),
+		Timing:  browser.NanoTime,
+		Runs:    8,
+	}
+	costs := []time.Duration{0, 5 * time.Millisecond, 10 * time.Millisecond}
+	rows, err := MeasureServerOverhead(cfg, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		// Wire RTT absorbs the parse cost one-for-one (±1 ms).
+		want := 50*time.Millisecond + costs[i]
+		if d := r.WireRTT - want; d < -time.Millisecond || d > time.Millisecond {
+			t.Errorf("parse=%v: wire RTT %v, want ~%v", costs[i], r.WireRTT, want)
+		}
+		// ServerShare tracks the injected cost.
+		if d := r.ServerShare() - costs[i]; d < -time.Millisecond || d > time.Millisecond {
+			t.Errorf("parse=%v: server share %v", costs[i], r.ServerShare())
+		}
+	}
+	// Client overhead stays flat across the sweep.
+	spread := math.Abs(rows[2].ClientOverhead - rows[0].ClientOverhead)
+	if spread > 4 {
+		t.Errorf("client Δd2 moved by %.2f ms across server sweep", spread)
+	}
+}
+
+func TestServerOverheadRejectsSocketMethods(t *testing.T) {
+	cfg := Config{
+		Method:  methods.JavaTCP,
+		Profile: browser.Lookup(browser.Chrome, browser.Ubuntu),
+	}
+	if _, err := MeasureServerOverhead(cfg, nil); err == nil {
+		t.Fatal("expected error for socket method")
+	}
+}
+
+func TestServerOverheadReport(t *testing.T) {
+	report, err := ServerOverheadReport(browser.Lookup(browser.Firefox, browser.Windows), browser.NanoTime, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"parse cost", "server share", "one-for-one"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/stats"
+)
+
+// StudyOptions configures a full measurement matrix (Figure 3: every
+// method crossed with every browser×OS combo).
+type StudyOptions struct {
+	// Methods defaults to the paper's ten compared methods.
+	Methods []methods.Kind
+	// Profiles defaults to the Table 2 matrix.
+	Profiles []*browser.Profile
+	// Timing defaults to Date.getTime (the paper's tool default).
+	Timing browser.TimingFunc
+	// Runs per cell (default 50) and Gap between runs (default 10 s).
+	Runs int
+	Gap  time.Duration
+	// BaseSeed decorrelates cells deterministically.
+	BaseSeed int64
+}
+
+// Cell is one (method, profile) experiment of a study.
+type Cell struct {
+	Spec    methods.Spec
+	Profile *browser.Profile
+	Exp     *Experiment
+	// Skipped is set when the profile cannot run the method (e.g.
+	// WebSocket on IE 9) — such cells are absent from the paper's figures
+	// rather than failures.
+	Skipped bool
+}
+
+// Study is a completed matrix.
+type Study struct {
+	Options StudyOptions
+	Cells   []Cell
+}
+
+// RunStudy executes the matrix. Unsupported combinations are marked
+// Skipped; any other failure aborts.
+func RunStudy(opts StudyOptions) (*Study, error) {
+	if len(opts.Methods) == 0 {
+		for _, s := range methods.Compared() {
+			opts.Methods = append(opts.Methods, s.Kind)
+		}
+	}
+	if len(opts.Profiles) == 0 {
+		opts.Profiles = browser.Profiles()
+	}
+	st := &Study{Options: opts}
+	for mi, kind := range opts.Methods {
+		spec := methods.Get(kind)
+		for pi, prof := range opts.Profiles {
+			cell := Cell{Spec: spec, Profile: prof}
+			if !prof.Supports(spec.API) {
+				cell.Skipped = true
+				st.Cells = append(st.Cells, cell)
+				continue
+			}
+			cfg := Config{
+				Method:  kind,
+				Profile: prof,
+				Timing:  opts.Timing,
+				Runs:    opts.Runs,
+				Gap:     opts.Gap,
+			}
+			cfg.Testbed.Seed = opts.BaseSeed + int64(mi)*97 + int64(pi)*13 + 1
+			exp, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: cell %s / %s: %w", spec.Name, prof.Label(), err)
+			}
+			cell.Exp = exp
+			st.Cells = append(st.Cells, cell)
+		}
+	}
+	return st, nil
+}
+
+// Cell returns the cell for (method, profile label), or nil.
+func (s *Study) Cell(kind methods.Kind, label string) *Cell {
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		if c.Spec.Kind == kind && c.Profile.Label() == label {
+			return c
+		}
+	}
+	return nil
+}
+
+// MethodCells returns the non-skipped cells of one method in profile order.
+func (s *Study) MethodCells(kind methods.Kind) []*Cell {
+	var out []*Cell
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		if c.Spec.Kind == kind && !c.Skipped {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Calibration summarizes an experiment for overhead correction.
+type Calibration struct {
+	Method methods.Kind
+	Label  string // browser×OS label
+	// MedianOverhead and IQR are indexed by round-1, in ms.
+	MedianOverhead [methods.Rounds]float64
+	IQR            [methods.Rounds]float64
+}
+
+// Calibrate derives calibration data from an experiment.
+func (e *Experiment) Calibrate() Calibration {
+	cal := Calibration{Method: e.Config.Method, Label: e.Config.Profile.Label()}
+	for round := 1; round <= methods.Rounds; round++ {
+		b := e.Box(round)
+		cal.MedianOverhead[round-1] = b.Median
+		cal.IQR[round-1] = b.IQR()
+	}
+	return cal
+}
+
+// Correct subtracts the calibrated median overhead from a browser-level
+// RTT measurement, yielding an estimate of the true network RTT.
+func (c Calibration) Correct(browserRTT time.Duration, round int) time.Duration {
+	return browserRTT - time.Duration(c.MedianOverhead[round-1]*float64(time.Millisecond))
+}
+
+// Calibratable reports whether correction is trustworthy: the paper's
+// criterion is a stable overhead, i.e. a small IQR relative to the median
+// (Flash's cross-browser variability makes it "very difficult to
+// calibrate").
+func (c Calibration) Calibratable(round int) bool {
+	iqr := c.IQR[round-1]
+	return iqr < 5 // ms of spread around the median
+}
+
+// Score ranks a cell's steady-state accuracy: |median Δd2| + IQR(Δd2).
+// Lower is better — the paper's trueness + precision framing (ISO 5725).
+func (c *Cell) Score() float64 {
+	if c.Exp == nil {
+		return 0
+	}
+	b := c.Exp.Box(2)
+	m := b.Median
+	if m < 0 {
+		m = -m
+	}
+	return m + b.IQR()
+}
+
+// Recommendation is the Section 5 guidance, derived from study data
+// rather than hard-coded.
+type Recommendation struct {
+	// BestMethod is the lowest-scoring method averaged across profiles.
+	BestMethod methods.Kind
+	// BestNative is the best method that needs no plug-in.
+	BestNative methods.Kind
+	// BestBrowser maps OS name to the browser with the lowest mean score.
+	BestBrowser map[string]browser.Name
+	// AvoidMethods lists methods whose cross-browser variability makes
+	// calibration impractical (median spread or per-cell IQR too large).
+	AvoidMethods []methods.Kind
+	// Notes carries the timing-function guidance.
+	Notes []string
+}
+
+// Recommend distills Section 5 from a study.
+func Recommend(s *Study) Recommendation {
+	rec := Recommendation{BestBrowser: map[string]browser.Name{}}
+
+	type agg struct {
+		sum float64
+		n   int
+	}
+	methodScore := map[methods.Kind]*agg{}
+	methodMedians := map[methods.Kind][]float64{}
+
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		if c.Skipped {
+			continue
+		}
+		sc := c.Score()
+		a := methodScore[c.Spec.Kind]
+		if a == nil {
+			a = &agg{}
+			methodScore[c.Spec.Kind] = a
+		}
+		a.sum += sc
+		a.n++
+		methodMedians[c.Spec.Kind] = append(methodMedians[c.Spec.Kind], c.Exp.Box(2).Median)
+	}
+
+	// A method is flagged when its median overhead varies widely across
+	// browsers (calibration would need per-browser tables nobody has) or
+	// its medians are simply huge.
+	avoided := map[methods.Kind]bool{}
+	for k, meds := range methodMedians {
+		if len(meds) < 2 {
+			continue
+		}
+		spread := stats.NewBox(meds)
+		if spread.Max-spread.Min > 25 || stats.Median(meds) > 20 {
+			avoided[k] = true
+			rec.AvoidMethods = append(rec.AvoidMethods, k)
+		}
+	}
+	sort.Slice(rec.AvoidMethods, func(i, j int) bool { return rec.AvoidMethods[i] < rec.AvoidMethods[j] })
+
+	// Browser preference is judged over the methods one would actually
+	// deploy, i.e. excluding the uncalibratable ones.
+	browserScore := map[browser.OS]map[browser.Name]*agg{}
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		if c.Skipped || avoided[c.Spec.Kind] {
+			continue
+		}
+		if browserScore[c.Profile.OS] == nil {
+			browserScore[c.Profile.OS] = map[browser.Name]*agg{}
+		}
+		ba := browserScore[c.Profile.OS][c.Profile.Browser]
+		if ba == nil {
+			ba = &agg{}
+			browserScore[c.Profile.OS][c.Profile.Browser] = ba
+		}
+		ba.sum += c.Score()
+		ba.n++
+	}
+
+	best := func(filter func(methods.Kind) bool) (methods.Kind, bool) {
+		type kv struct {
+			k methods.Kind
+			v float64
+		}
+		var list []kv
+		for k, a := range methodScore {
+			if filter != nil && !filter(k) {
+				continue
+			}
+			list = append(list, kv{k, a.sum / float64(a.n)})
+		}
+		if len(list) == 0 {
+			return 0, false
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].v != list[j].v {
+				return list[i].v < list[j].v
+			}
+			return list[i].k < list[j].k
+		})
+		return list[0].k, true
+	}
+	if k, ok := best(nil); ok {
+		rec.BestMethod = k
+	}
+	if k, ok := best(func(k methods.Kind) bool { return methods.Get(k).Availability == "native" }); ok {
+		rec.BestNative = k
+	}
+
+	for os, perBrowser := range browserScore {
+		type kv struct {
+			b browser.Name
+			v float64
+		}
+		var list []kv
+		for b, a := range perBrowser {
+			list = append(list, kv{b, a.sum / float64(a.n)})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].v != list[j].v {
+				return list[i].v < list[j].v
+			}
+			return list[i].b < list[j].b
+		})
+		if len(list) > 0 {
+			rec.BestBrowser[os.String()] = list[0].b
+		}
+	}
+
+	rec.Notes = append(rec.Notes,
+		"Java applet tools must use System.nanoTime(): Date.getTime() granularity on Windows reaches ~15.6 ms and under-estimates RTTs.",
+		"Methods that open fresh TCP connections include the handshake in the measured delay; reuse the measurement object and prefer Δd2-style warm measurements.",
+	)
+	return rec
+}

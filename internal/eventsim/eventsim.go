@@ -1,0 +1,191 @@
+// Package eventsim implements a deterministic discrete-event simulator.
+//
+// The simulator maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order, which
+// keeps runs fully deterministic for a given seed. All simulated subsystems
+// (links, TCP stacks, browser engines) advance time exclusively through a
+// Simulator, so a whole testbed run is reproducible bit-for-bit.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	// At is the virtual time at which the event fires.
+	At time.Duration
+	// Fn is invoked when the event fires.
+	Fn func()
+
+	seq      uint64 // tie-breaker: FIFO among same-time events
+	index    int    // heap index; -1 when not queued
+	canceled bool
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a discrete-event simulator with a virtual clock.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now     time.Duration
+	queue   eventQueue
+	nextSeq uint64
+	rng     *rand.Rand
+	fired   uint64
+	// Limit bounds the number of events processed by Run as a runaway
+	// guard. Zero means the default of 100 million events.
+	Limit uint64
+}
+
+// New returns a Simulator whose clock starts at zero and whose random
+// source is seeded deterministically with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events processed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued (including
+// canceled events not yet dequeued).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run after delay. A negative delay is treated as
+// zero (the event fires at the current instant, after already-queued
+// same-instant events). It returns the Event so callers may cancel it.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("eventsim: Schedule with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e := &Event{At: s.now + delay, Fn: fn, seq: s.nextSeq}
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// ScheduleAt queues fn at an absolute virtual time. Times in the past are
+// clamped to the current instant.
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
+	return s.Schedule(at-s.now, fn)
+}
+
+// Step fires the single earliest pending event, advancing the clock to it.
+// It reports whether an event was fired (false when the queue is empty).
+// Canceled events are discarded without firing and without counting.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.At < s.now {
+			panic(fmt.Sprintf("eventsim: time went backwards: %v < %v", e.At, s.now))
+		}
+		s.now = e.At
+		s.fired++
+		e.Fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or the event limit is hit.
+// It returns the number of events fired during this call.
+func (s *Simulator) Run() uint64 {
+	return s.RunUntil(1<<62 - 1)
+}
+
+// RunUntil processes events whose time is <= deadline. The clock is left at
+// the last fired event (or untouched if none fired); it does not jump to
+// the deadline. It returns the number of events fired during this call.
+func (s *Simulator) RunUntil(deadline time.Duration) uint64 {
+	limit := s.Limit
+	if limit == 0 {
+		limit = 100_000_000
+	}
+	var fired uint64
+	for len(s.queue) > 0 && fired < limit {
+		if s.peekTime() > deadline {
+			break
+		}
+		if s.Step() {
+			fired++
+		}
+	}
+	if fired >= limit {
+		panic(fmt.Sprintf("eventsim: event limit %d exceeded (runaway simulation?)", limit))
+	}
+	return fired
+}
+
+// peekTime returns the fire time of the earliest non-canceled event.
+// The queue must be drained of leading canceled events first.
+func (s *Simulator) peekTime() time.Duration {
+	for len(s.queue) > 0 && s.queue[0].canceled {
+		heap.Pop(&s.queue)
+	}
+	if len(s.queue) == 0 {
+		return 1<<62 - 1
+	}
+	return s.queue[0].At
+}
+
+// Advance moves the clock forward by d, firing any events that fall within
+// the window, and leaves the clock exactly at now+d.
+func (s *Simulator) Advance(d time.Duration) {
+	if d < 0 {
+		panic("eventsim: Advance with negative duration")
+	}
+	target := s.now + d
+	s.RunUntil(target)
+	if s.now < target {
+		s.now = target
+	}
+}

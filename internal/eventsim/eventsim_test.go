@@ -1,0 +1,273 @@
+package eventsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New(1)
+	s.Advance(time.Second)
+	fired := false
+	s.Schedule(-time.Hour, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now = %v, want 1s", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.Schedule(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New(1)
+	var got []int
+	e1 := s.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e1.Cancel()
+	s.Run()
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got %v, want [2]", got)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var times []time.Duration
+	s.Schedule(time.Millisecond, func() {
+		times = append(times, s.Now())
+		s.Schedule(time.Millisecond, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != time.Millisecond || times[1] != 2*time.Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.RunUntil(5 * time.Second)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", s.Now())
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count after Run = %d, want 10", count)
+	}
+}
+
+func TestAdvanceMovesClockPastEvents(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(3*time.Second, func() { fired = true })
+	s.Advance(10 * time.Second)
+	if !fired {
+		t.Fatal("event within Advance window did not fire")
+	}
+	if s.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s", s.Now())
+	}
+}
+
+func TestAdvanceZero(t *testing.T) {
+	s := New(1)
+	s.Advance(0)
+	if s.Now() != 0 {
+		t.Fatalf("Now = %v, want 0", s.Now())
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.Advance(time.Second)
+	s.ScheduleAt(1500*time.Millisecond, func() { at = s.Now() })
+	s.Run()
+	if at != 1500*time.Millisecond {
+		t.Fatalf("fired at %v, want 1.5s", at)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestFiredAndPending(t *testing.T) {
+	s := New(1)
+	s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", s.Fired())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", s.Pending())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func() []time.Duration {
+		s := New(42)
+		var out []time.Duration
+		var tick func()
+		tick = func() {
+			out = append(out, s.Now())
+			if len(out) < 50 {
+				jitter := time.Duration(s.Rand().Int63n(int64(time.Millisecond)))
+				s.Schedule(jitter, tick)
+			}
+		}
+		s.Schedule(0, tick)
+		s.Run()
+		return out
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunawayLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected runaway panic")
+		}
+	}()
+	s := New(1)
+	s.Limit = 100
+	var tick func()
+	tick = func() { s.Schedule(time.Microsecond, tick) } // never terminates
+	s.Schedule(0, tick)
+	s.Run()
+}
+
+func TestCancelDuringFire(t *testing.T) {
+	// An event canceled by an earlier same-instant event must not fire.
+	s := New(1)
+	fired := false
+	var e2 *Event
+	s.Schedule(time.Millisecond, func() { e2.Cancel() })
+	e2 = s.Schedule(time.Millisecond, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("canceled-in-flight event fired")
+	}
+}
+
+func TestSchedulePanicsOnNilFn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil fn")
+		}
+	}()
+	New(1).Schedule(0, nil)
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// the scheduling pattern.
+func TestQuickMonotoneFiring(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		var fireTimes []time.Duration
+		for _, d := range delays {
+			s.Schedule(time.Duration(d)*time.Microsecond, func() {
+				fireTimes = append(fireTimes, s.Now())
+			})
+		}
+		s.Run()
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(fireTimes) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Advance always lands the clock exactly on target.
+func TestQuickAdvanceExact(t *testing.T) {
+	f := func(steps []uint16) bool {
+		s := New(3)
+		var want time.Duration
+		for _, st := range steps {
+			d := time.Duration(st) * time.Microsecond
+			want += d
+			s.Advance(d)
+		}
+		return s.Now() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+// Package httpsim implements an HTTP/1.1 message codec and a small
+// server/client pair running over the tcpsim substrate.
+//
+// HTTP is what separates the paper's HTTP-based measurement methods (XHR,
+// DOM, Flash/Java GET and POST) from the socket-based ones: every request
+// pays header serialization, parsing and — depending on the browser's
+// connection policy — possibly a fresh TCP handshake.
+package httpsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrIncomplete reports that more bytes are needed to finish parsing a
+// message. Callers accumulate stream data and retry.
+var ErrIncomplete = errors.New("httpsim: incomplete message")
+
+// ErrMalformed reports an unparseable message.
+var ErrMalformed = errors.New("httpsim: malformed message")
+
+// Header is a single ordered header field.
+type Header struct {
+	Key, Value string
+}
+
+// Headers is an ordered header list (order matters on the wire).
+type Headers []Header
+
+// Get returns the first value for key (case-insensitive), or "".
+func (hs Headers) Get(key string) string {
+	for _, h := range hs {
+		if strings.EqualFold(h.Key, key) {
+			return h.Value
+		}
+	}
+	return ""
+}
+
+// Set replaces the first occurrence of key or appends.
+func (hs *Headers) Set(key, value string) {
+	for i, h := range *hs {
+		if strings.EqualFold(h.Key, key) {
+			(*hs)[i].Value = value
+			return
+		}
+	}
+	*hs = append(*hs, Header{key, value})
+}
+
+// Request is an HTTP/1.1 request.
+type Request struct {
+	Method  string
+	Target  string
+	Proto   string // "HTTP/1.1" if empty
+	Headers Headers
+	Body    []byte
+}
+
+// Response is an HTTP/1.1 response.
+type Response struct {
+	Proto   string // "HTTP/1.1" if empty
+	Status  int
+	Reason  string
+	Headers Headers
+	Body    []byte
+}
+
+// Marshal serializes the request, adding Content-Length when a body is
+// present and none is set.
+func (r *Request) Marshal() []byte {
+	var b bytes.Buffer
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Target, proto)
+	hs := r.Headers
+	if len(r.Body) > 0 && hs.Get("Content-Length") == "" {
+		hs = append(hs, Header{"Content-Length", strconv.Itoa(len(r.Body))})
+	}
+	for _, h := range hs {
+		fmt.Fprintf(&b, "%s: %s\r\n", h.Key, h.Value)
+	}
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// Marshal serializes the response, always emitting Content-Length.
+func (r *Response) Marshal() []byte {
+	var b bytes.Buffer
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	reason := r.Reason
+	if reason == "" {
+		reason = StatusText(r.Status)
+	}
+	fmt.Fprintf(&b, "%s %d %s\r\n", proto, r.Status, reason)
+	hs := r.Headers
+	if hs.Get("Content-Length") == "" {
+		hs = append(hs, Header{"Content-Length", strconv.Itoa(len(r.Body))})
+	}
+	for _, h := range hs {
+		fmt.Fprintf(&b, "%s: %s\r\n", h.Key, h.Value)
+	}
+	b.WriteString("\r\n")
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// StatusText returns the reason phrase for common status codes.
+func StatusText(code int) string {
+	switch code {
+	case 101:
+		return "Switching Protocols"
+	case 200:
+		return "OK"
+	case 204:
+		return "No Content"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Unknown"
+	}
+}
+
+// ParseRequest parses one request from the front of b. It returns the
+// request and the number of bytes consumed, or ErrIncomplete if b does not
+// yet hold a full message.
+func ParseRequest(b []byte) (*Request, int, error) {
+	head, bodyStart, err := splitHead(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, 0, fmt.Errorf("%w: bad request line %q", ErrMalformed, lines[0])
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
+	if err := parseHeaders(lines[1:], &req.Headers); err != nil {
+		return nil, 0, err
+	}
+	body, consumed, err := readBody(b, bodyStart, req.Headers)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Body = body
+	return req, consumed, nil
+}
+
+// ParseResponse parses one response from the front of b, analogous to
+// ParseRequest.
+func ParseResponse(b []byte) (*Response, int, error) {
+	head, bodyStart, err := splitHead(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, 0, fmt.Errorf("%w: bad status line %q", ErrMalformed, lines[0])
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: bad status code %q", ErrMalformed, parts[1])
+	}
+	resp := &Response{Proto: parts[0], Status: status}
+	if len(parts) == 3 {
+		resp.Reason = parts[2]
+	}
+	if err := parseHeaders(lines[1:], &resp.Headers); err != nil {
+		return nil, 0, err
+	}
+	body, consumed, err := readBody(b, bodyStart, resp.Headers)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp.Body = body
+	return resp, consumed, nil
+}
+
+// splitHead finds the end of the header block. It returns the head (without
+// the terminating CRLFCRLF) and the body start offset.
+func splitHead(b []byte) (string, int, error) {
+	idx := bytes.Index(b, []byte("\r\n\r\n"))
+	if idx < 0 {
+		if len(b) > 64<<10 {
+			return "", 0, fmt.Errorf("%w: header block exceeds 64KiB", ErrMalformed)
+		}
+		return "", 0, ErrIncomplete
+	}
+	return string(b[:idx]), idx + 4, nil
+}
+
+func parseHeaders(lines []string, out *Headers) error {
+	for _, ln := range lines {
+		if ln == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(ln, ":")
+		if !ok {
+			return fmt.Errorf("%w: bad header line %q", ErrMalformed, ln)
+		}
+		*out = append(*out, Header{strings.TrimSpace(k), strings.TrimSpace(v)})
+	}
+	return nil
+}
+
+func readBody(b []byte, bodyStart int, hs Headers) ([]byte, int, error) {
+	if strings.EqualFold(hs.Get("Transfer-Encoding"), "chunked") {
+		return readChunked(b, bodyStart)
+	}
+	cl := hs.Get("Content-Length")
+	if cl == "" {
+		return nil, bodyStart, nil
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil || n < 0 {
+		return nil, 0, fmt.Errorf("%w: bad Content-Length %q", ErrMalformed, cl)
+	}
+	if len(b) < bodyStart+n {
+		return nil, 0, ErrIncomplete
+	}
+	body := make([]byte, n)
+	copy(body, b[bodyStart:bodyStart+n])
+	return body, bodyStart + n, nil
+}
+
+// readChunked parses an RFC 7230 chunked body: hex-size CRLF data CRLF,
+// terminated by a zero-size chunk. Trailers are not supported (the final
+// CRLF must follow the last chunk immediately).
+func readChunked(b []byte, off int) ([]byte, int, error) {
+	var body []byte
+	for {
+		nl := bytes.Index(b[off:], []byte("\r\n"))
+		if nl < 0 {
+			if len(b)-off > 16 {
+				return nil, 0, fmt.Errorf("%w: oversized chunk header", ErrMalformed)
+			}
+			return nil, 0, ErrIncomplete
+		}
+		sizeHex := string(b[off : off+nl])
+		size, err := strconv.ParseInt(strings.TrimSpace(sizeHex), 16, 32)
+		if err != nil || size < 0 {
+			return nil, 0, fmt.Errorf("%w: bad chunk size %q", ErrMalformed, sizeHex)
+		}
+		off += nl + 2
+		if size == 0 {
+			// Final chunk: expect the closing CRLF.
+			if len(b) < off+2 {
+				return nil, 0, ErrIncomplete
+			}
+			if b[off] != '\r' || b[off+1] != '\n' {
+				return nil, 0, fmt.Errorf("%w: missing final CRLF", ErrMalformed)
+			}
+			return body, off + 2, nil
+		}
+		if len(b) < off+int(size)+2 {
+			return nil, 0, ErrIncomplete
+		}
+		body = append(body, b[off:off+int(size)]...)
+		off += int(size)
+		if b[off] != '\r' || b[off+1] != '\n' {
+			return nil, 0, fmt.Errorf("%w: chunk data not CRLF-terminated", ErrMalformed)
+		}
+		off += 2
+	}
+}
+
+// MarshalChunked serializes a response with chunked transfer encoding,
+// splitting the body into chunkSize-byte chunks.
+func (r *Response) MarshalChunked(chunkSize int) []byte {
+	if chunkSize <= 0 {
+		chunkSize = 4096
+	}
+	var b bytes.Buffer
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	reason := r.Reason
+	if reason == "" {
+		reason = StatusText(r.Status)
+	}
+	fmt.Fprintf(&b, "%s %d %s\r\n", proto, r.Status, reason)
+	for _, h := range r.Headers {
+		if strings.EqualFold(h.Key, "Content-Length") {
+			continue
+		}
+		fmt.Fprintf(&b, "%s: %s\r\n", h.Key, h.Value)
+	}
+	b.WriteString("Transfer-Encoding: chunked\r\n\r\n")
+	body := r.Body
+	for len(body) > 0 {
+		n := len(body)
+		if n > chunkSize {
+			n = chunkSize
+		}
+		fmt.Fprintf(&b, "%x\r\n", n)
+		b.Write(body[:n])
+		b.WriteString("\r\n")
+		body = body[n:]
+	}
+	b.WriteString("0\r\n\r\n")
+	return b.Bytes()
+}
+
+// WantsClose reports whether the message asked for the connection to be
+// closed after this exchange.
+func WantsClose(hs Headers) bool {
+	return strings.EqualFold(hs.Get("Connection"), "close")
+}

@@ -1,0 +1,130 @@
+package httpsim
+
+import (
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/eventsim"
+	"github.com/browsermetric/browsermetric/internal/tcpsim"
+)
+
+// HandlerFunc produces a response for a request. It runs inside the
+// simulated server host.
+type HandlerFunc func(*Request) *Response
+
+// Server is an HTTP/1.1 server over tcpsim, playing the role of the
+// paper's Apache instance. ProcessingDelay models the artificial +50 ms
+// the testbed adds before every response to make the path RTT measurable.
+type Server struct {
+	Sim     *eventsim.Simulator
+	Stack   *tcpsim.Stack
+	Handler HandlerFunc
+	// ProcessingDelay is applied between receiving a complete request and
+	// emitting the response (the paper's simulated Internet delay).
+	ProcessingDelay time.Duration
+	// ParseCost models per-request server-side CPU cost.
+	ParseCost time.Duration
+
+	// Requests counts completed exchanges.
+	Requests int
+}
+
+// Serve starts listening on port.
+func (s *Server) Serve(port uint16) error {
+	_, err := s.Stack.Listen(port, s.accept)
+	return err
+}
+
+func (s *Server) accept(c *tcpsim.Conn) {
+	var buf []byte
+	c.OnData = func(b []byte) {
+		buf = append(buf, b...)
+		for {
+			req, n, err := ParseRequest(buf)
+			if err == ErrIncomplete {
+				return
+			}
+			if err != nil {
+				c.Send((&Response{Status: 400, Body: []byte(err.Error())}).Marshal())
+				c.Close()
+				return
+			}
+			buf = buf[n:]
+			s.respond(c, req)
+		}
+	}
+}
+
+func (s *Server) respond(c *tcpsim.Conn, req *Request) {
+	delay := s.ProcessingDelay + s.ParseCost
+	s.Sim.Schedule(delay, func() {
+		if c.State() != tcpsim.StateEstablished && c.State() != tcpsim.StateCloseWait {
+			return
+		}
+		resp := s.handlerFor(req)
+		close := WantsClose(req.Headers) || WantsClose(resp.Headers)
+		if close {
+			resp.Headers.Set("Connection", "close")
+		}
+		c.Send(resp.Marshal())
+		s.Requests++
+		if close {
+			c.Close()
+		}
+	})
+}
+
+func (s *Server) handlerFor(req *Request) *Response {
+	if s.Handler == nil {
+		return &Response{Status: 404, Body: []byte("no handler")}
+	}
+	resp := s.Handler(req)
+	if resp == nil {
+		resp = &Response{Status: 500, Body: []byte("nil response")}
+	}
+	return resp
+}
+
+// ClientConn wraps an established tcpsim connection for pipelined
+// request/response exchanges.
+type ClientConn struct {
+	Conn *tcpsim.Conn
+	buf  []byte
+	pend []func(*Response)
+}
+
+// NewClientConn installs response parsing on c. It takes over c.OnData.
+func NewClientConn(c *tcpsim.Conn) *ClientConn {
+	cc := &ClientConn{Conn: c}
+	c.OnData = cc.onData
+	return cc
+}
+
+// RoundTrip writes req and calls done with the parsed response. Multiple
+// in-flight requests are matched to responses in FIFO order.
+func (cc *ClientConn) RoundTrip(req *Request, done func(*Response)) error {
+	cc.pend = append(cc.pend, done)
+	return cc.Conn.Send(req.Marshal())
+}
+
+func (cc *ClientConn) onData(b []byte) {
+	cc.buf = append(cc.buf, b...)
+	for len(cc.pend) > 0 {
+		resp, n, err := ParseResponse(cc.buf)
+		if err == ErrIncomplete {
+			return
+		}
+		if err != nil {
+			// Surface the error as a synthetic 0-status response so the
+			// caller can observe failure without a separate channel.
+			done := cc.pend[0]
+			cc.pend = cc.pend[1:]
+			done(&Response{Status: 0, Reason: err.Error()})
+			cc.buf = nil
+			return
+		}
+		cc.buf = cc.buf[n:]
+		done := cc.pend[0]
+		cc.pend = cc.pend[1:]
+		done(resp)
+	}
+}

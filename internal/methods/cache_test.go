@@ -1,0 +1,116 @@
+package methods
+
+import (
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/testbed"
+)
+
+func TestDOMCacheBustPreventsPitfall(t *testing.T) {
+	// Default behaviour (cache-busted URLs): both rounds hit the network
+	// and report ~50 ms RTTs.
+	tb := testbed.New(testbed.Config{Seed: 41})
+	r := &Runner{TB: tb, Profile: browser.Lookup(browser.Chrome, browser.Ubuntu), Timing: browser.NanoTime}
+	tb.Cap.Reset()
+	res, err := r.Run(DOM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= Rounds; round++ {
+		if rtt := res.BrowserRTT(round); rtt < 50*time.Millisecond {
+			t.Fatalf("round %d RTT = %v, want >= 50ms (network hit)", round, rtt)
+		}
+	}
+	if pairs := tb.Cap.MatchRTT(res.ServerPort); len(pairs) < 3 { // container + 2 probes
+		t.Fatalf("wire pairs = %d, want container + 2 probes", len(pairs))
+	}
+}
+
+func TestDOMCachePitfall(t *testing.T) {
+	// With cache busting disabled, the second load is served from the
+	// browser cache: the tool reports a sub-millisecond "RTT" for a 50 ms
+	// path — the Section 5 object-reuse pitfall.
+	tb := testbed.New(testbed.Config{Seed: 42})
+	r := &Runner{
+		TB:               tb,
+		Profile:          browser.Lookup(browser.Chrome, browser.Ubuntu),
+		Timing:           browser.NanoTime,
+		DisableCacheBust: true,
+	}
+	tb.Cap.Reset()
+	res, err := r.Run(DOM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt := res.BrowserRTT(1); rtt < 50*time.Millisecond {
+		t.Fatalf("round 1 RTT = %v, want network RTT", rtt)
+	}
+	if rtt := res.BrowserRTT(2); rtt > 5*time.Millisecond {
+		t.Fatalf("round 2 RTT = %v, want cache-hit time (huge under-estimate)", rtt)
+	}
+	// The wire agrees: only one probe exchange happened.
+	pairs := tb.Cap.MatchRTT(res.ServerPort)
+	if len(pairs) != 2 { // container + 1 probe
+		t.Fatalf("wire pairs = %d, want 2 (round 2 never touched the network)", len(pairs))
+	}
+}
+
+func TestCachePitfallOnlyAffectsDOM(t *testing.T) {
+	// XHR with DisableCacheBust set still goes to the network (the flag
+	// models DOM-element reuse specifically).
+	tb := testbed.New(testbed.Config{Seed: 43})
+	r := &Runner{
+		TB:               tb,
+		Profile:          browser.Lookup(browser.Chrome, browser.Ubuntu),
+		Timing:           browser.NanoTime,
+		DisableCacheBust: true,
+	}
+	res, err := r.Run(XHRGet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt := res.BrowserRTT(2); rtt < 50*time.Millisecond {
+		t.Fatalf("XHR round 2 RTT = %v, should not be cached", rtt)
+	}
+}
+
+func TestFlashSocketFetchesPolicyFile(t *testing.T) {
+	// The Flash TCP method must perform the port-843 policy exchange in
+	// its preparation phase; Java TCP must not.
+	for _, tc := range []struct {
+		kind       Kind
+		wantPolicy bool
+	}{
+		{FlashTCP, true},
+		{JavaTCP, false},
+	} {
+		tb := testbed.New(testbed.Config{Seed: 44})
+		r := &Runner{TB: tb, Profile: browser.Lookup(browser.Chrome, browser.Windows), Timing: browser.NanoTime}
+		tb.Cap.Reset()
+		res, err := r.Run(tc.kind)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		sawPolicy := false
+		for _, p := range tb.Cap.Packets() {
+			if p.TCP != nil && (p.TCP.DstPort == testbed.FlashPolicyPort || p.TCP.SrcPort == testbed.FlashPolicyPort) {
+				sawPolicy = true
+			}
+		}
+		if sawPolicy != tc.wantPolicy {
+			t.Fatalf("%v: policy traffic = %v, want %v", tc.kind, sawPolicy, tc.wantPolicy)
+		}
+		// The policy exchange must not pollute the probe RTT matching.
+		pairs := tb.Cap.MatchRTT(res.ServerPort)
+		if len(pairs) < Rounds {
+			t.Fatalf("%v: pairs = %d", tc.kind, len(pairs))
+		}
+		for _, wp := range pairs[len(pairs)-Rounds:] {
+			if wp.RTT() < 50*time.Millisecond || wp.RTT() > 52*time.Millisecond {
+				t.Fatalf("%v: probe wire RTT %v off", tc.kind, wp.RTT())
+			}
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package methods
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/httpsim"
+	"github.com/browsermetric/browsermetric/internal/testbed"
+	"github.com/browsermetric/browsermetric/internal/wssim"
+)
+
+// Rounds is the number of back-to-back measurements per run (Δd1, Δd2).
+const Rounds = 2
+
+// Result holds the browser-level observations of one run.
+type Result struct {
+	Kind Kind
+	// ServerPort is the service port the probes used; the capture-side
+	// RTT matcher needs it.
+	ServerPort uint16
+	// TBs and TBr are the browser timestamps (taken through the selected
+	// timing API) for each round.
+	TBs, TBr [Rounds]time.Duration
+	// NewConnRounds marks rounds whose request required opening a fresh
+	// TCP connection (the Table 3 mechanism).
+	NewConnRounds [Rounds]bool
+	// SendCosts and RecvCosts record the browser-path delays actually
+	// drawn for each round, enabling overhead attribution (how much of Δd
+	// is send path, receive path, handshake, or clock error).
+	SendCosts, RecvCosts [Rounds]time.Duration
+}
+
+// BrowserRTT returns tBr − tBs for round (1-based), the RTT the
+// measurement tool would report.
+func (r *Result) BrowserRTT(round int) time.Duration {
+	return r.TBr[round-1] - r.TBs[round-1]
+}
+
+// Runner executes measurement methods in a browser profile on a testbed.
+type Runner struct {
+	TB      *testbed.Testbed
+	Profile *browser.Profile
+	// Timing selects the timestamping API (the paper's default is
+	// Date.getTime; Section 4.2 switches Java methods to System.nanoTime).
+	Timing browser.TimingFunc
+	// Timeout bounds one run in virtual time (default 30 s).
+	Timeout time.Duration
+	// DisableCacheBust removes the cache-busting query parameter from the
+	// DOM method's probe URL, reproducing the Section 5 pitfall: the
+	// second load of an identical <img>/<script> URL is served from the
+	// browser cache, so the "measured RTT" collapses to the cache-hit
+	// time and wildly under-estimates the network RTT.
+	DisableCacheBust bool
+
+	domCached map[string]bool
+}
+
+// Run executes one full two-phase, two-round measurement and returns the
+// browser-level result. Wire-level ground truth accumulates in the
+// testbed's capture; callers typically Reset the capture before Run and
+// MatchRTT afterwards.
+func (r *Runner) Run(kind Kind) (*Result, error) {
+	spec := Get(kind)
+	if !r.Profile.Supports(spec.API) {
+		return nil, fmt.Errorf("%w: %s cannot run %s", ErrUnsupported, r.Profile.Label(), spec.Name)
+	}
+	timeout := r.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	clk := r.Profile.Clock(spec.API, r.Timing, r.TB.Sim.Now)
+	res := &Result{Kind: kind}
+
+	done := false
+	fail := error(nil)
+	finish := func(err error) { done, fail = true, err }
+
+	var cleanup func()
+	switch spec.Transport {
+	case TransportHTTP:
+		res.ServerPort = testbed.HTTPPort
+		r.runHTTP(spec, clk.Now, res, finish)
+	default:
+		cleanup = r.runSocket(spec, clk.Now, res, finish)
+	}
+
+	deadline := r.TB.Sim.Now() + timeout
+	for !done && r.TB.Sim.Now() < deadline && r.TB.Sim.Pending() > 0 {
+		r.TB.Sim.Step()
+	}
+	if cleanup != nil {
+		cleanup()
+	}
+	if fail != nil {
+		return nil, fail
+	}
+	if !done {
+		return nil, fmt.Errorf("methods: %s timed out after %v (virtual)", spec.Name, timeout)
+	}
+	return res, nil
+}
+
+// runHTTP implements the HTTP-based methods: XHR GET/POST, DOM,
+// Flash GET/POST, Java GET/POST.
+func (r *Runner) runHTTP(spec Spec, now func() time.Duration, res *Result, finish func(error)) {
+	sim := r.TB.Sim
+	rng := sim.Rand()
+
+	// Preparation phase: download the container page on a keep-alive
+	// connection. This connection is what PolicyReuse methods measure on.
+	containerTCP, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.HTTPPort)
+	if err != nil {
+		finish(err)
+		return
+	}
+	container := httpsim.NewClientConn(containerTCP)
+	policy := r.Profile.HTTPConnPolicy(spec.API, spec.Post)
+
+	var flashConn *httpsim.ClientConn // the fresh connection Opera Flash GET keeps
+	var round func(k int)
+
+	// cacheHitCost models serving an <img>/<script> from the browser
+	// cache: sub-millisecond, no network involvement.
+	const cacheHitCost = 300 * time.Microsecond
+
+	probe := func(k int, cc *httpsim.ClientConn) {
+		target := fmt.Sprintf("/probe?m=%d&r=%d", int(spec.Kind), k)
+		if spec.Kind == DOM && r.DisableCacheBust {
+			target = "/probe.img" // identical URL every round
+			if r.domCached == nil {
+				r.domCached = make(map[string]bool)
+			}
+			if r.domCached[target] {
+				// Cache hit: the onload event fires without any packet
+				// leaving the host.
+				sim.Schedule(cacheHitCost+r.Profile.RecvCost(spec.API, rng), func() {
+					res.TBr[k-1] = now()
+					if k < Rounds {
+						round(k + 1)
+					} else {
+						finish(nil)
+					}
+				})
+				return
+			}
+			r.domCached[target] = true
+		}
+		req := &httpsim.Request{
+			Method:  "GET",
+			Target:  target,
+			Headers: httpsim.Headers{{Key: "Host", Value: "server"}},
+		}
+		if spec.Post {
+			req.Method = "POST"
+			req.Body = []byte("probe-body")
+		}
+		if err := cc.RoundTrip(req, func(resp *httpsim.Response) {
+			if resp.Status != 200 {
+				finish(fmt.Errorf("methods: probe status %d", resp.Status))
+				return
+			}
+			// Response has reached the stack; the browser still has to
+			// dispatch the event / cross the plugin bridge before the
+			// measurement code can take tBr.
+			recvCost := r.Profile.RecvCost(spec.API, rng)
+			res.RecvCosts[k-1] = recvCost
+			sim.Schedule(recvCost, func() {
+				res.TBr[k-1] = now()
+				if k < Rounds {
+					round(k + 1)
+				} else {
+					finish(nil)
+				}
+			})
+		}); err != nil {
+			finish(err)
+		}
+	}
+
+	round = func(k int) {
+		// The measurement code records tBs, then the request descends
+		// through the engine/plugin layers (SendCost) before any packet
+		// can leave.
+		res.TBs[k-1] = now()
+		sendCost := r.Profile.SendCost(spec.API, k, spec.Post, rng)
+		res.SendCosts[k-1] = sendCost
+		needNew := policy == browser.PolicyNewAlways ||
+			(policy == browser.PolicyNewOnFirst && flashConn == nil)
+		sim.Schedule(sendCost, func() {
+			switch {
+			case !needNew && flashConn != nil:
+				probe(k, flashConn)
+			case !needNew:
+				probe(k, container)
+			default:
+				res.NewConnRounds[k-1] = true
+				tcp, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.HTTPPort)
+				if err != nil {
+					finish(err)
+					return
+				}
+				cc := httpsim.NewClientConn(tcp)
+				if policy == browser.PolicyNewOnFirst {
+					flashConn = cc
+				}
+				tcp.OnEstablished = func() { probe(k, cc) }
+			}
+		})
+	}
+
+	containerTCP.OnEstablished = func() {
+		containerReq := &httpsim.Request{
+			Method:  "GET",
+			Target:  "/container.html",
+			Headers: httpsim.Headers{{Key: "Host", Value: "server"}},
+		}
+		if err := container.RoundTrip(containerReq, func(resp *httpsim.Response) {
+			if resp.Status != 200 {
+				finish(fmt.Errorf("methods: container status %d", resp.Status))
+				return
+			}
+			// Render the page, then start measuring. The capture is reset
+			// at the measurement boundary by the caller; a small render
+			// pause keeps preparation traffic clearly separated.
+			sim.Schedule(time.Millisecond, func() { round(1) })
+		}); err != nil {
+			finish(err)
+		}
+	}
+}
+
+// fetchFlashPolicy performs the Flash plugin's crossdomain policy
+// exchange on port 843, then invokes next. Failure aborts via finish.
+func (r *Runner) fetchFlashPolicy(next func(), finish func(error)) {
+	pc, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.FlashPolicyPort)
+	if err != nil {
+		finish(err)
+		return
+	}
+	got := false
+	pc.OnEstablished = func() {
+		if err := pc.Send([]byte("<policy-file-request/>\x00")); err != nil {
+			finish(err)
+		}
+	}
+	pc.OnData = func(p []byte) {
+		if got {
+			return
+		}
+		got = true
+		next()
+	}
+	pc.OnReset = func() { finish(fmt.Errorf("methods: flash policy fetch refused")) }
+}
+
+// payloadFor builds a small single-packet probe payload.
+func payloadFor(k Kind, round int) []byte {
+	return []byte(fmt.Sprintf("probe-%d-%d", int(k), round))
+}
+
+// udpProbePorts hands out distinct client-side UDP ports across runs that
+// share a testbed (the bind is also released after each run).
+var udpProbePorts uint16 = 40000
+
+// runSocket implements the socket-based methods: WebSocket, Flash TCP,
+// Java TCP and Java UDP. It returns an optional cleanup function to run
+// when the measurement finishes.
+func (r *Runner) runSocket(spec Spec, now func() time.Duration, res *Result, finish func(error)) (cleanup func()) {
+	sim := r.TB.Sim
+	rng := sim.Rand()
+
+	var round func(k int)
+	var sendProbe func(k int, payload []byte)
+	var onEcho func(payload []byte)
+
+	// Shared round logic: stamp tBs, descend the send path, transmit;
+	// the echo path ascends RecvCost before tBr.
+	round = func(k int) {
+		res.TBs[k-1] = now()
+		sendCost := r.Profile.SendCost(spec.API, k, false, rng)
+		res.SendCosts[k-1] = sendCost
+		sim.Schedule(sendCost, func() {
+			sendProbe(k, payloadFor(spec.Kind, k))
+		})
+	}
+	pending := 0
+	onEcho = func([]byte) {
+		k := pending
+		recvCost := r.Profile.RecvCost(spec.API, rng)
+		res.RecvCosts[k-1] = recvCost
+		sim.Schedule(recvCost, func() {
+			res.TBr[k-1] = now()
+			if k < Rounds {
+				round(k + 1)
+			} else {
+				finish(nil)
+			}
+		})
+	}
+
+	switch spec.Kind {
+	case WebSocket:
+		res.ServerPort = testbed.WSPort
+		tcp, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.WSPort)
+		if err != nil {
+			finish(err)
+			return
+		}
+		tcp.OnEstablished = func() {
+			ws, err := wssim.Dial(tcp, "server", "/ws")
+			if err != nil {
+				finish(err)
+				return
+			}
+			sendProbe = func(k int, payload []byte) {
+				pending = k
+				if err := ws.Send(wssim.OpBinary, payload); err != nil {
+					finish(err)
+				}
+			}
+			ws.OnMessage = func(_ wssim.Opcode, p []byte) { onEcho(p) }
+			ws.OnOpen = func() { round(1) }
+		}
+
+	case FlashTCP, JavaTCP:
+		res.ServerPort = testbed.TCPEchoPort
+		connect := func() {
+			tcp, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.TCPEchoPort)
+			if err != nil {
+				finish(err)
+				return
+			}
+			sendProbe = func(k int, payload []byte) {
+				pending = k
+				if err := tcp.Send(payload); err != nil {
+					finish(err)
+				}
+			}
+			tcp.OnData = func(p []byte) { onEcho(p) }
+			tcp.OnEstablished = func() { round(1) }
+			tcp.OnReset = func() { finish(fmt.Errorf("methods: echo connection reset")) }
+		}
+		if spec.Kind == FlashTCP {
+			// The Flash plugin fetches the socket policy file before it
+			// allows any Socket connection; this happens in the
+			// preparation phase, outside the timed window.
+			r.fetchFlashPolicy(connect, finish)
+		} else {
+			connect()
+		}
+
+	case JavaUDP:
+		res.ServerPort = testbed.UDPEchoPort
+		localPort := udpProbePorts
+		udpProbePorts++
+		if udpProbePorts < 40000 {
+			udpProbePorts = 40000
+		}
+		if err := r.TB.Client.ListenUDP(localPort, func(_ netip.Addr, _ uint16, p []byte) {
+			onEcho(p)
+		}); err != nil {
+			finish(err)
+			return nil
+		}
+		cleanup = func() { r.TB.Client.CloseUDP(localPort) }
+		sendProbe = func(k int, payload []byte) {
+			pending = k
+			r.TB.Client.SendUDP(r.TB.ServerAddr, localPort, testbed.UDPEchoPort, payload)
+		}
+		round(1)
+
+	default:
+		finish(fmt.Errorf("methods: %s is not socket-based", spec.Name))
+	}
+	return cleanup
+}

@@ -1,0 +1,144 @@
+package methods
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/testbed"
+)
+
+func newRunner(t *testing.T, seed int64, b browser.Name, os browser.OS) *Runner {
+	t.Helper()
+	tb := testbed.New(testbed.Config{Seed: seed})
+	return &Runner{TB: tb, Profile: browser.Lookup(b, os), Timing: browser.NanoTime}
+}
+
+func TestTrainEveryKind(t *testing.T) {
+	kinds := []Kind{XHRGet, XHRPost, DOM, FlashGet, JavaGet, WebSocket, FlashTCP, JavaTCP, JavaUDP}
+	for i, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			r := newRunner(t, int64(100+i), browser.Chrome, browser.Ubuntu)
+			train, err := r.RunTrain(kind, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtts := train.BrowserRTTs()
+			if len(rtts) != 5 {
+				t.Fatalf("answered = %d, want 5", len(rtts))
+			}
+			for _, rtt := range rtts {
+				if rtt < 50*time.Millisecond || rtt > 250*time.Millisecond {
+					t.Fatalf("train RTT %v outside plausible band", rtt)
+				}
+			}
+		})
+	}
+}
+
+func TestTrainDefaultsProbes(t *testing.T) {
+	r := newRunner(t, 7, browser.Chrome, browser.Ubuntu)
+	train, err := r.RunTrain(JavaTCP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train.TBs) != 10 {
+		t.Fatalf("default probes = %d, want 10", len(train.TBs))
+	}
+}
+
+func TestTrainUnsupported(t *testing.T) {
+	r := newRunner(t, 8, browser.IE, browser.Windows)
+	if _, err := r.RunTrain(WebSocket, 5); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrainUDPLossCounting(t *testing.T) {
+	tb := testbed.New(testbed.Config{Seed: 9, LossRate: 0.3})
+	r := &Runner{TB: tb, Profile: browser.Lookup(browser.Chrome, browser.Ubuntu), Timing: browser.NanoTime}
+	train, err := r.RunTrain(JavaUDP, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Lost == 0 {
+		t.Fatal("no losses counted at 30% link loss")
+	}
+	if train.Lost+len(train.BrowserRTTs()) != 40 {
+		t.Fatalf("lost %d + answered %d != 40", train.Lost, len(train.BrowserRTTs()))
+	}
+	if lr := train.LossRate(); lr <= 0 || lr >= 1 {
+		t.Fatalf("loss rate = %v", lr)
+	}
+}
+
+func TestTrainResultEmptyLossRate(t *testing.T) {
+	tr := &TrainResult{}
+	if tr.LossRate() != 0 {
+		t.Fatal("empty train loss rate should be 0")
+	}
+}
+
+func TestThroughputHTTPDownload(t *testing.T) {
+	r := newRunner(t, 11, browser.Chrome, browser.Ubuntu)
+	res, err := r.RunThroughput(XHRGet, 128<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 128<<10 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+	tput := res.BrowserThroughput()
+	if tput <= 0 || tput > 100e6 {
+		t.Fatalf("throughput = %v bit/s", tput)
+	}
+	// The transfer is paced by slow start over a 50 ms RTT: multiple
+	// round trips, so well below the line rate.
+	if tput > 50e6 {
+		t.Fatalf("throughput %v implausibly close to line rate for a 50ms path", tput)
+	}
+}
+
+func TestThroughputSocketEcho(t *testing.T) {
+	for _, kind := range []Kind{WebSocket, JavaTCP, FlashTCP} {
+		r := newRunner(t, 12, browser.Chrome, browser.Ubuntu)
+		res, err := r.RunThroughput(kind, 32<<10)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.BrowserThroughput() <= 0 {
+			t.Fatalf("%v: nonpositive throughput", kind)
+		}
+	}
+}
+
+func TestThroughputDefaultsSize(t *testing.T) {
+	r := newRunner(t, 13, browser.Chrome, browser.Ubuntu)
+	res, err := r.RunThroughput(XHRGet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 64<<10 {
+		t.Fatalf("default size = %d", res.Bytes)
+	}
+}
+
+func TestThroughputUnsupportedKinds(t *testing.T) {
+	r := newRunner(t, 14, browser.Chrome, browser.Ubuntu)
+	if _, err := r.RunThroughput(JavaUDP, 1024); err == nil {
+		t.Fatal("UDP throughput should be rejected")
+	}
+	r2 := newRunner(t, 15, browser.IE, browser.Windows)
+	if _, err := r2.RunThroughput(WebSocket, 1024); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestThroughputZeroBrowserDuration(t *testing.T) {
+	res := &ThroughputResult{Bytes: 100}
+	if res.BrowserThroughput() != 0 {
+		t.Fatal("zero-duration transfer should report 0")
+	}
+}

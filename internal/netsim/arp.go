@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/eventsim"
+)
+
+// EtherTypeARP is the ARP ethertype.
+const EtherTypeARP uint16 = 0x0806
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARPPacket is an Ethernet/IPv4 ARP payload (RFC 826).
+type ARPPacket struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  netip.Addr
+	TargetMAC MAC
+	TargetIP  netip.Addr
+}
+
+const arpLen = 28
+
+// Serialize encodes the ARP payload (hardware=Ethernet, protocol=IPv4).
+func (a *ARPPacket) Serialize() []byte {
+	b := make([]byte, arpLen)
+	binary.BigEndian.PutUint16(b[0:2], 1)      // hardware: Ethernet
+	binary.BigEndian.PutUint16(b[2:4], 0x0800) // protocol: IPv4
+	b[4], b[5] = 6, 4                          // address lengths
+	binary.BigEndian.PutUint16(b[6:8], a.Op)
+	copy(b[8:14], a.SenderMAC[:])
+	sip := a.SenderIP.As4()
+	copy(b[14:18], sip[:])
+	copy(b[18:24], a.TargetMAC[:])
+	tip := a.TargetIP.As4()
+	copy(b[24:28], tip[:])
+	return b
+}
+
+// DecodeARP parses an ARP payload.
+func DecodeARP(b []byte) (*ARPPacket, error) {
+	if len(b) < arpLen {
+		return nil, fmt.Errorf("%w: arp needs %d bytes, have %d", ErrTruncated, arpLen, len(b))
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != 1 || binary.BigEndian.Uint16(b[2:4]) != 0x0800 {
+		return nil, fmt.Errorf("%w: unsupported arp hardware/protocol", ErrBadHeader)
+	}
+	a := &ARPPacket{Op: binary.BigEndian.Uint16(b[6:8])}
+	copy(a.SenderMAC[:], b[8:14])
+	a.SenderIP = netip.AddrFrom4([4]byte(b[14:18]))
+	copy(a.TargetMAC[:], b[18:24])
+	a.TargetIP = netip.AddrFrom4([4]byte(b[24:28]))
+	return a, nil
+}
+
+// ARP implements the address-resolution protocol for one NIC: it answers
+// requests for the NIC's own address and resolves peer addresses on
+// demand, queueing at most one callback per pending resolution.
+//
+// The simulated testbed normally runs with a preconfigured static table
+// (the paper's hosts had exchanged traffic before any experiment, so
+// their caches were warm); ARP exists for cold-start realism and for
+// multi-host topologies built on the substrate.
+type ARP struct {
+	sim *eventsim.Simulator
+	nic *NIC
+
+	// Timeout bounds a resolution attempt (default 1 s).
+	Timeout time.Duration
+
+	cache   map[netip.Addr]MAC
+	pending map[netip.Addr][]func(MAC, bool)
+	// passthrough preserves the NIC's previous handler for non-ARP frames.
+	passthrough func(frame []byte)
+}
+
+// NewARP attaches an ARP engine to nic. It chains the NIC's existing
+// frame handler: ARP frames are consumed, everything else passes through.
+func NewARP(sim *eventsim.Simulator, nic *NIC, prev func(frame []byte)) *ARP {
+	a := &ARP{
+		sim:         sim,
+		nic:         nic,
+		Timeout:     time.Second,
+		cache:       make(map[netip.Addr]MAC),
+		pending:     make(map[netip.Addr][]func(MAC, bool)),
+		passthrough: prev,
+	}
+	nic.SetHandler(a.receive)
+	return a
+}
+
+// Lookup returns a cached mapping.
+func (a *ARP) Lookup(ip netip.Addr) (MAC, bool) {
+	m, ok := a.cache[ip]
+	return m, ok
+}
+
+// Insert seeds the cache (a static ARP entry).
+func (a *ARP) Insert(ip netip.Addr, mac MAC) { a.cache[ip] = mac }
+
+// Resolve calls done with the MAC for ip, either immediately from cache
+// or after a request/reply exchange; done(_, false) signals timeout.
+func (a *ARP) Resolve(ip netip.Addr, done func(MAC, bool)) {
+	if m, ok := a.cache[ip]; ok {
+		done(m, true)
+		return
+	}
+	first := len(a.pending[ip]) == 0
+	a.pending[ip] = append(a.pending[ip], done)
+	if !first {
+		return // a request is already in flight
+	}
+	req := &ARPPacket{
+		Op:        ARPRequest,
+		SenderMAC: a.nic.MAC,
+		SenderIP:  a.nic.Addr,
+		TargetIP:  ip,
+	}
+	eth := &Ethernet{Dst: Broadcast, Src: a.nic.MAC, EtherType: EtherTypeARP}
+	a.nic.Send(eth.Serialize(req.Serialize()))
+	a.sim.Schedule(a.Timeout, func() {
+		waiters := a.pending[ip]
+		if len(waiters) == 0 {
+			return // already resolved
+		}
+		delete(a.pending, ip)
+		for _, w := range waiters {
+			w(MAC{}, false)
+		}
+	})
+}
+
+func (a *ARP) receive(frame []byte) {
+	eth, payload, err := DecodeEthernet(frame)
+	if err != nil || eth.EtherType != EtherTypeARP {
+		if a.passthrough != nil {
+			a.passthrough(frame)
+		}
+		return
+	}
+	pkt, err := DecodeARP(payload)
+	if err != nil {
+		return
+	}
+	// Opportunistic learning: the sender's mapping is always fresh.
+	a.cache[pkt.SenderIP] = pkt.SenderMAC
+
+	switch pkt.Op {
+	case ARPRequest:
+		if pkt.TargetIP != a.nic.Addr {
+			return
+		}
+		reply := &ARPPacket{
+			Op:        ARPReply,
+			SenderMAC: a.nic.MAC,
+			SenderIP:  a.nic.Addr,
+			TargetMAC: pkt.SenderMAC,
+			TargetIP:  pkt.SenderIP,
+		}
+		eth := &Ethernet{Dst: pkt.SenderMAC, Src: a.nic.MAC, EtherType: EtherTypeARP}
+		a.nic.Send(eth.Serialize(reply.Serialize()))
+	case ARPReply:
+		waiters := a.pending[pkt.SenderIP]
+		delete(a.pending, pkt.SenderIP)
+		for _, w := range waiters {
+			w(pkt.SenderMAC, true)
+		}
+	}
+}

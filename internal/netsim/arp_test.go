@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/eventsim"
+)
+
+func TestARPPacketRoundTrip(t *testing.T) {
+	in := &ARPPacket{
+		Op:        ARPRequest,
+		SenderMAC: macA,
+		SenderIP:  ipA,
+		TargetIP:  ipB,
+	}
+	out, err := DecodeARP(in.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("decoded %+v, want %+v", out, in)
+	}
+}
+
+func TestDecodeARPErrors(t *testing.T) {
+	if _, err := DecodeARP(make([]byte, 10)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	b := (&ARPPacket{Op: ARPRequest, SenderIP: ipA, TargetIP: ipB}).Serialize()
+	b[0] = 9 // bogus hardware type
+	if _, err := DecodeARP(b); err == nil {
+		t.Fatal("expected hardware type error")
+	}
+}
+
+// arpPair wires two NICs with ARP engines over a switch.
+func arpPair(t *testing.T, sim *eventsim.Simulator) (*ARP, *ARP, *NIC, *NIC) {
+	t.Helper()
+	na := NewNIC(sim, "a", macA, ipA)
+	nb := NewNIC(sim, "b", macB, ipB)
+	sw := NewSwitch(sim, time.Microsecond)
+	la := NewLink(sim, 100_000_000, 5*time.Microsecond)
+	lb := NewLink(sim, 100_000_000, 5*time.Microsecond)
+	na.Connect(la)
+	sw.Connect(la)
+	nb.Connect(lb)
+	sw.Connect(lb)
+	return NewARP(sim, na, nil), NewARP(sim, nb, nil), na, nb
+}
+
+func TestARPResolvesOverTheWire(t *testing.T) {
+	sim := eventsim.New(81)
+	aa, _, _, _ := arpPair(t, sim)
+
+	var got MAC
+	resolved := false
+	aa.Resolve(ipB, func(m MAC, ok bool) {
+		got, resolved = m, ok
+	})
+	sim.RunUntil(time.Second)
+	if !resolved || got != macB {
+		t.Fatalf("resolved=%v mac=%v", resolved, got)
+	}
+	// And the reply seeded the cache for instant re-resolution.
+	if m, ok := aa.Lookup(ipB); !ok || m != macB {
+		t.Fatal("cache not populated after reply")
+	}
+}
+
+func TestARPOpportunisticLearning(t *testing.T) {
+	sim := eventsim.New(82)
+	aa, ab, _, _ := arpPair(t, sim)
+	aa.Resolve(ipB, func(MAC, bool) {})
+	sim.RunUntil(time.Second)
+	// The responder learned the requester's mapping from the request.
+	if m, ok := ab.Lookup(ipA); !ok || m != macA {
+		t.Fatal("responder did not learn the sender mapping")
+	}
+}
+
+func TestARPCoalescesConcurrentResolves(t *testing.T) {
+	sim := eventsim.New(83)
+	aa, _, na, _ := arpPair(t, sim)
+	requests := 0
+	na.AddTap(func(frame []byte, _ time.Duration, dir Direction) {
+		if dir != DirOut {
+			return
+		}
+		if eth, _, err := DecodeEthernet(frame); err == nil && eth.EtherType == EtherTypeARP {
+			requests++
+		}
+	})
+	done := 0
+	for i := 0; i < 5; i++ {
+		aa.Resolve(ipB, func(_ MAC, ok bool) {
+			if ok {
+				done++
+			}
+		})
+	}
+	sim.RunUntil(time.Second)
+	if done != 5 {
+		t.Fatalf("callbacks fired = %d, want 5", done)
+	}
+	if requests != 1 {
+		t.Fatalf("wire requests = %d, want 1 (coalesced)", requests)
+	}
+}
+
+func TestARPTimeout(t *testing.T) {
+	sim := eventsim.New(84)
+	// No responder: attach ARP to a NIC wired to a silent peer.
+	na := NewNIC(sim, "a", macA, ipA)
+	nb := NewNIC(sim, "b", macB, ipB)
+	link := NewLink(sim, 0, 0)
+	na.Connect(link)
+	nb.Connect(link)
+	nb.SetHandler(func([]byte) {}) // swallows everything
+	aa := NewARP(sim, na, nil)
+	aa.Timeout = 100 * time.Millisecond
+
+	var ok = true
+	fired := false
+	aa.Resolve(netip.MustParseAddr("192.168.1.99"), func(_ MAC, o bool) { ok, fired = o, true })
+	sim.RunUntil(time.Second)
+	if !fired || ok {
+		t.Fatalf("fired=%v ok=%v, want timeout failure", fired, ok)
+	}
+}
+
+func TestARPPassthroughPreservesStack(t *testing.T) {
+	sim := eventsim.New(85)
+	na := NewNIC(sim, "a", macA, ipA)
+	nb := NewNIC(sim, "b", macB, ipB)
+	link := NewLink(sim, 0, 0)
+	na.Connect(link)
+	nb.Connect(link)
+
+	var passed []byte
+	NewARP(sim, nb, func(f []byte) { passed = f })
+	frame := BuildTCP(macA, macB, ipA, ipB, 1, &TCP{SrcPort: 1, DstPort: 2, Flags: FlagSYN}, nil)
+	na.Send(frame)
+	sim.Run()
+	if len(passed) == 0 {
+		t.Fatal("non-ARP frame not passed through to the stack handler")
+	}
+}
+
+func TestARPStaticInsert(t *testing.T) {
+	sim := eventsim.New(86)
+	na := NewNIC(sim, "a", macA, ipA)
+	aa := NewARP(sim, na, nil) // not even connected: cache must suffice
+	aa.Insert(ipB, macB)
+	resolved := false
+	aa.Resolve(ipB, func(m MAC, ok bool) { resolved = ok && m == macB })
+	if !resolved {
+		t.Fatal("static entry not used synchronously")
+	}
+}
+
+// Property: ARP payload round-trips for arbitrary addresses and ops.
+func TestQuickARPRoundTrip(t *testing.T) {
+	f := func(op uint16, sm, tm [6]byte, sip, tip [4]byte) bool {
+		in := &ARPPacket{
+			Op:        op,
+			SenderMAC: MAC(sm),
+			SenderIP:  netip.AddrFrom4(sip),
+			TargetMAC: MAC(tm),
+			TargetIP:  netip.AddrFrom4(tip),
+		}
+		out, err := DecodeARP(in.Serialize())
+		return err == nil && *out == *in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

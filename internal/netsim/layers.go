@@ -1,0 +1,311 @@
+// Package netsim provides the simulated network substrate: binary packet
+// codecs for Ethernet II, IPv4, TCP and UDP (the wire formats are real, so
+// captured traffic can be written to pcap files and opened in Wireshark),
+// plus hosts, full-duplex links and a store-and-forward switch driven by
+// the eventsim virtual clock.
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the address in the canonical colon form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Broadcast is the all-ones Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// EtherType values used by the simulator.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP byte = 6
+	ProtoUDP byte = 17
+)
+
+// Common codec errors.
+var (
+	ErrTruncated = errors.New("netsim: truncated packet")
+	ErrBadHeader = errors.New("netsim: malformed header")
+)
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+const ethernetHeaderLen = 14
+
+// Serialize appends the header followed by payload and returns the frame.
+func (e *Ethernet) Serialize(payload []byte) []byte {
+	b := make([]byte, ethernetHeaderLen+len(payload))
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	copy(b[ethernetHeaderLen:], payload)
+	return b
+}
+
+// DecodeEthernet parses an Ethernet II header, returning it and the payload.
+func DecodeEthernet(b []byte) (*Ethernet, []byte, error) {
+	if len(b) < ethernetHeaderLen {
+		return nil, nil, fmt.Errorf("%w: ethernet header needs %d bytes, have %d", ErrTruncated, ethernetHeaderLen, len(b))
+	}
+	e := &Ethernet{EtherType: binary.BigEndian.Uint16(b[12:14])}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	return e, b[ethernetHeaderLen:], nil
+}
+
+// IPv4 is an IPv4 header without options.
+type IPv4 struct {
+	TOS      byte
+	ID       uint16
+	Flags    byte // upper 3 bits of the fragment word
+	FragOff  uint16
+	TTL      byte
+	Protocol byte
+	Src, Dst netip.Addr
+}
+
+const ipv4HeaderLen = 20
+
+// Serialize appends the header (with computed checksum and total length)
+// followed by payload.
+func (ip *IPv4) Serialize(payload []byte) []byte {
+	b := make([]byte, ipv4HeaderLen+len(payload))
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(ipv4HeaderLen+len(payload)))
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	frag := uint16(ip.Flags)<<13 | ip.FragOff&0x1fff
+	binary.BigEndian.PutUint16(b[6:8], frag)
+	ttl := ip.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	b[8] = ttl
+	b[9] = ip.Protocol
+	src := ip.Src.As4()
+	dst := ip.Dst.As4()
+	copy(b[12:16], src[:])
+	copy(b[16:20], dst[:])
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:ipv4HeaderLen]))
+	copy(b[ipv4HeaderLen:], payload)
+	return b
+}
+
+// DecodeIPv4 parses an IPv4 header and returns it with its payload. The
+// header checksum is verified.
+func DecodeIPv4(b []byte) (*IPv4, []byte, error) {
+	if len(b) < ipv4HeaderLen {
+		return nil, nil, fmt.Errorf("%w: ipv4 header needs %d bytes, have %d", ErrTruncated, ipv4HeaderLen, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, nil, fmt.Errorf("%w: not IPv4 (version %d)", ErrBadHeader, b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(b) < ihl {
+		return nil, nil, fmt.Errorf("%w: bad IHL %d", ErrBadHeader, ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, nil, fmt.Errorf("%w: ipv4 checksum mismatch", ErrBadHeader)
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return nil, nil, fmt.Errorf("%w: total length %d outside [%d,%d]", ErrBadHeader, total, ihl, len(b))
+	}
+	frag := binary.BigEndian.Uint16(b[6:8])
+	ip := &IPv4{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		Flags:    byte(frag >> 13),
+		FragOff:  frag & 0x1fff,
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      netip.AddrFrom4([4]byte(b[12:16])),
+		Dst:      netip.AddrFrom4([4]byte(b[16:20])),
+	}
+	return ip, b[ihl:total], nil
+}
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// TCP is a TCP header without options.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            byte
+	Window           uint16
+}
+
+const tcpHeaderLen = 20
+
+// Serialize appends the header (with checksum over the IPv4 pseudo-header)
+// followed by payload.
+func (t *TCP) Serialize(src, dst netip.Addr, payload []byte) []byte {
+	b := make([]byte, tcpHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = t.Flags
+	win := t.Window
+	if win == 0 {
+		win = 65535
+	}
+	binary.BigEndian.PutUint16(b[14:16], win)
+	copy(b[tcpHeaderLen:], payload)
+	binary.BigEndian.PutUint16(b[16:18], pseudoChecksum(src, dst, ProtoTCP, b))
+	return b
+}
+
+// DecodeTCP parses a TCP header, verifying the checksum against the given
+// IPv4 endpoints, and returns the header and payload.
+func DecodeTCP(src, dst netip.Addr, b []byte) (*TCP, []byte, error) {
+	if len(b) < tcpHeaderLen {
+		return nil, nil, fmt.Errorf("%w: tcp header needs %d bytes, have %d", ErrTruncated, tcpHeaderLen, len(b))
+	}
+	off := int(b[12]>>4) * 4
+	if off < tcpHeaderLen || len(b) < off {
+		return nil, nil, fmt.Errorf("%w: bad tcp data offset %d", ErrBadHeader, off)
+	}
+	if pseudoChecksum(src, dst, ProtoTCP, b) != 0 {
+		return nil, nil, fmt.Errorf("%w: tcp checksum mismatch", ErrBadHeader)
+	}
+	t := &TCP{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   b[13],
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+	}
+	return t, b[off:], nil
+}
+
+// FlagString renders the flag bits as in tcpdump (e.g. "SA" for SYN+ACK).
+func (t *TCP) FlagString() string {
+	s := ""
+	if t.Flags&FlagSYN != 0 {
+		s += "S"
+	}
+	if t.Flags&FlagFIN != 0 {
+		s += "F"
+	}
+	if t.Flags&FlagRST != 0 {
+		s += "R"
+	}
+	if t.Flags&FlagPSH != 0 {
+		s += "P"
+	}
+	if t.Flags&FlagACK != 0 {
+		s += "A"
+	}
+	if s == "" {
+		s = "."
+	}
+	return s
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+}
+
+const udpHeaderLen = 8
+
+// Serialize appends the header (with length and pseudo-header checksum)
+// followed by payload.
+func (u *UDP) Serialize(src, dst netip.Addr, payload []byte) []byte {
+	b := make([]byte, udpHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
+	copy(b[udpHeaderLen:], payload)
+	sum := pseudoChecksum(src, dst, ProtoUDP, b)
+	if sum == 0 {
+		sum = 0xffff // RFC 768: transmitted zero checksum means "none"
+	}
+	binary.BigEndian.PutUint16(b[6:8], sum)
+	return b
+}
+
+// DecodeUDP parses a UDP header, verifying length and checksum.
+func DecodeUDP(src, dst netip.Addr, b []byte) (*UDP, []byte, error) {
+	if len(b) < udpHeaderLen {
+		return nil, nil, fmt.Errorf("%w: udp header needs %d bytes, have %d", ErrTruncated, udpHeaderLen, len(b))
+	}
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	if length < udpHeaderLen || length > len(b) {
+		return nil, nil, fmt.Errorf("%w: udp length %d outside [%d,%d]", ErrBadHeader, length, udpHeaderLen, len(b))
+	}
+	if binary.BigEndian.Uint16(b[6:8]) != 0 && pseudoChecksum(src, dst, ProtoUDP, b[:length]) != 0 {
+		return nil, nil, fmt.Errorf("%w: udp checksum mismatch", ErrBadHeader)
+	}
+	u := &UDP{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+	}
+	return u, b[udpHeaderLen:length], nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum of b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoChecksum computes the TCP/UDP checksum including the IPv4
+// pseudo-header. segment must already contain a zero (or original)
+// checksum field; verifying a correct segment yields 0.
+func pseudoChecksum(src, dst netip.Addr, proto byte, segment []byte) uint16 {
+	var sum uint32
+	s4, d4 := src.As4(), dst.As4()
+	sum += uint32(binary.BigEndian.Uint16(s4[0:2])) + uint32(binary.BigEndian.Uint16(s4[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(d4[0:2])) + uint32(binary.BigEndian.Uint16(d4[2:4]))
+	sum += uint32(proto)
+	sum += uint32(len(segment))
+	b := segment
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

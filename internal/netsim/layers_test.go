@@ -1,0 +1,307 @@
+package netsim
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	macA = MAC{0x02, 0, 0, 0, 0, 0x0a}
+	macB = MAC{0x02, 0, 0, 0, 0, 0x0b}
+	ipA  = netip.MustParseAddr("192.168.1.10")
+	ipB  = netip.MustParseAddr("192.168.1.20")
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	in := &Ethernet{Dst: macB, Src: macA, EtherType: EtherTypeIPv4}
+	payload := []byte("hello world")
+	frame := in.Serialize(payload)
+	out, rest, err := DecodeEthernet(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("header = %+v, want %+v", out, in)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload = %q, want %q", rest, payload)
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	if _, _, err := DecodeEthernet(make([]byte, 13)); err == nil {
+		t.Fatal("expected error for 13-byte frame")
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	in := &IPv4{TOS: 0x10, ID: 4242, TTL: 64, Protocol: ProtoTCP, Src: ipA, Dst: ipB}
+	payload := []byte("segment bytes")
+	b := in.Serialize(payload)
+	out, rest, err := DecodeIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Protocol != in.Protocol || out.Src != in.Src || out.Dst != in.Dst || out.TOS != in.TOS {
+		t.Fatalf("header = %+v, want %+v", out, in)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload = %q, want %q", rest, payload)
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	in := &IPv4{ID: 1, Protocol: ProtoUDP, Src: ipA, Dst: ipB}
+	b := in.Serialize(nil)
+	b[8]++ // corrupt TTL
+	if _, _, err := DecodeIPv4(b); err == nil {
+		t.Fatal("expected checksum error after corruption")
+	}
+}
+
+func TestIPv4RejectsVersion6(t *testing.T) {
+	b := (&IPv4{Protocol: ProtoTCP, Src: ipA, Dst: ipB}).Serialize(nil)
+	b[0] = 0x65
+	if _, _, err := DecodeIPv4(b); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestIPv4TotalLengthBounds(t *testing.T) {
+	b := (&IPv4{Protocol: ProtoTCP, Src: ipA, Dst: ipB}).Serialize([]byte("abc"))
+	if _, _, err := DecodeIPv4(b[:20]); err == nil {
+		t.Fatal("expected error when total length exceeds buffer")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	in := &TCP{SrcPort: 49152, DstPort: 80, Seq: 1<<31 + 5, Ack: 99, Flags: FlagPSH | FlagACK, Window: 1024}
+	payload := []byte("GET / HTTP/1.1\r\n\r\n")
+	b := in.Serialize(ipA, ipB, payload)
+	out, rest, err := DecodeTCP(ipA, ipB, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("header = %+v, want %+v", out, in)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload = %q, want %q", rest, payload)
+	}
+}
+
+func TestTCPChecksumBindsEndpoints(t *testing.T) {
+	in := &TCP{SrcPort: 1, DstPort: 2, Window: 1}
+	b := in.Serialize(ipA, ipB, nil)
+	// Decoding against a different address must fail: checksum covers the
+	// pseudo-header. (Swapping src/dst alone is sum-commutative, so use a
+	// genuinely different endpoint.)
+	other := netip.MustParseAddr("10.9.9.9")
+	if _, _, err := DecodeTCP(ipA, other, b); err == nil {
+		t.Fatal("expected checksum error with different endpoint")
+	}
+}
+
+func TestTCPCorruptPayloadDetected(t *testing.T) {
+	in := &TCP{SrcPort: 5, DstPort: 6, Window: 10}
+	b := in.Serialize(ipA, ipB, []byte("data"))
+	b[len(b)-1] ^= 0xff
+	if _, _, err := DecodeTCP(ipA, ipB, b); err == nil {
+		t.Fatal("expected checksum error after payload corruption")
+	}
+}
+
+func TestTCPFlagString(t *testing.T) {
+	cases := []struct {
+		flags byte
+		want  string
+	}{
+		{FlagSYN, "S"},
+		{FlagSYN | FlagACK, "SA"},
+		{FlagPSH | FlagACK, "PA"},
+		{FlagFIN | FlagACK, "FA"},
+		{FlagRST, "R"},
+		{0, "."},
+	}
+	for _, c := range cases {
+		if got := (&TCP{Flags: c.flags}).FlagString(); got != c.want {
+			t.Errorf("FlagString(%08b) = %q, want %q", c.flags, got, c.want)
+		}
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	in := &UDP{SrcPort: 5353, DstPort: 53}
+	payload := []byte{1, 2, 3, 4, 5}
+	b := in.Serialize(ipA, ipB, payload)
+	out, rest, err := DecodeUDP(ipA, ipB, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("header = %+v, want %+v", out, in)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload = %v, want %v", rest, payload)
+	}
+}
+
+func TestUDPEmptyPayload(t *testing.T) {
+	b := (&UDP{SrcPort: 1, DstPort: 2}).Serialize(ipA, ipB, nil)
+	_, rest, err := DecodeUDP(ipA, ipB, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("payload = %v, want empty", rest)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Classic RFC 1071 example: checksum of these words is 0xddf2.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != ^uint16(0xddf2) {
+		t.Fatalf("Checksum = %#04x, want %#04x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Verifying data with its own checksum appended must yield zero.
+	data := []byte{0xab, 0xcd, 0xef}
+	sum := Checksum(data)
+	full := append(append([]byte{}, data...), byte(0), byte(0))
+	// Put checksum where a header would carry it: simplest check is that
+	// Checksum(data with sum folded in) == 0 when appended as a 16-bit word
+	// aligned; emulate by padding data to even length first.
+	padded := append(append([]byte{}, data...), 0)
+	sum = Checksum(padded)
+	full = append(padded, byte(sum>>8), byte(sum))
+	if got := Checksum(full); got != 0 {
+		t.Fatalf("self-verifying checksum = %#04x, want 0", got)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if got := m.String(); got != "de:ad:be:ef:00:01" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDecodeFullStack(t *testing.T) {
+	payload := []byte("ping")
+	frame := BuildTCP(macA, macB, ipA, ipB, 7, &TCP{SrcPort: 1234, DstPort: 80, Seq: 1, Flags: FlagPSH | FlagACK}, payload)
+	p, err := Decode(frame, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Eth == nil || p.IP == nil || p.TCP == nil || p.UDP != nil {
+		t.Fatalf("layer set wrong: %+v", p)
+	}
+	if p.TCP.SrcPort != 1234 || p.TCP.DstPort != 80 {
+		t.Fatalf("ports = %d>%d", p.TCP.SrcPort, p.TCP.DstPort)
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Fatalf("payload = %q", p.Payload)
+	}
+	if p.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestDecodeUDPStack(t *testing.T) {
+	frame := BuildUDP(macA, macB, ipA, ipB, 9, &UDP{SrcPort: 999, DstPort: 7}, []byte("echo"))
+	p, err := Decode(frame, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UDP == nil || p.TCP != nil {
+		t.Fatal("expected UDP layer only")
+	}
+	if string(p.Payload) != "echo" {
+		t.Fatalf("payload = %q", p.Payload)
+	}
+}
+
+func TestDecodeNonIPFrame(t *testing.T) {
+	e := &Ethernet{Dst: macB, Src: macA, EtherType: 0x0806} // ARP
+	p, err := Decode(e.Serialize([]byte{0, 1}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IP != nil {
+		t.Fatal("unexpected IP layer on ARP frame")
+	}
+	if p.String() == "" {
+		t.Fatal("String() empty for non-IP frame")
+	}
+}
+
+// Property: TCP serialize/decode round-trips for arbitrary headers and
+// payloads.
+func TestQuickTCPRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, payload []byte) bool {
+		in := &TCP{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: FlagACK, Window: 512}
+		b := in.Serialize(ipA, ipB, payload)
+		out, rest, err := DecodeTCP(ipA, ipB, b)
+		if err != nil {
+			return false
+		}
+		return *out == *in && bytes.Equal(rest, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: UDP round-trips for arbitrary payloads.
+func TestQuickUDPRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		in := &UDP{SrcPort: sp, DstPort: dp}
+		b := in.Serialize(ipA, ipB, payload)
+		out, rest, err := DecodeUDP(ipA, ipB, b)
+		if err != nil {
+			return false
+		}
+		return *out == *in && bytes.Equal(rest, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: single-bit corruption anywhere in an IPv4 header is detected.
+func TestQuickIPv4CorruptionDetected(t *testing.T) {
+	f := func(id uint16, bit uint8) bool {
+		in := &IPv4{ID: id, Protocol: ProtoTCP, Src: ipA, Dst: ipB}
+		b := in.Serialize(nil)
+		pos := int(bit) % (ipv4HeaderLen * 8)
+		b[pos/8] ^= 1 << (pos % 8)
+		_, _, err := DecodeIPv4(b)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: full Ethernet/IP/TCP frames decode back to the same 5-tuple.
+func TestQuickFullStackRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		frame := BuildTCP(macA, macB, ipA, ipB, 1, &TCP{SrcPort: sp, DstPort: dp, Flags: FlagACK}, payload)
+		p, err := Decode(frame, 0)
+		if err != nil || p.TCP == nil {
+			return false
+		}
+		return p.TCP.SrcPort == sp && p.TCP.DstPort == dp &&
+			p.IP.Src == ipA && p.IP.Dst == ipB && bytes.Equal(p.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

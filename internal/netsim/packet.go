@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Packet is a fully decoded frame as seen on a link, together with the
+// virtual capture timestamp assigned by the NIC that observed it.
+type Packet struct {
+	Time time.Duration // virtual time the frame passed the observation point
+	Raw  []byte        // the frame bytes as transmitted
+
+	Eth *Ethernet
+	IP  *IPv4
+	TCP *TCP // nil unless IP.Protocol == ProtoTCP
+	UDP *UDP // nil unless IP.Protocol == ProtoUDP
+
+	Payload []byte // transport payload (nil for non-IP frames)
+}
+
+// Decode parses raw as Ethernet/IPv4/{TCP,UDP}. Unknown upper layers leave
+// the corresponding fields nil; only structural errors are returned.
+func Decode(raw []byte, at time.Duration) (*Packet, error) {
+	p := &Packet{Time: at, Raw: raw}
+	eth, rest, err := DecodeEthernet(raw)
+	if err != nil {
+		return nil, err
+	}
+	p.Eth = eth
+	if eth.EtherType != EtherTypeIPv4 {
+		return p, nil
+	}
+	ip, rest, err := DecodeIPv4(rest)
+	if err != nil {
+		return nil, err
+	}
+	p.IP = ip
+	switch ip.Protocol {
+	case ProtoTCP:
+		t, payload, err := DecodeTCP(ip.Src, ip.Dst, rest)
+		if err != nil {
+			return nil, err
+		}
+		p.TCP = t
+		p.Payload = payload
+	case ProtoUDP:
+		u, payload, err := DecodeUDP(ip.Src, ip.Dst, rest)
+		if err != nil {
+			return nil, err
+		}
+		p.UDP = u
+		p.Payload = payload
+	}
+	return p, nil
+}
+
+// String renders the packet one-line, tcpdump style.
+func (p *Packet) String() string {
+	switch {
+	case p.TCP != nil:
+		return fmt.Sprintf("%v IP %v.%d > %v.%d: Flags [%s], seq %d, ack %d, length %d",
+			p.Time, p.IP.Src, p.TCP.SrcPort, p.IP.Dst, p.TCP.DstPort,
+			p.TCP.FlagString(), p.TCP.Seq, p.TCP.Ack, len(p.Payload))
+	case p.UDP != nil:
+		return fmt.Sprintf("%v IP %v.%d > %v.%d: UDP, length %d",
+			p.Time, p.IP.Src, p.UDP.SrcPort, p.IP.Dst, p.UDP.DstPort, len(p.Payload))
+	case p.IP != nil:
+		return fmt.Sprintf("%v IP %v > %v: proto %d", p.Time, p.IP.Src, p.IP.Dst, p.IP.Protocol)
+	default:
+		return fmt.Sprintf("%v %v > %v ethertype 0x%04x", p.Time, p.Eth.Src, p.Eth.Dst, p.Eth.EtherType)
+	}
+}
+
+// BuildTCP assembles a complete Ethernet/IPv4/TCP frame.
+func BuildTCP(srcMAC, dstMAC MAC, src, dst netip.Addr, ipID uint16, hdr *TCP, payload []byte) []byte {
+	seg := hdr.Serialize(src, dst, payload)
+	ip := &IPv4{ID: ipID, Protocol: ProtoTCP, Src: src, Dst: dst}
+	eth := &Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	return eth.Serialize(ip.Serialize(seg))
+}
+
+// BuildUDP assembles a complete Ethernet/IPv4/UDP frame.
+func BuildUDP(srcMAC, dstMAC MAC, src, dst netip.Addr, ipID uint16, hdr *UDP, payload []byte) []byte {
+	seg := hdr.Serialize(src, dst, payload)
+	ip := &IPv4{ID: ipID, Protocol: ProtoUDP, Src: src, Dst: dst}
+	eth := &Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	return eth.Serialize(ip.Serialize(seg))
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/eventsim"
+)
+
+func TestTrafficGenRateAndSize(t *testing.T) {
+	sim := eventsim.New(71)
+	src := NewNIC(sim, "src", macA, ipA)
+	dst := NewNIC(sim, "dst", macB, ipB)
+	link := NewLink(sim, 1_000_000_000, 0)
+	src.Connect(link)
+	dst.Connect(link)
+
+	var got int
+	var sizes []int
+	dst.SetHandler(func(f []byte) {
+		got++
+		p, err := Decode(f, sim.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(p.Payload))
+	})
+
+	g := NewTrafficGen(sim, src, ipB, macB, 1000, 256)
+	g.Start()
+	sim.Advance(time.Second)
+	g.Stop()
+	sim.Run()
+
+	// Poisson with mean 1000/s over 1s: expect within a wide band.
+	if got < 800 || got > 1200 {
+		t.Fatalf("received %d datagrams, want ~1000", got)
+	}
+	if g.Sent != got {
+		t.Fatalf("sent %d received %d on a lossless link", g.Sent, got)
+	}
+	for _, s := range sizes[:5] {
+		if s != 256 {
+			t.Fatalf("payload size = %d, want 256", s)
+		}
+	}
+}
+
+func TestTrafficGenDeterministic(t *testing.T) {
+	run := func() int {
+		sim := eventsim.New(5)
+		src := NewNIC(sim, "src", macA, ipA)
+		dst := NewNIC(sim, "dst", macB, ipB)
+		link := NewLink(sim, 0, 0)
+		src.Connect(link)
+		dst.Connect(link)
+		dst.SetHandler(func([]byte) {})
+		g := NewTrafficGen(sim, src, ipB, macB, 500, 100)
+		g.Start()
+		sim.Advance(500 * time.Millisecond)
+		g.Stop()
+		return g.Sent
+	}
+	if run() != run() {
+		t.Fatal("traffic generation not deterministic per seed")
+	}
+}
+
+func TestTrafficGenDoubleStart(t *testing.T) {
+	sim := eventsim.New(9)
+	src := NewNIC(sim, "src", macA, ipA)
+	dst := NewNIC(sim, "dst", macB, ipB)
+	link := NewLink(sim, 0, 0)
+	src.Connect(link)
+	dst.Connect(link)
+	dst.SetHandler(func([]byte) {})
+	g := NewTrafficGen(sim, src, ipB, macB, 1000, 64)
+	g.Start()
+	g.Start() // must not double the rate
+	sim.Advance(200 * time.Millisecond)
+	g.Stop()
+	if g.Sent > 320 { // ~200 expected at 1000/s over 0.2s; doubled would be ~400
+		t.Fatalf("sent %d datagrams in 200ms: double-started?", g.Sent)
+	}
+}
+
+func TestTrafficGenZeroRateIsIdle(t *testing.T) {
+	sim := eventsim.New(10)
+	src := NewNIC(sim, "src", macA, ipA)
+	dst := NewNIC(sim, "dst", macB, ipB)
+	link := NewLink(sim, 0, 0)
+	src.Connect(link)
+	dst.Connect(link)
+	g := NewTrafficGen(sim, src, ipB, macB, 0, 64)
+	g.Start()
+	sim.Advance(time.Second)
+	if g.Sent != 0 {
+		t.Fatalf("zero-rate generator sent %d", g.Sent)
+	}
+}

@@ -1,0 +1,292 @@
+// Package server implements a real-network measurement server: the
+// deployable counterpart of the simulated testbed. It hosts the same
+// workloads the paper's Apache box did — a container page and probe
+// endpoints over HTTP, a WebSocket echo service (RFC 6455, using the same
+// frame codec as the simulator), and TCP/UDP echo services — plus an
+// artificial response-delay knob for testbed-style calibration.
+//
+// Everything binds to loopback-or-given host with ephemeral ports by
+// default, so examples and tests can run unprivileged and offline.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/wssim"
+)
+
+// Config controls the listeners.
+type Config struct {
+	// Host is the bind address (default "127.0.0.1").
+	Host string
+	// Delay is the artificial pause before every response (the paper's
+	// +50 ms; default 0 for live use).
+	Delay time.Duration
+}
+
+// Server is a running measurement server.
+type Server struct {
+	cfg Config
+
+	httpSrv *http.Server
+	httpLn  net.Listener
+	wsLn    net.Listener
+	tcpLn   net.Listener
+	udpConn *net.UDPConn
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	// Stats.
+	httpRequests int64
+	wsMessages   int64
+	tcpEchoes    int64
+	udpEchoes    int64
+}
+
+// Addrs exposes the bound addresses of a running server.
+type Addrs struct {
+	HTTP    string
+	WS      string
+	TCPEcho string
+	UDPEcho string
+}
+
+// Start brings up all four services.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Host == "" {
+		cfg.Host = "127.0.0.1"
+	}
+	s := &Server{cfg: cfg}
+
+	var err error
+	if s.httpLn, err = net.Listen("tcp", cfg.Host+":0"); err != nil {
+		return nil, fmt.Errorf("server: http listen: %w", err)
+	}
+	if s.wsLn, err = net.Listen("tcp", cfg.Host+":0"); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("server: ws listen: %w", err)
+	}
+	if s.tcpLn, err = net.Listen("tcp", cfg.Host+":0"); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("server: tcp listen: %w", err)
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", cfg.Host+":0")
+	if err == nil {
+		s.udpConn, err = net.ListenUDP("udp", udpAddr)
+	}
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("server: udp listen: %w", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleContainer)
+	mux.HandleFunc("/probe", s.handleProbe)
+	s.httpSrv = &http.Server{Handler: mux}
+
+	s.wg.Add(3)
+	go func() { defer s.wg.Done(); _ = s.httpSrv.Serve(s.httpLn) }()
+	go func() { defer s.wg.Done(); s.serveWS() }()
+	go func() { defer s.wg.Done(); s.serveTCPEcho() }()
+	s.wg.Add(1)
+	go func() { defer s.wg.Done(); s.serveUDPEcho() }()
+	return s, nil
+}
+
+// Addrs returns the bound addresses.
+func (s *Server) Addrs() Addrs {
+	return Addrs{
+		HTTP:    s.httpLn.Addr().String(),
+		WS:      s.wsLn.Addr().String(),
+		TCPEcho: s.tcpLn.Addr().String(),
+		UDPEcho: s.udpConn.LocalAddr().String(),
+	}
+}
+
+// Stats returns the exchange counters (http, ws, tcp, udp).
+func (s *Server) Stats() (int64, int64, int64, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.httpRequests, s.wsMessages, s.tcpEchoes, s.udpEchoes
+}
+
+// Close shuts every listener down and waits for the service goroutines.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.httpSrv != nil {
+		_ = s.httpSrv.Close()
+	} else if s.httpLn != nil {
+		_ = s.httpLn.Close()
+	}
+	if s.wsLn != nil {
+		_ = s.wsLn.Close()
+	}
+	if s.tcpLn != nil {
+		_ = s.tcpLn.Close()
+	}
+	if s.udpConn != nil {
+		_ = s.udpConn.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) pause() {
+	if s.cfg.Delay > 0 {
+		time.Sleep(s.cfg.Delay)
+	}
+}
+
+func (s *Server) handleContainer(w http.ResponseWriter, _ *http.Request) {
+	s.pause()
+	s.count(&s.httpRequests)
+	w.Header().Set("Content-Type", "text/html")
+	_, _ = io.WriteString(w, "<html><body><script src=\"/measure.js\"></script></body></html>")
+}
+
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	s.pause()
+	s.count(&s.httpRequests)
+	if r.Method == http.MethodPost {
+		_, _ = io.Copy(io.Discard, r.Body)
+		_, _ = io.WriteString(w, "post-ok")
+		return
+	}
+	_, _ = io.WriteString(w, "pong")
+}
+
+func (s *Server) count(field *int64) {
+	s.mu.Lock()
+	*field++
+	s.mu.Unlock()
+}
+
+// serveWS accepts WebSocket connections: it performs the RFC 6455 upgrade
+// using the shared codec and echoes every data frame.
+func (s *Server) serveWS() {
+	for {
+		conn, err := s.wsLn.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.wsSession(conn)
+		}()
+	}
+}
+
+func (s *Server) wsSession(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	req, err := http.ReadRequest(br)
+	if err != nil {
+		return
+	}
+	key := req.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		_, _ = io.WriteString(conn, "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n")
+		return
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wssim.AcceptKey(key) + "\r\n\r\n"
+	if _, err := io.WriteString(conn, resp); err != nil {
+		return
+	}
+	var buf []byte
+	chunk := make([]byte, 4096)
+	for {
+		n, err := br.Read(chunk)
+		if n > 0 {
+			buf = append(buf, chunk[:n]...)
+			for {
+				f, consumed, ferr := wssim.ParseFrame(buf)
+				if ferr == wssim.ErrIncomplete {
+					break
+				}
+				if ferr != nil {
+					return
+				}
+				buf = buf[consumed:]
+				switch f.Opcode {
+				case wssim.OpClose:
+					out := &wssim.Frame{Fin: true, Opcode: wssim.OpClose}
+					_, _ = conn.Write(out.Marshal())
+					return
+				case wssim.OpPing:
+					out := &wssim.Frame{Fin: true, Opcode: wssim.OpPong, Payload: f.Payload}
+					_, _ = conn.Write(out.Marshal())
+				default:
+					s.pause()
+					s.count(&s.wsMessages)
+					out := &wssim.Frame{Fin: true, Opcode: f.Opcode, Payload: f.Payload}
+					if _, err := conn.Write(out.Marshal()); err != nil {
+						return
+					}
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) serveTCPEcho() {
+	for {
+		conn, err := s.tcpLn.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			buf := make([]byte, 4096)
+			for {
+				n, err := conn.Read(buf)
+				if n > 0 {
+					s.pause()
+					s.count(&s.tcpEchoes)
+					if _, werr := conn.Write(buf[:n]); werr != nil {
+						return
+					}
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (s *Server) serveUDPEcho() {
+	buf := make([]byte, 65535)
+	for {
+		n, addr, err := s.udpConn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		s.pause()
+		s.count(&s.udpEchoes)
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		_, _ = s.udpConn.WriteToUDP(payload, addr)
+	}
+}

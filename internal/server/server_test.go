@@ -1,0 +1,202 @@
+package server
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/wssim"
+)
+
+func startServer(t *testing.T, delay time.Duration) *Server {
+	t.Helper()
+	s, err := Start(Config{Delay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := startServer(t, 0)
+	addrs := s.Addrs()
+
+	resp, err := http.Get("http://" + addrs.HTTP + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body[:6]) != "<html>" {
+		t.Fatalf("container: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + addrs.HTTP + "/probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("probe GET = %q", body)
+	}
+
+	resp, err = http.Post("http://"+addrs.HTTP+"/probe", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "post-ok" {
+		t.Fatalf("probe POST = %q", body)
+	}
+
+	httpN, _, _, _ := s.Stats()
+	if httpN != 3 {
+		t.Fatalf("http requests = %d, want 3", httpN)
+	}
+}
+
+func TestTCPEcho(t *testing.T) {
+	s := startServer(t, 0)
+	c, err := net.Dial("tcp", s.Addrs().TCPEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello-echo")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "hello-echo" {
+		t.Fatalf("echo = %q", buf[:n])
+	}
+}
+
+func TestUDPEcho(t *testing.T) {
+	s := startServer(t, 0)
+	c, err := net.Dial("udp", s.Addrs().UDPEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("dgram")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "dgram" {
+		t.Fatalf("echo = %q", buf[:n])
+	}
+}
+
+func TestWebSocketEcho(t *testing.T) {
+	s := startServer(t, 0)
+	c, err := net.Dial("tcp", s.Addrs().WS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	req := "GET / HTTP/1.1\r\nHost: x\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\nSec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := io.WriteString(c, req); err != nil {
+		t.Fatal(err)
+	}
+	// Read the 101 response headers.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	hdr := make([]byte, 0, 512)
+	tmp := make([]byte, 1)
+	for {
+		if _, err := c.Read(tmp); err != nil {
+			t.Fatal(err)
+		}
+		hdr = append(hdr, tmp[0])
+		if len(hdr) >= 4 && string(hdr[len(hdr)-4:]) == "\r\n\r\n" {
+			break
+		}
+	}
+	if string(hdr[:12]) != "HTTP/1.1 101" {
+		t.Fatalf("upgrade response: %q", hdr)
+	}
+	// Send a masked frame, expect an unmasked echo.
+	f := &wssim.Frame{Fin: true, Opcode: wssim.OpBinary, Masked: true, MaskKey: [4]byte{9, 8, 7, 6}, Payload: []byte("ws-ping")}
+	if _, err := c.Write(f.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 256)
+	tmp = make([]byte, 256)
+	for {
+		n, err := c.Read(tmp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, tmp[:n]...)
+		echo, _, ferr := wssim.ParseFrame(buf)
+		if ferr == wssim.ErrIncomplete {
+			continue
+		}
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		if string(echo.Payload) != "ws-ping" {
+			t.Fatalf("echo payload = %q", echo.Payload)
+		}
+		break
+	}
+}
+
+func TestWebSocketRejectsPlainHTTP(t *testing.T) {
+	s := startServer(t, 0)
+	c, err := net.Dial("tcp", s.Addrs().WS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	io.WriteString(c, "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 128)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:12]) != "HTTP/1.1 400" {
+		t.Fatalf("response = %q", buf[:n])
+	}
+}
+
+func TestDelayApplied(t *testing.T) {
+	s := startServer(t, 30*time.Millisecond)
+	c, err := net.Dial("tcp", s.Addrs().TCPEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	c.Write([]byte("p"))
+	buf := make([]byte, 16)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 30*time.Millisecond {
+		t.Fatalf("RTT = %v, want >= 30ms", rtt)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := startServer(t, 0)
+	s.Close()
+	s.Close() // must not panic or deadlock
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderBoxes draws labeled box-and-whisker plots as ASCII art, one row
+// per box, sharing a common horizontal scale — a terminal rendition of
+// the paper's Figure 3 panels.
+//
+//	C (U) Δd1  |    ·  ├────[█──╂────]──────┤        ·    |
+//
+// Glyphs: [ ] box (Q1..Q3), ╂ median, ├ ┤ whiskers, · outliers.
+func RenderBoxes(labels []string, boxes []Box, width int) string {
+	if len(labels) != len(boxes) {
+		panic("stats: RenderBoxes label/box count mismatch")
+	}
+	if len(boxes) == 0 {
+		return ""
+	}
+	if width < 20 {
+		width = 60
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range boxes {
+		lo = math.Min(lo, b.Min)
+		hi = math.Max(hi, b.Max)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	lo -= span * 0.02
+	hi += span * 0.02
+	span = hi - lo
+
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+
+	col := func(v float64) int {
+		c := int((v - lo) / span * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var out strings.Builder
+	for i, b := range boxes {
+		row := make([]rune, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		// Whisker span.
+		for j := col(b.WhiskerLo); j <= col(b.WhiskerHi); j++ {
+			row[j] = '─'
+		}
+		row[col(b.WhiskerLo)] = '├'
+		row[col(b.WhiskerHi)] = '┤'
+		// Box.
+		q1, q3 := col(b.Q1), col(b.Q3)
+		for j := q1; j <= q3; j++ {
+			if row[j] == '─' || row[j] == ' ' {
+				row[j] = '█'
+			}
+		}
+		row[q1] = '['
+		row[q3] = ']'
+		// Median.
+		row[col(b.Median)] = '╂'
+		// Outliers.
+		for _, o := range b.Outliers {
+			j := col(o)
+			if row[j] == ' ' {
+				row[j] = '·'
+			}
+		}
+		fmt.Fprintf(&out, "%-*s |%s|\n", labelW, labels[i], string(row))
+	}
+	// Axis with three ticks.
+	axis := make([]rune, width)
+	for j := range axis {
+		axis[j] = '-'
+	}
+	fmt.Fprintf(&out, "%-*s +%s+\n", labelW, "", string(axis))
+	mid := (lo + hi) / 2
+	tick := fmt.Sprintf("%-*s  %-*.1f%*.1f%*s", labelW, "",
+		width/2, lo, 0, mid, width-width/2-len(fmt.Sprintf("%.1f", mid)), fmt.Sprintf("%.1f", hi))
+	out.WriteString(strings.TrimRight(tick, " ") + " (ms)\n")
+	return out.String()
+}
+
+// RenderCDF draws an ASCII CDF: one row per decile with a bar whose length
+// is proportional to the x position of that quantile within [min,max].
+func RenderCDF(label string, c *CDF, width int) string {
+	if width < 20 {
+		width = 50
+	}
+	lo := c.Quantile(0)
+	hi := c.Quantile(1)
+	if hi == lo {
+		hi = lo + 1
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "%s (x: %.2f .. %.2f ms)\n", label, lo, hi)
+	for p := 10; p <= 100; p += 10 {
+		q := c.Quantile(float64(p) / 100)
+		n := int((q - lo) / (hi - lo) * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&out, "  p%-3d %8.2f |%s\n", p, q, strings.Repeat("#", n))
+	}
+	return out.String()
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBoxesBasic(t *testing.T) {
+	boxes := []Box{
+		NewBox([]float64{1, 2, 3, 4, 5}),
+		NewBox([]float64{10, 20, 30, 40, 100}),
+	}
+	s := RenderBoxes([]string{"a", "bb"}, boxes, 60)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // 2 boxes + axis + ticks
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	for _, glyph := range []string{"╂", "[", "]", "├", "┤"} {
+		if !strings.Contains(s, glyph) {
+			t.Fatalf("missing glyph %q:\n%s", glyph, s)
+		}
+	}
+	if !strings.Contains(s, "(ms)") {
+		t.Fatal("missing axis unit")
+	}
+}
+
+func TestRenderBoxesOutliersShown(t *testing.T) {
+	b := NewBox([]float64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 100})
+	s := RenderBoxes([]string{"x"}, []Box{b}, 80)
+	if !strings.Contains(s, "·") {
+		t.Fatalf("outlier glyph missing:\n%s", s)
+	}
+}
+
+func TestRenderBoxesConstantSamples(t *testing.T) {
+	b := NewBox([]float64{5, 5, 5})
+	s := RenderBoxes([]string{"flat"}, []Box{b}, 40)
+	if s == "" || !strings.Contains(s, "flat") {
+		t.Fatalf("render = %q", s)
+	}
+}
+
+func TestRenderBoxesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RenderBoxes([]string{"a"}, nil, 40)
+}
+
+func TestRenderBoxesEmpty(t *testing.T) {
+	if RenderBoxes(nil, nil, 40) != "" {
+		t.Fatal("empty input should render nothing")
+	}
+}
+
+func TestRenderBoxesMedianPosition(t *testing.T) {
+	// A median at the far right of the range must land near the end of
+	// the row.
+	b := NewBox([]float64{0, 99, 100, 100, 100})
+	s := RenderBoxes([]string{"m"}, []Box{b}, 100)
+	row := strings.Split(s, "\n")[0]
+	idx := strings.IndexRune(row, '╂')
+	if idx < len(row)/2 {
+		t.Fatalf("median glyph at %d, expected right half:\n%s", idx, s)
+	}
+}
+
+func TestRenderCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	s := RenderCDF("test", c, 40)
+	if !strings.Contains(s, "p100") || !strings.Contains(s, "p10 ") {
+		t.Fatalf("missing decile rows:\n%s", s)
+	}
+	// Bars must be monotone non-decreasing in length.
+	prev := -1
+	for _, line := range strings.Split(s, "\n") {
+		if !strings.Contains(line, "|") {
+			continue
+		}
+		n := strings.Count(line, "#")
+		if n < prev {
+			t.Fatalf("bars not monotone:\n%s", s)
+		}
+		prev = n
+	}
+}
+
+func TestRenderCDFDegenerate(t *testing.T) {
+	c := NewCDF([]float64{7})
+	s := RenderCDF("one", c, 30)
+	if s == "" {
+		t.Fatal("empty render")
+	}
+}

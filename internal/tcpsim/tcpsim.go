@@ -1,0 +1,702 @@
+// Package tcpsim implements a from-scratch TCP over the netsim substrate:
+// three-way handshake, sequence/acknowledgement accounting, in-order
+// delivery with out-of-order buffering, FIN teardown, RST on unexpected
+// segments, timeout-based retransmission with exponential backoff, fast
+// retransmit on three duplicate ACKs, and slow-start/congestion-avoidance
+// window management.
+//
+// Everything runs on the eventsim virtual clock with a callback API (no
+// goroutines), so testbed runs are deterministic. The handshake cost this
+// stack models is exactly the mechanism behind the paper's Table 3: a
+// measurement method that opens a fresh connection absorbs a full RTT of
+// handshake into its reported delay.
+package tcpsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/eventsim"
+	"github.com/browsermetric/browsermetric/internal/netsim"
+)
+
+// MSS is the maximum segment payload this stack sends.
+const MSS = 1460
+
+// defaultRTO is the initial retransmission timeout.
+const defaultRTO = 200 * time.Millisecond
+
+// initialCwnd is the initial congestion window (IW4, RFC 3390-era).
+const initialCwnd = 4 * MSS
+
+// initialSsthresh effectively starts connections in slow start.
+const initialSsthresh = 1 << 20
+
+// State is a TCP connection state.
+type State int
+
+// Connection states (the subset this stack distinguishes).
+const (
+	StateClosed State = iota
+	StateSynSent
+	StateSynReceived
+	StateEstablished
+	StateFinWait   // we sent FIN, waiting for its ACK / peer FIN
+	StateCloseWait // peer sent FIN, we have not closed yet
+	StateLastAck   // peer closed first, we sent our FIN
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "CLOSED"
+	case StateSynSent:
+		return "SYN_SENT"
+	case StateSynReceived:
+		return "SYN_RCVD"
+	case StateEstablished:
+		return "ESTABLISHED"
+	case StateFinWait:
+		return "FIN_WAIT"
+	case StateCloseWait:
+		return "CLOSE_WAIT"
+	case StateLastAck:
+		return "LAST_ACK"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+type fourTuple struct {
+	localPort, remotePort uint16
+	remote                netip.Addr
+}
+
+// Stack is a host TCP/UDP stack bound to one NIC.
+type Stack struct {
+	sim *eventsim.Simulator
+	nic *netsim.NIC
+
+	// Resolve maps an IPv4 address to a MAC (static ARP). The testbed
+	// installs a table covering its two hosts.
+	Resolve func(netip.Addr) (netsim.MAC, bool)
+
+	// DropTx, when non-nil, is consulted for every outgoing segment; a
+	// true return drops it before it reaches the wire (but after capture
+	// taps would see nothing — the drop models NIC/driver loss). Used for
+	// failure injection in tests.
+	DropTx func() bool
+
+	listeners   map[uint16]*Listener
+	conns       map[fourTuple]*Conn
+	udpHandlers map[uint16]func(src netip.Addr, srcPort uint16, payload []byte)
+
+	nextEphemeral uint16
+	ipID          uint16
+
+	// SegmentsSent / SegmentsRetransmitted / FastRetransmits count for
+	// diagnostics.
+	SegmentsSent          int
+	SegmentsRetransmitted int
+	FastRetransmits       int
+}
+
+// NewStack creates a stack and installs itself as the NIC frame handler.
+func NewStack(sim *eventsim.Simulator, nic *netsim.NIC) *Stack {
+	s := &Stack{
+		sim:           sim,
+		nic:           nic,
+		listeners:     make(map[uint16]*Listener),
+		conns:         make(map[fourTuple]*Conn),
+		udpHandlers:   make(map[uint16]func(netip.Addr, uint16, []byte)),
+		nextEphemeral: 49152,
+	}
+	nic.SetHandler(s.receive)
+	return s
+}
+
+// Addr returns the stack's IPv4 address.
+func (s *Stack) Addr() netip.Addr { return s.nic.Addr }
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	Port   uint16
+	Accept func(*Conn) // invoked when a connection reaches ESTABLISHED
+}
+
+// Listen starts accepting TCP connections on port. accept is invoked for
+// each connection that completes the handshake.
+func (s *Stack) Listen(port uint16, accept func(*Conn)) (*Listener, error) {
+	if _, busy := s.listeners[port]; busy {
+		return nil, fmt.Errorf("tcpsim: port %d already listening", port)
+	}
+	l := &Listener{Port: port, Accept: accept}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// CloseListener stops accepting on port.
+func (s *Stack) CloseListener(port uint16) { delete(s.listeners, port) }
+
+// Conn is one TCP connection endpoint.
+type Conn struct {
+	stack *Stack
+	tuple fourTuple
+	state State
+
+	// Sender side. Sequence space: sndUna (oldest unacked) <= sndTx
+	// (next to transmit) <= sndNxt (next to assign). Segments wait in
+	// sendQ until the congestion window admits them, then move to retxQ
+	// until acknowledged.
+	sndUna, sndTx, sndNxt uint32
+	sendQ                 []segment
+	retxQ                 []segment
+	rto                   time.Duration
+	rtoTimer              *eventsim.Event
+
+	// Congestion control: classic slow start / congestion avoidance.
+	cwnd     int // bytes
+	ssthresh int // bytes
+	dupAcks  int // consecutive duplicate ACKs for sndUna
+
+	// Receiver side.
+	rcvNxt      uint32
+	oo          map[uint32][]byte // out-of-order segments by seq
+	peerFinSeq  uint32
+	peerFinSet  bool
+	peerFinDone bool
+
+	acceptCb func(*Conn) // listener accept callback, fired once
+
+	// Callbacks. All optional.
+	OnEstablished func()
+	OnData        func([]byte)
+	OnClose       func() // fires once when the connection fully closes
+	OnReset       func() // peer sent RST
+
+	closed bool
+}
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// LocalPort returns the connection's local port.
+func (c *Conn) LocalPort() uint16 { return c.tuple.localPort }
+
+// RemotePort returns the connection's remote port.
+func (c *Conn) RemotePort() uint16 { return c.tuple.remotePort }
+
+// Remote returns the peer address.
+func (c *Conn) Remote() netip.Addr { return c.tuple.remote }
+
+type segment struct {
+	seq     uint32
+	flags   byte
+	payload []byte
+	sentAt  time.Duration
+}
+
+// seqLen is the sequence-number space a segment occupies.
+func (g segment) seqLen() uint32 {
+	n := uint32(len(g.payload))
+	if g.flags&(netsim.FlagSYN|netsim.FlagFIN) != 0 {
+		n++
+	}
+	return n
+}
+
+// seqLE reports a <= b in mod-2^32 arithmetic.
+func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
+
+// seqLT reports a < b in mod-2^32 arithmetic.
+func seqLT(a, b uint32) bool { return int32(b-a) > 0 }
+
+// Dial opens a connection to dst:port. The returned Conn is in SYN_SENT;
+// OnEstablished fires when the handshake completes.
+func (s *Stack) Dial(dst netip.Addr, port uint16) (*Conn, error) {
+	local := s.allocEphemeral()
+	tuple := fourTuple{localPort: local, remotePort: port, remote: dst}
+	isn := uint32(s.sim.Rand().Int63())
+	c := &Conn{
+		stack:    s,
+		tuple:    tuple,
+		state:    StateSynSent,
+		sndUna:   isn,
+		sndTx:    isn,
+		sndNxt:   isn,
+		rto:      defaultRTO,
+		cwnd:     initialCwnd,
+		ssthresh: initialSsthresh,
+		oo:       make(map[uint32][]byte),
+	}
+	s.conns[tuple] = c
+	c.enqueue(netsim.FlagSYN, nil)
+	return c, nil
+}
+
+func (s *Stack) allocEphemeral() uint16 {
+	for i := 0; i < 1<<14; i++ {
+		p := s.nextEphemeral
+		s.nextEphemeral++
+		if s.nextEphemeral < 49152 {
+			s.nextEphemeral = 49152
+		}
+		busy := false
+		for t := range s.conns {
+			if t.localPort == p {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return p
+		}
+	}
+	panic("tcpsim: ephemeral port space exhausted")
+}
+
+// Send queues application payload for in-order, reliable delivery.
+// It may be called once the connection is established (or from the
+// OnEstablished callback). Payload is segmented by MSS.
+func (c *Conn) Send(payload []byte) error {
+	if c.state != StateEstablished && c.state != StateCloseWait {
+		return fmt.Errorf("tcpsim: send in state %v", c.state)
+	}
+	for len(payload) > 0 {
+		n := len(payload)
+		if n > MSS {
+			n = MSS
+		}
+		c.enqueue(netsim.FlagPSH|netsim.FlagACK, payload[:n])
+		payload = payload[n:]
+	}
+	return nil
+}
+
+// Close initiates an orderly shutdown by sending FIN.
+func (c *Conn) Close() {
+	switch c.state {
+	case StateEstablished:
+		c.state = StateFinWait
+		c.enqueue(netsim.FlagFIN|netsim.FlagACK, nil) // FIN queues after pending data
+	case StateCloseWait:
+		c.state = StateLastAck
+		c.enqueue(netsim.FlagFIN|netsim.FlagACK, nil)
+	case StateClosed:
+		// already closed
+	default:
+		// Closing mid-handshake: just abort.
+		c.abort()
+	}
+}
+
+// Abort sends RST and drops the connection immediately.
+func (c *Conn) Abort() {
+	c.rawSend(netsim.FlagRST|netsim.FlagACK, c.sndNxt, c.rcvNxt, nil)
+	c.abort()
+}
+
+func (c *Conn) abort() {
+	c.teardown()
+}
+
+func (c *Conn) teardown() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.state = StateClosed
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+		c.rtoTimer = nil
+	}
+	delete(c.stack.conns, c.tuple)
+	if c.OnClose != nil {
+		c.OnClose()
+	}
+}
+
+// enqueue assigns sequence space to a segment and lets the congestion
+// window decide when it reaches the wire.
+func (c *Conn) enqueue(flags byte, payload []byte) {
+	seg := segment{seq: c.sndNxt, flags: flags, payload: payload}
+	c.sndNxt += seg.seqLen()
+	c.sendQ = append(c.sendQ, seg)
+	c.pump()
+}
+
+// inflight is the unacknowledged byte count on the wire.
+func (c *Conn) inflight() int { return int(c.sndTx - c.sndUna) }
+
+// pump transmits queued segments while the congestion window allows.
+// Handshake segments (SYN, SYN-ACK) bypass the window; everything else —
+// including the FIN — honors it.
+func (c *Conn) pump() {
+	for len(c.sendQ) > 0 {
+		seg := c.sendQ[0]
+		bypass := seg.flags&netsim.FlagSYN != 0
+		if !bypass && c.inflight()+int(seg.seqLen()) > c.cwnd && c.inflight() > 0 {
+			return // window full; ACKs will reopen it
+		}
+		c.sendQ = c.sendQ[1:]
+		seg.sentAt = c.stack.sim.Now()
+		c.sndTx = seg.seq + seg.seqLen()
+		c.retxQ = append(c.retxQ, seg)
+		c.transmit(seg)
+	}
+	c.armRTO()
+}
+
+// transmit puts a tracked segment on the wire.
+func (c *Conn) transmit(seg segment) {
+	ackFlag := seg.flags
+	ack := uint32(0)
+	if ackFlag&netsim.FlagACK != 0 {
+		ack = c.rcvNxt
+	}
+	c.rawSend(ackFlag, seg.seq, ack, seg.payload)
+}
+
+// rawSend emits one TCP segment without retransmission tracking.
+func (c *Conn) rawSend(flags byte, seq, ack uint32, payload []byte) {
+	s := c.stack
+	s.SegmentsSent++
+	if s.DropTx != nil && s.DropTx() {
+		return
+	}
+	mac, ok := s.resolveMAC(c.tuple.remote)
+	if !ok {
+		return
+	}
+	s.ipID++
+	hdr := &netsim.TCP{
+		SrcPort: c.tuple.localPort,
+		DstPort: c.tuple.remotePort,
+		Seq:     seq,
+		Ack:     ack,
+		Flags:   flags,
+	}
+	frame := netsim.BuildTCP(s.nic.MAC, mac, s.nic.Addr, c.tuple.remote, s.ipID, hdr, payload)
+	s.nic.Send(frame)
+}
+
+func (s *Stack) resolveMAC(a netip.Addr) (netsim.MAC, bool) {
+	if s.Resolve == nil {
+		return netsim.Broadcast, true
+	}
+	return s.Resolve(a)
+}
+
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+	}
+	if len(c.retxQ) == 0 {
+		c.rtoTimer = nil
+		return
+	}
+	c.rtoTimer = c.stack.sim.Schedule(c.rto, c.onRTO)
+}
+
+// Cwnd exposes the current congestion window (bytes) for tests and
+// diagnostics.
+func (c *Conn) Cwnd() int { return c.cwnd }
+
+func (c *Conn) onRTO() {
+	if len(c.retxQ) == 0 || c.closed {
+		return
+	}
+	c.stack.SegmentsRetransmitted++
+	c.rto *= 2
+	if c.rto > 8*time.Second {
+		// Too many losses: give up, as a real stack eventually would.
+		c.Abort()
+		return
+	}
+	// Multiplicative decrease: halve the flight into ssthresh, restart
+	// from one segment.
+	half := c.inflight() / 2
+	if half < 2*MSS {
+		half = 2 * MSS
+	}
+	c.ssthresh = half
+	c.cwnd = MSS
+	c.transmit(c.retxQ[0])
+	c.armRTO()
+}
+
+// fastRetransmit resends the oldest unacked segment and halves the
+// congestion window (simplified fast recovery).
+func (c *Conn) fastRetransmit() {
+	if len(c.retxQ) == 0 || c.closed {
+		return
+	}
+	c.stack.SegmentsRetransmitted++
+	c.stack.FastRetransmits++
+	half := c.inflight() / 2
+	if half < 2*MSS {
+		half = 2 * MSS
+	}
+	c.ssthresh = half
+	c.cwnd = c.ssthresh
+	c.transmit(c.retxQ[0])
+	c.armRTO()
+}
+
+// receive is the NIC inbound frame handler.
+func (s *Stack) receive(frame []byte) {
+	p, err := netsim.Decode(frame, s.sim.Now())
+	if err != nil || p.IP == nil || p.IP.Dst != s.nic.Addr {
+		return
+	}
+	switch {
+	case p.TCP != nil:
+		s.receiveTCP(p)
+	case p.UDP != nil:
+		if h, ok := s.udpHandlers[p.UDP.DstPort]; ok {
+			h(p.IP.Src, p.UDP.SrcPort, p.Payload)
+		}
+	}
+}
+
+func (s *Stack) receiveTCP(p *netsim.Packet) {
+	tuple := fourTuple{localPort: p.TCP.DstPort, remotePort: p.TCP.SrcPort, remote: p.IP.Src}
+	if c, ok := s.conns[tuple]; ok {
+		c.handle(p)
+		return
+	}
+	// No connection: maybe a listener can take a SYN.
+	if p.TCP.Flags&netsim.FlagSYN != 0 && p.TCP.Flags&netsim.FlagACK == 0 {
+		if l, ok := s.listeners[p.TCP.DstPort]; ok {
+			s.acceptSyn(l, tuple, p)
+			return
+		}
+	}
+	// Otherwise RST anything that is not itself a RST.
+	if p.TCP.Flags&netsim.FlagRST == 0 {
+		s.sendRST(tuple, p)
+	}
+}
+
+func (s *Stack) sendRST(tuple fourTuple, p *netsim.Packet) {
+	mac, ok := s.resolveMAC(tuple.remote)
+	if !ok {
+		return
+	}
+	s.ipID++
+	hdr := &netsim.TCP{
+		SrcPort: tuple.localPort,
+		DstPort: tuple.remotePort,
+		Seq:     p.TCP.Ack,
+		Ack:     p.TCP.Seq + 1,
+		Flags:   netsim.FlagRST | netsim.FlagACK,
+	}
+	s.nic.Send(netsim.BuildTCP(s.nic.MAC, mac, s.nic.Addr, tuple.remote, s.ipID, hdr, nil))
+}
+
+func (s *Stack) acceptSyn(l *Listener, tuple fourTuple, p *netsim.Packet) {
+	isn := uint32(s.sim.Rand().Int63())
+	c := &Conn{
+		stack:    s,
+		tuple:    tuple,
+		state:    StateSynReceived,
+		sndUna:   isn,
+		sndTx:    isn,
+		sndNxt:   isn,
+		rcvNxt:   p.TCP.Seq + 1,
+		rto:      defaultRTO,
+		cwnd:     initialCwnd,
+		ssthresh: initialSsthresh,
+		oo:       make(map[uint32][]byte),
+	}
+	s.conns[tuple] = c
+	c.acceptCb = l.Accept
+	c.enqueue(netsim.FlagSYN|netsim.FlagACK, nil)
+}
+
+// handle processes one inbound segment for an existing connection.
+func (c *Conn) handle(p *netsim.Packet) {
+	t := p.TCP
+	if t.Flags&netsim.FlagRST != 0 {
+		if c.OnReset != nil {
+			c.OnReset()
+		}
+		c.teardown()
+		return
+	}
+
+	// Process ACK field.
+	if t.Flags&netsim.FlagACK != 0 {
+		c.processAck(t.Ack)
+	}
+
+	switch c.state {
+	case StateSynSent:
+		if t.Flags&netsim.FlagSYN != 0 && t.Flags&netsim.FlagACK != 0 {
+			c.rcvNxt = t.Seq + 1
+			c.state = StateEstablished
+			c.sendAck()
+			if c.OnEstablished != nil {
+				c.OnEstablished()
+			}
+		}
+		return
+	case StateSynReceived:
+		if t.Flags&netsim.FlagACK != 0 && seqLE(c.sndUna, t.Ack) {
+			c.state = StateEstablished
+			if c.acceptCb != nil {
+				cb := c.acceptCb
+				c.acceptCb = nil
+				cb(c)
+				if c.OnEstablished != nil {
+					c.OnEstablished()
+				}
+			}
+			// Fall through: the ACK completing the handshake may carry data.
+		}
+	}
+
+	// Data and FIN processing for synchronized states.
+	before := c.rcvNxt
+	if len(p.Payload) > 0 {
+		c.ingestData(t.Seq, p.Payload)
+	}
+	if t.Flags&netsim.FlagFIN != 0 {
+		finSeq := t.Seq + uint32(len(p.Payload))
+		c.peerFinSeq, c.peerFinSet = finSeq, true
+	}
+	c.drainInOrder()
+	if len(p.Payload) > 0 && c.rcvNxt == before && !c.closed {
+		// Out-of-order (or stale) data: duplicate ACK so the sender's
+		// fast-retransmit logic can kick in.
+		c.sendAck()
+	}
+}
+
+func (c *Conn) processAck(ack uint32) {
+	if !seqLT(c.sndUna, ack) || !seqLE(ack, c.sndNxt) {
+		// Not an advancing ACK. A duplicate ACK for sndUna while data is
+		// outstanding hints at loss; the third one triggers fast
+		// retransmit (RFC 5681) without waiting for the RTO.
+		if ack == c.sndUna && len(c.retxQ) > 0 {
+			c.dupAcks++
+			if c.dupAcks == 3 {
+				c.fastRetransmit()
+			}
+		}
+		return
+	}
+	c.dupAcks = 0
+	acked := int(ack - c.sndUna)
+	c.sndUna = ack
+	if seqLT(c.sndTx, ack) {
+		c.sndTx = ack
+	}
+	// Congestion window growth: exponential in slow start, ~MSS/RTT in
+	// congestion avoidance.
+	if c.cwnd < c.ssthresh {
+		c.cwnd += acked
+	} else {
+		c.cwnd += MSS * MSS / c.cwnd
+	}
+	// Drop fully acknowledged segments; reset RTO backoff on progress.
+	q := c.retxQ[:0]
+	for _, seg := range c.retxQ {
+		if seqLT(ack, seg.seq+seg.seqLen()) {
+			q = append(q, seg)
+		}
+	}
+	c.retxQ = q
+	c.rto = defaultRTO
+	c.pump() // also re-arms the RTO
+	if len(c.retxQ) == 0 && len(c.sendQ) == 0 {
+		switch c.state {
+		case StateFinWait:
+			// Our FIN is acked. If the peer's FIN was already consumed we
+			// are fully closed; otherwise wait for it.
+			if c.peerFinConsumed() {
+				c.teardown()
+			}
+		case StateLastAck:
+			c.teardown()
+		}
+	}
+}
+
+func (c *Conn) ingestData(seq uint32, payload []byte) {
+	if seqLE(seq+uint32(len(payload)), c.rcvNxt) {
+		return // entirely old: retransmission of delivered data
+	}
+	if _, dup := c.oo[seq]; !dup {
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		c.oo[seq] = buf
+	}
+}
+
+// drainInOrder delivers contiguous data, processes a pending peer FIN and
+// acknowledges whatever advanced rcvNxt.
+func (c *Conn) drainInOrder() {
+	advanced := false
+	for {
+		if data, ok := c.oo[c.rcvNxt]; ok {
+			delete(c.oo, c.rcvNxt)
+			c.rcvNxt += uint32(len(data))
+			advanced = true
+			if c.OnData != nil {
+				c.OnData(data)
+			}
+			continue
+		}
+		break
+	}
+	if c.peerFinSet && c.rcvNxt == c.peerFinSeq {
+		c.rcvNxt = c.peerFinSeq + 1
+		c.peerFinSet = false
+		c.peerFinDone = true
+		advanced = true
+		switch c.state {
+		case StateEstablished:
+			c.state = StateCloseWait
+		case StateFinWait:
+			if len(c.retxQ) == 0 {
+				c.sendAck()
+				c.teardown()
+				return
+			}
+		}
+	}
+	if advanced {
+		c.sendAck()
+	}
+}
+
+func (c *Conn) peerFinConsumed() bool { return c.peerFinDone }
+
+func (c *Conn) sendAck() {
+	c.rawSend(netsim.FlagACK, c.sndNxt, c.rcvNxt, nil)
+}
+
+// ListenUDP registers a handler for datagrams arriving on port.
+func (s *Stack) ListenUDP(port uint16, h func(src netip.Addr, srcPort uint16, payload []byte)) error {
+	if _, busy := s.udpHandlers[port]; busy {
+		return fmt.Errorf("tcpsim: udp port %d already bound", port)
+	}
+	s.udpHandlers[port] = h
+	return nil
+}
+
+// CloseUDP releases a UDP port bound with ListenUDP.
+func (s *Stack) CloseUDP(port uint16) { delete(s.udpHandlers, port) }
+
+// SendUDP emits a single datagram.
+func (s *Stack) SendUDP(dst netip.Addr, srcPort, dstPort uint16, payload []byte) {
+	mac, ok := s.resolveMAC(dst)
+	if !ok {
+		return
+	}
+	s.ipID++
+	hdr := &netsim.UDP{SrcPort: srcPort, DstPort: dstPort}
+	s.nic.Send(netsim.BuildUDP(s.nic.MAC, mac, s.nic.Addr, dst, s.ipID, hdr, payload))
+}

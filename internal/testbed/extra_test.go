@@ -1,0 +1,99 @@
+package testbed
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/httpsim"
+)
+
+func TestDownloadEndpoint(t *testing.T) {
+	tb := New(Config{Seed: 21})
+	var body []byte
+	c, _ := tb.Client.Dial(tb.ServerAddr, HTTPPort)
+	cc := httpsim.NewClientConn(c)
+	c.OnEstablished = func() {
+		cc.RoundTrip(&httpsim.Request{Method: "GET", Target: "/download?bytes=5000"}, func(r *httpsim.Response) {
+			body = r.Body
+		})
+	}
+	tb.Sim.RunUntil(30 * time.Second)
+	if len(body) != 5000 {
+		t.Fatalf("download body = %d bytes, want 5000", len(body))
+	}
+	// Deterministic pattern.
+	if body[0] != 'a' || body[25] != 'z' || body[26] != 'a' {
+		t.Fatalf("body pattern wrong: %q", body[:30])
+	}
+}
+
+func TestDownloadSizeParsing(t *testing.T) {
+	cases := []struct {
+		target string
+		want   int
+	}{
+		{"/download", 64 << 10},
+		{"/download?bytes=1", 1},
+		{"/download?bytes=0", 64 << 10},        // invalid -> default
+		{"/download?bytes=abc", 64 << 10},      // invalid -> default
+		{"/download?other=5", 64 << 10},        // missing key -> default
+		{"/download?bytes=999999999", 4 << 20}, // clamped
+		{"/download?x=1&bytes=128", 128},       // later param
+	}
+	for _, c := range cases {
+		if got := downloadSize(c.target); got != c.want {
+			t.Errorf("downloadSize(%q) = %d, want %d", c.target, got, c.want)
+		}
+	}
+}
+
+func TestServerParseCostInWireRTT(t *testing.T) {
+	tb := New(Config{Seed: 22, ServerParseCost: 10 * time.Millisecond})
+	var sent, got time.Duration
+	c, _ := tb.Client.Dial(tb.ServerAddr, HTTPPort)
+	cc := httpsim.NewClientConn(c)
+	c.OnEstablished = func() {
+		sent = tb.Sim.Now()
+		cc.RoundTrip(&httpsim.Request{Method: "GET", Target: "/probe"}, func(*httpsim.Response) {
+			got = tb.Sim.Now()
+		})
+	}
+	tb.Sim.RunUntil(10 * time.Second)
+	rtt := got - sent
+	if rtt < 60*time.Millisecond || rtt > 61*time.Millisecond {
+		t.Fatalf("RTT = %v, want ~60ms (50 delay + 10 parse)", rtt)
+	}
+}
+
+func TestCrossTrafficCountsOnTestbed(t *testing.T) {
+	tb := New(Config{Seed: 23})
+	c2s, s2c := tb.StartCrossTraffic(500, 200)
+	tb.Advance(time.Second)
+	c2s.Stop()
+	s2c.Stop()
+	if c2s.Sent < 300 || s2c.Sent < 300 {
+		t.Fatalf("generators sent %d / %d in 1s at 500/s", c2s.Sent, s2c.Sent)
+	}
+}
+
+func TestLossRateDropsFrames(t *testing.T) {
+	tb := New(Config{Seed: 24, LossRate: 0.5})
+	for i := 0; i < 40; i++ {
+		tb.Client.SendUDP(tb.ServerAddr, 42000, UDPEchoPort, []byte(fmt.Sprintf("p%d", i)))
+	}
+	tb.Sim.RunUntil(5 * time.Second)
+	if tb.ServerLink.Dropped == 0 {
+		t.Fatal("no frames dropped at 50% loss")
+	}
+}
+
+func TestHTTPPortConflictPanics(t *testing.T) {
+	tb := New(Config{Seed: 25})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double service start")
+		}
+	}()
+	tb.startServices() // ports already bound
+}

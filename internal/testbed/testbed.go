@@ -1,0 +1,253 @@
+// Package testbed assembles the paper's Figure 2 experiment network: a
+// client machine and a web-server machine joined by a switch over 100 Mbps
+// Ethernet, with an artificial +50 ms delay applied on the server side (at
+// the network layer, so it also delays SYN-ACKs) and a WinDump/tcpdump
+// equivalent capturing on the client.
+//
+// The server machine hosts the workloads every measurement method needs:
+// an Apache-like HTTP server (container page + probe endpoints), a
+// WebSocket echo service, and TCP/UDP echo services.
+package testbed
+
+import (
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/capture"
+	"github.com/browsermetric/browsermetric/internal/eventsim"
+	"github.com/browsermetric/browsermetric/internal/httpsim"
+	"github.com/browsermetric/browsermetric/internal/netsim"
+	"github.com/browsermetric/browsermetric/internal/tcpsim"
+	"github.com/browsermetric/browsermetric/internal/wssim"
+)
+
+// Well-known service ports on the testbed server.
+const (
+	HTTPPort    uint16 = 80
+	WSPort      uint16 = 8080
+	TCPEchoPort uint16 = 9000
+	UDPEchoPort uint16 = 9001
+	// FlashPolicyPort serves the cross-domain socket policy file that the
+	// Flash plugin fetches before allowing any Socket connection (the
+	// mechanism behind Table 1's "same-origin policy can be bypassed"
+	// footnote for Flash).
+	FlashPolicyPort uint16 = 843
+)
+
+// flashPolicyXML is the crossdomain policy the testbed serves on port 843.
+const flashPolicyXML = `<?xml version="1.0"?><cross-domain-policy>` +
+	`<allow-access-from domain="*" to-ports="*"/></cross-domain-policy>` + "\x00"
+
+// Config tunes the testbed; the zero value plus New's defaults reproduce
+// the paper's setup.
+type Config struct {
+	// ServerDelay is the artificial delay added to every frame leaving
+	// the server (default 50 ms, the paper's simulated Internet delay).
+	ServerDelay time.Duration
+	// LinkRate is the Ethernet line rate in bits/s (default 100 Mbps).
+	LinkRate int64
+	// Propagation is the one-way per-link latency (default 5 µs — a LAN).
+	Propagation time.Duration
+	// LossRate injects independent frame loss on the server link (both
+	// directions). The paper's testbed is loss-free (the default); the
+	// loss-measurement extension uses this knob.
+	LossRate float64
+	// ServerParseCost models per-request server-side processing time
+	// (Apache parse + handler CPU). It lands in the wire RTT — the
+	// server-side overhead the paper's conclusion names as the next
+	// thing to investigate.
+	ServerParseCost time.Duration
+	// Seed seeds the deterministic simulation.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.ServerDelay == 0 {
+		c.ServerDelay = 50 * time.Millisecond
+	}
+	if c.LinkRate == 0 {
+		c.LinkRate = 100_000_000
+	}
+	if c.Propagation == 0 {
+		c.Propagation = 5 * time.Microsecond
+	}
+}
+
+// Testbed is an assembled Figure 2 network.
+type Testbed struct {
+	Sim        *eventsim.Simulator
+	Client     *tcpsim.Stack
+	Server     *tcpsim.Stack
+	ClientNIC  *netsim.NIC
+	ServerNIC  *netsim.NIC
+	ServerAddr netip.Addr
+	// Cap is the client-side packet capture (the WinDump/tcpdump stand-in
+	// that yields tNs and tNr of Eq. 1).
+	Cap *capture.Capture
+	// HTTP is the web server; its handler serves the container page and
+	// the probe endpoints.
+	HTTP *httpsim.Server
+	// ServerLink is the switch↔server wire; its loss counters expose how
+	// many frames the LossRate knob discarded.
+	ServerLink *netsim.Link
+
+	cfg Config
+}
+
+// New builds the testbed with the paper's parameters (see Config).
+func New(cfg Config) *Testbed {
+	cfg.fillDefaults()
+	sim := eventsim.New(cfg.Seed)
+
+	clientMAC := netsim.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	serverMAC := netsim.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+	clientIP := netip.MustParseAddr("192.168.1.10")
+	serverIP := netip.MustParseAddr("192.168.1.20")
+
+	clientNIC := netsim.NewNIC(sim, "client-eth0", clientMAC, clientIP)
+	serverNIC := netsim.NewNIC(sim, "server-eth0", serverMAC, serverIP)
+	serverNIC.EgressDelay = cfg.ServerDelay
+
+	sw := netsim.NewSwitch(sim, 2*time.Microsecond)
+	clientLink := netsim.NewLink(sim, cfg.LinkRate, cfg.Propagation)
+	serverLink := netsim.NewLink(sim, cfg.LinkRate, cfg.Propagation)
+	serverLink.LossRate = cfg.LossRate
+	clientNIC.Connect(clientLink)
+	sw.Connect(clientLink)
+	serverNIC.Connect(serverLink)
+	sw.Connect(serverLink)
+
+	arp := map[netip.Addr]netsim.MAC{clientIP: clientMAC, serverIP: serverMAC}
+	resolve := func(a netip.Addr) (netsim.MAC, bool) { m, ok := arp[a]; return m, ok }
+
+	clientStack := tcpsim.NewStack(sim, clientNIC)
+	serverStack := tcpsim.NewStack(sim, serverNIC)
+	clientStack.Resolve = resolve
+	serverStack.Resolve = resolve
+
+	tb := &Testbed{
+		Sim:        sim,
+		Client:     clientStack,
+		Server:     serverStack,
+		ClientNIC:  clientNIC,
+		ServerNIC:  serverNIC,
+		ServerAddr: serverIP,
+		Cap:        capture.Attach(clientNIC, nil),
+		ServerLink: serverLink,
+		cfg:        cfg,
+	}
+	tb.startServices()
+	return tb
+}
+
+// startServices brings up the HTTP, WebSocket and echo services.
+func (tb *Testbed) startServices() {
+	tb.HTTP = &httpsim.Server{
+		Sim:       tb.Sim,
+		Stack:     tb.Server,
+		Handler:   probeHandler,
+		ParseCost: tb.cfg.ServerParseCost,
+	}
+	if err := tb.HTTP.Serve(HTTPPort); err != nil {
+		panic(err)
+	}
+	if err := wssim.Serve(tb.Server, WSPort, func(c *wssim.Conn) {
+		c.OnMessage = func(op wssim.Opcode, p []byte) { _ = c.Send(op, p) }
+	}); err != nil {
+		panic(err)
+	}
+	if _, err := tb.Server.Listen(TCPEchoPort, func(c *tcpsim.Conn) {
+		c.OnData = func(b []byte) { _ = c.Send(b) }
+	}); err != nil {
+		panic(err)
+	}
+	// Flash socket policy service: answer <policy-file-request/> with the
+	// permissive crossdomain policy and close, as flashpolicyd does.
+	if _, err := tb.Server.Listen(FlashPolicyPort, func(c *tcpsim.Conn) {
+		c.OnData = func([]byte) {
+			_ = c.Send([]byte(flashPolicyXML))
+			c.Close()
+		}
+	}); err != nil {
+		panic(err)
+	}
+	if err := tb.Server.ListenUDP(UDPEchoPort, func(src netip.Addr, srcPort uint16, p []byte) {
+		tb.Server.SendUDP(src, UDPEchoPort, srcPort, p)
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// probeHandler serves the measurement workloads: the container page that
+// the preparation phase downloads, a small single-packet probe body for
+// GET and POST requests, and bulk bodies for throughput measurement
+// (/download?bytes=N).
+func probeHandler(req *httpsim.Request) *httpsim.Response {
+	switch {
+	case req.Target == "/container.html" || req.Target == "/":
+		return &httpsim.Response{
+			Status:  200,
+			Headers: httpsim.Headers{{Key: "Content-Type", Value: "text/html"}},
+			Body:    []byte("<html><body><script src=\"/measure.js\"></script></body></html>"),
+		}
+	case strings.HasPrefix(req.Target, "/download"):
+		n := downloadSize(req.Target)
+		body := make([]byte, n)
+		for i := range body {
+			body[i] = byte('a' + i%26)
+		}
+		return &httpsim.Response{Status: 200, Body: body}
+	case req.Method == "POST":
+		return &httpsim.Response{Status: 200, Body: []byte("post-ok")}
+	default:
+		return &httpsim.Response{Status: 200, Body: []byte("pong")}
+	}
+}
+
+// downloadSize parses /download?bytes=N, clamped to [1, 4 MiB].
+func downloadSize(target string) int {
+	const def = 64 << 10
+	_, query, ok := strings.Cut(target, "?")
+	if !ok {
+		return def
+	}
+	for _, kv := range strings.Split(query, "&") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k != "bytes" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return def
+		}
+		if n > 4<<20 {
+			n = 4 << 20
+		}
+		return n
+	}
+	return def
+}
+
+// RTTBase returns the network RTT the testbed imposes on a single-packet
+// request/response exchange, dominated by the server-side delay.
+func (tb *Testbed) RTTBase() time.Duration { return tb.cfg.ServerDelay }
+
+// StartCrossTraffic injects Poisson UDP cross traffic in both directions
+// (client→server and server→client) at the given per-direction datagram
+// rate and payload size. The paper's testbed excluded cross traffic; this
+// knob shows what that control removes: queueing delay on the shared
+// links, i.e. genuine network jitter. Returns the two generators so the
+// caller can Stop them or read their counters.
+func (tb *Testbed) StartCrossTraffic(rate float64, size int) (c2s, s2c *netsim.TrafficGen) {
+	c2s = netsim.NewTrafficGen(tb.Sim, tb.ClientNIC, tb.ServerAddr, tb.ServerNIC.MAC, rate, size)
+	s2c = netsim.NewTrafficGen(tb.Sim, tb.ServerNIC, tb.ClientNIC.Addr, tb.ClientNIC.MAC, rate, size)
+	c2s.Start()
+	s2c.Start()
+	return c2s, s2c
+}
+
+// Advance idles the testbed for d of virtual time (e.g. the gap between
+// experiment repetitions).
+func (tb *Testbed) Advance(d time.Duration) { tb.Sim.Advance(d) }

@@ -1,0 +1,371 @@
+// Package wssim implements the WebSocket protocol (RFC 6455) over the
+// tcpsim substrate: the HTTP/1.1 upgrade handshake with the real
+// Sec-WebSocket-Accept derivation, and the binary frame codec with client
+// masking.
+//
+// WebSocket is the paper's "native socket" option: it is the only
+// socket-grade transport reachable from plain JavaScript and, per the
+// evaluation, delivers the most accurate and consistent RTTs of the
+// DOM/JavaScript-based methods.
+package wssim
+
+import (
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/browsermetric/browsermetric/internal/httpsim"
+	"github.com/browsermetric/browsermetric/internal/tcpsim"
+)
+
+// Opcode identifies a frame type.
+type Opcode byte
+
+// RFC 6455 opcodes.
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xa
+)
+
+// magicGUID is the RFC 6455 handshake GUID.
+const magicGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// Codec errors.
+var (
+	ErrIncomplete = errors.New("wssim: incomplete frame")
+	ErrMalformed  = errors.New("wssim: malformed frame")
+)
+
+// Frame is a single WebSocket frame.
+type Frame struct {
+	Fin     bool
+	Opcode  Opcode
+	Masked  bool
+	MaskKey [4]byte
+	Payload []byte
+}
+
+// Marshal serializes the frame. Masked frames are XOR-masked with MaskKey
+// as the client side must do.
+func (f *Frame) Marshal() []byte {
+	var hdr []byte
+	b0 := byte(f.Opcode) & 0x0f
+	if f.Fin {
+		b0 |= 0x80
+	}
+	n := len(f.Payload)
+	switch {
+	case n < 126:
+		hdr = []byte{b0, byte(n)}
+	case n <= 0xffff:
+		hdr = []byte{b0, 126, 0, 0}
+		binary.BigEndian.PutUint16(hdr[2:], uint16(n))
+	default:
+		hdr = make([]byte, 10)
+		hdr[0], hdr[1] = b0, 127
+		binary.BigEndian.PutUint64(hdr[2:], uint64(n))
+	}
+	if f.Masked {
+		hdr[1] |= 0x80
+		hdr = append(hdr, f.MaskKey[:]...)
+	}
+	out := make([]byte, len(hdr)+n)
+	copy(out, hdr)
+	copy(out[len(hdr):], f.Payload)
+	if f.Masked {
+		body := out[len(hdr):]
+		for i := range body {
+			body[i] ^= f.MaskKey[i%4]
+		}
+	}
+	return out
+}
+
+// ParseFrame decodes one frame from the front of b, returning the frame
+// and bytes consumed. Masked payloads are unmasked.
+func ParseFrame(b []byte) (*Frame, int, error) {
+	if len(b) < 2 {
+		return nil, 0, ErrIncomplete
+	}
+	f := &Frame{
+		Fin:    b[0]&0x80 != 0,
+		Opcode: Opcode(b[0] & 0x0f),
+		Masked: b[1]&0x80 != 0,
+	}
+	if b[0]&0x70 != 0 {
+		return nil, 0, fmt.Errorf("%w: nonzero RSV bits", ErrMalformed)
+	}
+	plen := uint64(b[1] & 0x7f)
+	off := 2
+	switch plen {
+	case 126:
+		if len(b) < off+2 {
+			return nil, 0, ErrIncomplete
+		}
+		plen = uint64(binary.BigEndian.Uint16(b[off:]))
+		off += 2
+	case 127:
+		if len(b) < off+8 {
+			return nil, 0, ErrIncomplete
+		}
+		plen = binary.BigEndian.Uint64(b[off:])
+		off += 8
+		if plen > 1<<31 {
+			return nil, 0, fmt.Errorf("%w: frame length %d too large", ErrMalformed, plen)
+		}
+	}
+	if f.Masked {
+		if len(b) < off+4 {
+			return nil, 0, ErrIncomplete
+		}
+		copy(f.MaskKey[:], b[off:off+4])
+		off += 4
+	}
+	if uint64(len(b)) < uint64(off)+plen {
+		return nil, 0, ErrIncomplete
+	}
+	f.Payload = make([]byte, plen)
+	copy(f.Payload, b[off:off+int(plen)])
+	if f.Masked {
+		for i := range f.Payload {
+			f.Payload[i] ^= f.MaskKey[i%4]
+		}
+	}
+	return f, off + int(plen), nil
+}
+
+// AcceptKey derives the Sec-WebSocket-Accept value for a client key.
+func AcceptKey(clientKey string) string {
+	h := sha1.Sum([]byte(clientKey + magicGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Conn is a WebSocket connection over a tcpsim connection. Messages are
+// delivered via OnMessage once the handshake completes.
+type Conn struct {
+	TCP      *tcpsim.Conn
+	client   bool
+	buf      []byte
+	upgraded bool
+
+	// OnOpen fires when the handshake completes (client side only; server
+	// conns are created already open).
+	OnOpen func()
+	// OnMessage fires per complete message: fragmented messages (a
+	// non-FIN data frame followed by continuation frames) are reassembled
+	// and delivered once, with the initial frame's opcode.
+	OnMessage func(op Opcode, payload []byte)
+	// OnClose fires when a Close frame arrives or the TCP conn dies.
+	OnClose func()
+
+	// Fragment reassembly state.
+	fragOp  Opcode
+	fragBuf []byte
+	inFrag  bool
+}
+
+// Send transmits one data frame. Client connections mask it, per RFC 6455.
+func (c *Conn) Send(op Opcode, payload []byte) error {
+	f := &Frame{Fin: true, Opcode: op, Payload: payload}
+	if c.client {
+		f.Masked = true
+		f.MaskKey = [4]byte{0x12, 0x34, 0x56, 0x78}
+	}
+	return c.TCP.Send(f.Marshal())
+}
+
+// SendFragmented transmits one message split into chunkSize-byte frames:
+// an initial frame with the real opcode and FIN clear, continuations, and
+// a final FIN continuation. The receiver reassembles into one OnMessage.
+func (c *Conn) SendFragmented(op Opcode, payload []byte, chunkSize int) error {
+	if chunkSize <= 0 {
+		return fmt.Errorf("wssim: chunk size must be positive")
+	}
+	first := true
+	for {
+		n := len(payload)
+		if n > chunkSize {
+			n = chunkSize
+		}
+		f := &Frame{
+			Fin:     len(payload) <= chunkSize,
+			Opcode:  OpContinuation,
+			Payload: payload[:n],
+		}
+		if first {
+			f.Opcode = op
+			first = false
+		}
+		if c.client {
+			f.Masked = true
+			f.MaskKey = [4]byte{0x9a, 0xbc, 0xde, 0xf0}
+		}
+		if err := c.TCP.Send(f.Marshal()); err != nil {
+			return err
+		}
+		payload = payload[n:]
+		if f.Fin {
+			return nil
+		}
+	}
+}
+
+// Close sends a Close frame and closes the transport.
+func (c *Conn) Close() {
+	f := &Frame{Fin: true, Opcode: OpClose}
+	if c.client {
+		f.Masked = true
+	}
+	_ = c.TCP.Send(f.Marshal())
+	c.TCP.Close()
+}
+
+func (c *Conn) onData(b []byte) {
+	c.buf = append(c.buf, b...)
+	for {
+		f, n, err := ParseFrame(c.buf)
+		if err == ErrIncomplete {
+			return
+		}
+		if err != nil {
+			c.TCP.Abort()
+			if c.OnClose != nil {
+				c.OnClose()
+			}
+			return
+		}
+		c.buf = c.buf[n:]
+		switch f.Opcode {
+		case OpClose:
+			if c.OnClose != nil {
+				c.OnClose()
+			}
+			c.TCP.Close()
+			return
+		case OpPing:
+			pong := &Frame{Fin: true, Opcode: OpPong, Payload: f.Payload, Masked: c.client}
+			_ = c.TCP.Send(pong.Marshal())
+		case OpContinuation:
+			if !c.inFrag {
+				// Continuation without an open message: protocol error.
+				c.TCP.Abort()
+				if c.OnClose != nil {
+					c.OnClose()
+				}
+				return
+			}
+			c.fragBuf = append(c.fragBuf, f.Payload...)
+			if f.Fin {
+				op, payload := c.fragOp, c.fragBuf
+				c.inFrag, c.fragBuf = false, nil
+				if c.OnMessage != nil {
+					c.OnMessage(op, payload)
+				}
+			}
+		default:
+			if !f.Fin {
+				// Start of a fragmented message.
+				c.inFrag = true
+				c.fragOp = f.Opcode
+				c.fragBuf = append([]byte(nil), f.Payload...)
+				continue
+			}
+			if c.OnMessage != nil {
+				c.OnMessage(f.Opcode, f.Payload)
+			}
+		}
+	}
+}
+
+// clientKey is the static nonce our simulated clients send; the value is
+// arbitrary but must be valid base64 of 16 bytes.
+const clientKey = "dGhlIHNhbXBsZSBub25jZQ=="
+
+// Dial performs the client upgrade handshake on an *established* tcpsim
+// connection and returns the WebSocket conn. OnOpen fires when the 101
+// response arrives.
+func Dial(tc *tcpsim.Conn, host, path string) (*Conn, error) {
+	c := &Conn{TCP: tc, client: true}
+	req := &httpsim.Request{
+		Method: "GET",
+		Target: path,
+		Headers: httpsim.Headers{
+			{Key: "Host", Value: host},
+			{Key: "Upgrade", Value: "websocket"},
+			{Key: "Connection", Value: "Upgrade"},
+			{Key: "Sec-WebSocket-Key", Value: clientKey},
+			{Key: "Sec-WebSocket-Version", Value: "13"},
+		},
+	}
+	var hbuf []byte
+	tc.OnData = func(b []byte) {
+		if c.upgraded {
+			c.onData(b)
+			return
+		}
+		hbuf = append(hbuf, b...)
+		resp, n, err := httpsim.ParseResponse(hbuf)
+		if err == httpsim.ErrIncomplete {
+			return
+		}
+		if err != nil || resp.Status != 101 || resp.Headers.Get("Sec-WebSocket-Accept") != AcceptKey(clientKey) {
+			tc.Abort()
+			if c.OnClose != nil {
+				c.OnClose()
+			}
+			return
+		}
+		c.upgraded = true
+		rest := hbuf[n:]
+		hbuf = nil
+		if c.OnOpen != nil {
+			c.OnOpen()
+		}
+		if len(rest) > 0 {
+			c.onData(rest)
+		}
+	}
+	return c, tc.Send(req.Marshal())
+}
+
+// Serve installs a WebSocket acceptor on stack port. accept is invoked
+// with each upgraded connection; the handler should set OnMessage.
+func Serve(stack *tcpsim.Stack, port uint16, accept func(*Conn)) error {
+	_, err := stack.Listen(port, func(tc *tcpsim.Conn) {
+		var hbuf []byte
+		tc.OnData = func(b []byte) {
+			hbuf = append(hbuf, b...)
+			req, n, err := httpsim.ParseRequest(hbuf)
+			if err == httpsim.ErrIncomplete {
+				return
+			}
+			if err != nil || req.Headers.Get("Sec-WebSocket-Key") == "" {
+				tc.Send((&httpsim.Response{Status: 400}).Marshal())
+				tc.Close()
+				return
+			}
+			resp := &httpsim.Response{
+				Status: 101,
+				Headers: httpsim.Headers{
+					{Key: "Upgrade", Value: "websocket"},
+					{Key: "Connection", Value: "Upgrade"},
+					{Key: "Sec-WebSocket-Accept", Value: AcceptKey(req.Headers.Get("Sec-WebSocket-Key"))},
+				},
+			}
+			tc.Send(resp.Marshal())
+			c := &Conn{TCP: tc, upgraded: true}
+			tc.OnData = c.onData
+			accept(c)
+			if rest := hbuf[n:]; len(rest) > 0 {
+				c.onData(rest)
+			}
+		}
+	})
+	return err
+}

@@ -1,0 +1,181 @@
+// paper_test.go is the executable form of EXPERIMENTS.md: one integration
+// test per paper artifact, each asserting the qualitative shape the
+// reproduction must exhibit. Reduced run counts keep the whole file under
+// a second; cmd/appraise regenerates the full-size artifacts.
+package browsermetric
+
+import (
+	"testing"
+	"time"
+)
+
+const paperRuns = 20
+
+func appraise(t *testing.T, m Method, b Browser, os OS, timing TimingFunc) *Experiment {
+	t.Helper()
+	exp, err := Appraise(m, b, os, Options{Timing: timing, Runs: paperRuns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+// TestPaper_Fig3_SocketVsHTTP asserts the headline Figure 3 ordering on
+// every Table 2 combo: socket methods sit 1-2 orders of magnitude below
+// HTTP methods, with DOM < XHR < Flash among the HTTP family.
+func TestPaper_Fig3_SocketVsHTTP(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Label(), func(t *testing.T) {
+			dom := appraise(t, MethodDOM, p.Browser, p.OS, NanoTime).MedianOverhead(2)
+			xhr := appraise(t, MethodXHRGet, p.Browser, p.OS, NanoTime).MedianOverhead(2)
+			flash := appraise(t, MethodFlashGet, p.Browser, p.OS, NanoTime).MedianOverhead(2)
+			sock := appraise(t, MethodJavaTCP, p.Browser, p.OS, NanoTime).MedianOverhead(2)
+			if !(dom <= xhr && xhr < flash) {
+				t.Errorf("HTTP ordering broken: dom=%.2f xhr=%.2f flash=%.2f", dom, xhr, flash)
+			}
+			if p.Browser != Safari && sock >= dom {
+				t.Errorf("socket %.3f should be below DOM %.2f", sock, dom)
+			}
+			if flash < 15 {
+				t.Errorf("flash median %.1f ms below the paper's 20-100 band", flash)
+			}
+		})
+	}
+}
+
+// TestPaper_Fig3_WebSocketMostStable asserts WebSocket's sub-ms, low-IQR
+// behaviour — with the Opera (W) Δd1 exception the paper calls out.
+func TestPaper_Fig3_WebSocketMostStable(t *testing.T) {
+	for _, p := range Profiles() {
+		if !p.WebSocket {
+			continue
+		}
+		exp := appraise(t, MethodWebSocket, p.Browser, p.OS, NanoTime)
+		b2 := exp.Box(2)
+		if b2.Median > 1.5 {
+			t.Errorf("%s: WS Δd2 median %.2f ms, want sub-ms scale", p.Label(), b2.Median)
+		}
+		b1 := exp.Box(1)
+		if p.Browser == Opera && p.OS == Windows {
+			if b1.Median < 1 {
+				t.Errorf("Opera (W) Δd1 median %.2f should be the unstable exception", b1.Median)
+			}
+		} else if b1.Median > 2 {
+			t.Errorf("%s: WS Δd1 median %.2f ms too high", p.Label(), b1.Median)
+		}
+	}
+}
+
+// TestPaper_Table3_HandshakeInflation asserts the Opera Flash mechanism:
+// Δd1 ≈ handshake + overhead, GET reuses for Δd2, POST pays it again.
+func TestPaper_Table3_HandshakeInflation(t *testing.T) {
+	get := appraise(t, MethodFlashGet, Opera, Ubuntu, GetTime)
+	post := appraise(t, MethodFlashPost, Opera, Ubuntu, GetTime)
+	g1, g2 := get.MedianOverhead(1), get.MedianOverhead(2)
+	p2 := post.MedianOverhead(2)
+	if g1-g2 < 40 {
+		t.Errorf("GET Δd1-Δd2 = %.1f ms, want ≈ 50 (the handshake)", g1-g2)
+	}
+	if d := p2 - 50 - g2; d < -12 || d > 12 {
+		t.Errorf("POST Δd2 - 50 = %.1f should approximate GET Δd2 = %.1f", p2-50, g2)
+	}
+}
+
+// TestPaper_Fig4_GranularityBimodality asserts the Windows getTime
+// signature: bimodal Δd with negative values, absent on Ubuntu and absent
+// under nanoTime.
+func TestPaper_Fig4_GranularityBimodality(t *testing.T) {
+	win, err := Appraise(MethodJavaTCP, Firefox, Windows, Options{Timing: GetTime, Runs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win.Bimodal(1) && !win.Bimodal(2) {
+		t.Error("Windows getTime Δd not bimodal")
+	}
+	neg := 0
+	for _, v := range win.Overheads(1) {
+		if v < -1 {
+			neg++
+		}
+	}
+	if neg == 0 {
+		t.Error("no RTT under-estimation on Windows getTime")
+	}
+
+	ubu, err := Appraise(MethodJavaTCP, Firefox, Ubuntu, Options{Timing: GetTime, Runs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ubu.Bimodal(1) || ubu.Bimodal(2) {
+		t.Error("Ubuntu getTime should not be bimodal")
+	}
+
+	nano, err := Appraise(MethodJavaTCP, Firefox, Windows, Options{Timing: NanoTime, Runs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nano.Bimodal(1) || nano.Bimodal(2) {
+		t.Error("nanoTime should remove the bimodality")
+	}
+	for _, v := range nano.Overheads(1) {
+		if v < 0 {
+			t.Fatalf("negative overhead %v with nanoTime", v)
+		}
+	}
+}
+
+// TestPaper_Table4_NanoTimeAccuracy asserts the socket method reaches
+// capture-grade accuracy with the right timing function.
+func TestPaper_Table4_NanoTimeAccuracy(t *testing.T) {
+	exp := appraise(t, MethodJavaTCP, Chrome, Windows, NanoTime)
+	mean, half := exp.MeanCI(1)
+	if mean < 0 || mean > 0.3 {
+		t.Errorf("socket Δd1 mean = %.3f ms, want ≈ 0.01 (tcpdump-grade)", mean)
+	}
+	if half > 0.1 {
+		t.Errorf("socket Δd1 CI ±%.3f ms too wide", half)
+	}
+}
+
+// TestPaper_Fig5_GranularityLevels asserts the probe sees exactly the two
+// granularities with multi-minute dwell.
+func TestPaper_Fig5_GranularityLevels(t *testing.T) {
+	_, distinct := Fig5(12)
+	if len(distinct) != 2 || distinct[0] != time.Millisecond {
+		t.Fatalf("granularities = %v", distinct)
+	}
+	if distinct[1] < 15*time.Millisecond || distinct[1] > 16*time.Millisecond {
+		t.Fatalf("coarse granularity = %v, want ~15.6ms", distinct[1])
+	}
+}
+
+// TestPaper_Section5_Recommendations asserts the derived guidance matches
+// the paper's: socket method best, WebSocket best native, Firefox on
+// Windows / Chrome on Ubuntu, Flash HTTP uncalibratable.
+func TestPaper_Section5_Recommendations(t *testing.T) {
+	st, err := RunStudy(StudyOptions{Runs: 10, Gap: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Recommend(st)
+	if rec.BestMethod != MethodJavaTCP && rec.BestMethod != MethodWebSocket {
+		t.Errorf("best method = %v, want a socket method", rec.BestMethod)
+	}
+	if rec.BestNative != MethodWebSocket {
+		t.Errorf("best native = %v, want WebSocket", rec.BestNative)
+	}
+	if rec.BestBrowser["Windows"] != Firefox {
+		t.Errorf("Windows browser = %v, want Firefox", rec.BestBrowser["Windows"])
+	}
+	if rec.BestBrowser["Ubuntu"] != Chrome {
+		t.Errorf("Ubuntu browser = %v, want Chrome", rec.BestBrowser["Ubuntu"])
+	}
+	avoid := map[Method]bool{}
+	for _, k := range rec.AvoidMethods {
+		avoid[k] = true
+	}
+	if !avoid[MethodFlashGet] || !avoid[MethodFlashPost] {
+		t.Errorf("avoid list %v must contain Flash GET/POST", rec.AvoidMethods)
+	}
+}
