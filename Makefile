@@ -1,0 +1,36 @@
+# Tier-1 verification and CI targets.
+#
+#   make tier1   build + vet + test          (the ROADMAP tier-1 gate)
+#   make race    full suite under -race      (guards the parallel runner)
+#   make ci      tier1 + race
+#   make bench   paper-regeneration + scheduler benchmarks
+
+GO ?= go
+
+.PHONY: all build vet test race race-core tier1 ci bench
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs everything under the race detector; race-core is the quick
+# loop for the parallel study scheduler.
+race:
+	$(GO) test -race ./...
+
+race-core:
+	$(GO) test -race ./internal/core/...
+
+tier1: build vet test
+
+ci: tier1 race
+
+bench:
+	$(GO) test -bench=. -benchmem .

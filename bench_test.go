@@ -45,6 +45,35 @@ func BenchmarkTable2_Matrix(b *testing.B) {
 	b.ReportMetric(float64(n), "bytes")
 }
 
+// BenchmarkRunStudy times the full measurement matrix on the strictly
+// sequential scheduler (Workers: 1) — the perf baseline the parallel
+// engine is compared against (see EXPERIMENTS.md).
+func BenchmarkRunStudy(b *testing.B) {
+	benchStudy(b, 1)
+}
+
+// BenchmarkRunStudyParallel times the same matrix on a GOMAXPROCS-wide
+// worker pool. Cells are embarrassingly parallel (isolated testbeds,
+// position-derived seeds), so speedup tracks core count; the determinism
+// suite in internal/core proves the exports stay byte-identical.
+func BenchmarkRunStudyParallel(b *testing.B) {
+	benchStudy(b, 0) // 0 = runtime.GOMAXPROCS(0) workers
+}
+
+func benchStudy(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		st, err := RunStudy(StudyOptions{Runs: benchRuns, BaseSeed: int64(i), Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(st.Stats.Workers), "workers")
+			b.ReportMetric(float64(st.Stats.CellsFinished), "cells")
+		}
+	}
+}
+
 // BenchmarkFig3_DelayOverheadBoxes regenerates Figure 3: the full ten
 // methods × eight browser-OS matrix of Δd1/Δd2 box summaries.
 func BenchmarkFig3_DelayOverheadBoxes(b *testing.B) {

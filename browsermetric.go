@@ -35,6 +35,7 @@
 package browsermetric
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -193,11 +194,38 @@ func AppraiseProfile(m Method, prof *Profile, opts Options) (*Experiment, error)
 func ModernProfile(os OS) *Profile { return browser.ModernProfile(os) }
 
 // StudyOptions configures RunStudy; zero values reproduce the paper's
-// full matrix (ten methods × eight combos × 50 runs).
+// full matrix (ten methods × eight combos × 50 runs) on a
+// GOMAXPROCS-wide worker pool. Set Workers to 1 for strictly sequential
+// execution — results are byte-identical either way.
 type StudyOptions = core.StudyOptions
 
-// RunStudy executes a full measurement matrix.
+// CellStatus is the per-cell progress report passed to
+// StudyOptions.OnCellDone.
+type CellStatus = core.CellStatus
+
+// StudyStats are the study scheduler's observability counters
+// (Study.Stats): cells started/finished/skipped/failed and wall time.
+type StudyStats = core.StudyStats
+
+// RunStudy executes a full measurement matrix, fanning the (method,
+// profile) cells out over StudyOptions.Workers goroutines. Each cell runs
+// on its own isolated testbed with a seed derived from its matrix
+// position, so the exported results do not depend on the schedule.
 func RunStudy(opts StudyOptions) (*Study, error) { return core.RunStudy(opts) }
+
+// RunStudyContext is RunStudy with cancellation: canceling ctx aborts the
+// study promptly and returns ctx.Err(); the first cell failure cancels
+// the remaining work.
+func RunStudyContext(ctx context.Context, opts StudyOptions) (*Study, error) {
+	return core.RunStudyContext(ctx, opts)
+}
+
+// CellSeed is the pure per-cell seed derivation RunStudy uses:
+// CellSeed(BaseSeed, methodIndex, profileIndex). Exposed so external
+// harnesses can reproduce any single cell of a study in isolation.
+func CellSeed(base int64, methodIndex, profileIndex int) int64 {
+	return core.CellSeed(base, methodIndex, profileIndex)
+}
 
 // Recommend distills the Section 5 guidance from a study.
 func Recommend(s *Study) Recommendation { return core.Recommend(s) }

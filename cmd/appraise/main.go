@@ -9,12 +9,14 @@
 //	appraise -fig 3|4|5          # one figure
 //	appraise -recommend          # the Section 5 recommendations
 //	appraise -runs 20            # fewer repetitions (faster)
+//	appraise -workers 4          # cap the study's cell-level parallelism
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	bm "github.com/browsermetric/browsermetric"
@@ -22,6 +24,34 @@ import (
 
 // baseSeed decorrelates the study cells; settable via -seed.
 var baseSeed int64
+
+// workers caps the study scheduler's parallelism; settable via -workers
+// (0 = one worker per CPU, 1 = sequential).
+var workers int
+
+// runStudy executes the full matrix with progress on stderr.
+func runStudy(runs int) (*bm.Study, error) {
+	fmt.Fprintf(os.Stderr, "running the full matrix (%d methods x %d combos x %d runs)...\n",
+		len(bm.ComparedMethods()), len(bm.Profiles()), runs)
+	study, err := bm.RunStudy(bm.StudyOptions{
+		Runs:     runs,
+		BaseSeed: baseSeed,
+		Workers:  workers,
+		OnCellDone: func(cs bm.CellStatus) {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d cells", cs.Done, cs.Total)
+			if cs.Done == cs.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := study.Stats
+	fmt.Fprintf(os.Stderr, "matrix done in %v (%d workers, %d cells, %d skipped)\n",
+		s.Wall.Round(time.Millisecond), s.Workers, s.CellsFinished, s.CellsSkipped)
+	return study, nil
+}
 
 func main() {
 	var (
@@ -36,9 +66,11 @@ func main() {
 		csvPath     = flag.String("csv", "", "also export the full study's samples as CSV to this file")
 		mdPath      = flag.String("markdown", "", "write a Markdown report of the full study to this file")
 		seed        = flag.Int64("seed", 0, "base seed for the deterministic simulation")
+		nworkers    = flag.Int("workers", 0, "concurrent study cells (0 = one per CPU, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 	baseSeed = *seed
+	workers = *nworkers
 
 	if !*all && *table == 0 && *fig == 0 && !*recommend && !*attribution && !*impact && *csvPath == "" && *mdPath == "" {
 		flag.Usage()
@@ -54,15 +86,11 @@ func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, 
 	var study *bm.Study
 	needStudy := all || fig == 3 || recommend || csvPath != "" || mdPath != ""
 	if needStudy {
-		fmt.Fprintf(os.Stderr, "running the full matrix (%d methods x %d combos x %d runs)...\n",
-			len(bm.ComparedMethods()), len(bm.Profiles()), runs)
-		start := time.Now()
 		var err error
-		study, err = bm.RunStudy(bm.StudyOptions{Runs: runs, BaseSeed: baseSeed})
+		study, err = runStudy(runs)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "matrix done in %v\n", time.Since(start))
 	}
 
 	if all || table == 1 {
@@ -113,7 +141,7 @@ func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, 
 	if all || recommend {
 		if study == nil {
 			var err error
-			study, err = bm.RunStudy(bm.StudyOptions{Runs: runs, BaseSeed: baseSeed})
+			study, err = runStudy(runs)
 			if err != nil {
 				return err
 			}
@@ -122,8 +150,13 @@ func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, 
 		fmt.Println("Section 5: practical considerations (derived from the study)")
 		fmt.Printf("  best method overall:   %v\n", rec.BestMethod)
 		fmt.Printf("  best plugin-free:      %v\n", rec.BestNative)
-		for os, b := range rec.BestBrowser {
-			fmt.Printf("  preferred browser on %s: %v\n", os, b)
+		oses := make([]string, 0, len(rec.BestBrowser))
+		for os := range rec.BestBrowser {
+			oses = append(oses, os)
+		}
+		sort.Strings(oses)
+		for _, os := range oses {
+			fmt.Printf("  preferred browser on %s: %v\n", os, rec.BestBrowser[os])
 		}
 		fmt.Printf("  avoid (uncalibratable): %v\n", rec.AvoidMethods)
 		for _, n := range rec.Notes {

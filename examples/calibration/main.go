@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	bm "github.com/browsermetric/browsermetric"
@@ -14,16 +15,27 @@ import (
 
 func main() {
 	// 1. Calibrate three representative methods in Firefox on Windows
-	//    (the paper's preferred Windows browser).
+	//    (the paper's preferred Windows browser). The three cells run as
+	//    one parallel study: every cell gets an isolated testbed and a
+	//    position-derived seed, so the tables match a sequential run
+	//    byte for byte.
 	fmt.Println("calibration tables — Firefox on Windows")
 	kinds := []bm.Method{bm.MethodWebSocket, bm.MethodXHRGet, bm.MethodFlashGet}
+	st, err := bm.RunStudy(bm.StudyOptions{
+		Methods:  kinds,
+		Profiles: []*bm.Profile{bm.LookupProfile(bm.Firefox, bm.Windows)},
+		Runs:     40,
+		OnCellDone: func(cs bm.CellStatus) {
+			fmt.Fprintf(os.Stderr, "  calibrated %d/%d cells\n", cs.Done, cs.Total)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	cals := map[bm.Method]bm.Calibration{}
 	for _, k := range kinds {
-		exp, err := bm.Appraise(k, bm.Firefox, bm.Windows, bm.Options{Runs: 40})
-		if err != nil {
-			log.Fatal(err)
-		}
-		cal := exp.Calibrate()
+		cell := st.Cell(k, "F (W)")
+		cal := cell.Exp.Calibrate()
 		cals[k] = cal
 		ok := "calibratable"
 		if !cal.Calibratable(2) {

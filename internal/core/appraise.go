@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -70,6 +71,13 @@ type Experiment struct {
 
 // Run executes the experiment on a fresh deterministic testbed.
 func Run(cfg Config) (*Experiment, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// repetitions, so an abort takes effect within one run's simulation time.
+// A canceled context returns ctx.Err() unwrapped.
+func RunContext(ctx context.Context, cfg Config) (*Experiment, error) {
 	cfg.fillDefaults()
 	if cfg.Profile == nil {
 		return nil, fmt.Errorf("core: Config.Profile is nil")
@@ -80,6 +88,9 @@ func Run(cfg Config) (*Experiment, error) {
 	}
 	exp := &Experiment{Config: cfg}
 	for run := 0; run < cfg.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := &methods.Runner{TB: tb, Profile: cfg.Profile, Timing: cfg.Timing}
 		tb.Cap.Reset()
 		res, err := r.Run(cfg.Method)

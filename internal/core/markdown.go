@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/browsermetric/browsermetric/internal/methods"
@@ -80,8 +81,13 @@ func MarkdownReport(st *Study) string {
 	b.WriteString("\n## Recommendations (derived Section 5)\n\n")
 	fmt.Fprintf(&b, "- **Best method overall:** %v\n", rec.BestMethod)
 	fmt.Fprintf(&b, "- **Best plugin-free method:** %v\n", rec.BestNative)
-	for os, name := range rec.BestBrowser {
-		fmt.Fprintf(&b, "- **Preferred browser on %s:** %v\n", os, name)
+	oses := make([]string, 0, len(rec.BestBrowser))
+	for os := range rec.BestBrowser {
+		oses = append(oses, os)
+	}
+	sort.Strings(oses)
+	for _, os := range oses {
+		fmt.Fprintf(&b, "- **Preferred browser on %s:** %v\n", os, rec.BestBrowser[os])
 	}
 	if len(rec.AvoidMethods) > 0 {
 		names := make([]string, len(rec.AvoidMethods))

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/methods"
+)
+
+// CellSeed derives the testbed seed of the (methodIndex, profileIndex)
+// cell. It is a pure function of the matrix position so the execution
+// schedule — sequential, parallel, or anything in between — cannot
+// influence a cell's random stream, which is what makes parallel and
+// sequential studies byte-identical.
+func CellSeed(base int64, methodIndex, profileIndex int) int64 {
+	return base + int64(methodIndex)*97 + int64(profileIndex)*13 + 1
+}
+
+// runExperiment indirects the per-cell experiment execution; tests swap it
+// to inject failures and stalls without building a broken testbed.
+var runExperiment = RunContext
+
+// RunStudy executes the matrix. Unsupported combinations are marked
+// Skipped; any other failure aborts the study and is returned.
+func RunStudy(opts StudyOptions) (*Study, error) {
+	return RunStudyContext(context.Background(), opts)
+}
+
+// RunStudyContext executes the matrix on a pool of opts.Workers
+// goroutines. Every cell runs on its own freshly built testbed (simulator,
+// clock, capture) with a seed derived from its matrix position via
+// CellSeed, so no simulation state is shared between workers and results
+// are independent of scheduling order; Cells keeps the stable
+// method-major ordering regardless of completion order.
+//
+// Canceling ctx aborts the study and returns ctx.Err(). The first cell
+// failure cancels the remaining work and is returned after in-flight
+// cells drain ("first" = lowest cell index among the failures observed,
+// so the returned error is deterministic too).
+func RunStudyContext(ctx context.Context, opts StudyOptions) (*Study, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(opts.Methods) == 0 {
+		for _, s := range methods.Compared() {
+			opts.Methods = append(opts.Methods, s.Kind)
+		}
+	}
+	if len(opts.Profiles) == 0 {
+		opts.Profiles = browser.Profiles()
+	}
+
+	total := len(opts.Methods) * len(opts.Profiles)
+	st := &Study{Options: opts}
+	st.Cells = make([]Cell, total)
+	st.Stats.CellWall = make([]time.Duration, total)
+	// Prefill every cell's identity so an aborted study still has
+	// well-formed (if experiment-less) rows.
+	for i := range st.Cells {
+		st.Cells[i] = Cell{
+			Spec:    methods.Get(opts.Methods[i/len(opts.Profiles)]),
+			Profile: opts.Profiles[i%len(opts.Profiles)],
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	st.Stats.Workers = workers
+	if total == 0 {
+		return st, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int, total)
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+
+	var (
+		mu          sync.Mutex // guards st.Stats, firstErr*, and callback order
+		firstErr    error
+		firstErrIdx = total
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				st.Stats.CellsStarted++
+				mu.Unlock()
+
+				mi, pi := idx/len(opts.Profiles), idx%len(opts.Profiles)
+				cellStart := time.Now()
+				cell, err := runCell(ctx, &opts, mi, pi)
+				wall := time.Since(cellStart)
+
+				canceled := err != nil && errors.Is(err, context.Canceled) ||
+					err != nil && errors.Is(err, context.DeadlineExceeded)
+				if canceled {
+					// The cell was cut short by cancellation (ours after a
+					// failure elsewhere, or the caller's): not a result, not
+					// a failure of this cell.
+					return
+				}
+
+				mu.Lock()
+				st.Cells[idx] = cell
+				st.Stats.CellWall[idx] = wall
+				st.Stats.CellsFinished++
+				if cell.Skipped {
+					st.Stats.CellsSkipped++
+				}
+				if err != nil {
+					st.Stats.CellsFailed++
+					if idx < firstErrIdx {
+						firstErr, firstErrIdx = err, idx
+					}
+				}
+				if cb := opts.OnCellDone; cb != nil {
+					cb(CellStatus{
+						Index:   idx,
+						Method:  opts.Methods[mi],
+						Profile: opts.Profiles[pi],
+						Skipped: cell.Skipped,
+						Err:     err,
+						Wall:    wall,
+						Done:    st.Stats.CellsFinished,
+						Total:   total,
+					})
+				}
+				mu.Unlock()
+
+				if err != nil {
+					cancel() // first-error abort: stop scheduling new cells
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st.Stats.Wall = time.Since(start)
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// cancel() is only invoked above when firstErr was recorded, so a
+	// non-nil ctx.Err() here is the caller's cancellation or deadline.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// runCell executes one (method, profile) cell on an isolated testbed.
+func runCell(ctx context.Context, opts *StudyOptions, mi, pi int) (Cell, error) {
+	kind := opts.Methods[mi]
+	spec := methods.Get(kind)
+	prof := opts.Profiles[pi]
+	cell := Cell{Spec: spec, Profile: prof}
+	if !prof.Supports(spec.API) {
+		cell.Skipped = true
+		return cell, nil
+	}
+	cfg := Config{
+		Method:  kind,
+		Profile: prof,
+		Timing:  opts.Timing,
+		Runs:    opts.Runs,
+		Gap:     opts.Gap,
+		Testbed: opts.Testbed,
+	}
+	cfg.Testbed.Seed = CellSeed(opts.BaseSeed, mi, pi)
+	exp, err := runExperiment(ctx, cfg)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return cell, err
+		}
+		return cell, fmt.Errorf("core: cell %s / %s: %w", spec.Name, prof.Label(), err)
+	}
+	cell.Exp = exp
+	return cell, nil
+}

@@ -1,13 +1,13 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
 	"github.com/browsermetric/browsermetric/internal/browser"
 	"github.com/browsermetric/browsermetric/internal/methods"
 	"github.com/browsermetric/browsermetric/internal/stats"
+	"github.com/browsermetric/browsermetric/internal/testbed"
 )
 
 // StudyOptions configures a full measurement matrix (Figure 3: every
@@ -22,8 +22,58 @@ type StudyOptions struct {
 	// Runs per cell (default 50) and Gap between runs (default 10 s).
 	Runs int
 	Gap  time.Duration
-	// BaseSeed decorrelates cells deterministically.
+	// BaseSeed decorrelates cells deterministically: each cell's testbed
+	// seed is CellSeed(BaseSeed, methodIndex, profileIndex), a pure
+	// function of the cell's matrix position, never of execution order.
 	BaseSeed int64
+	// Testbed overrides testbed parameters for every cell (e.g. a
+	// ServerDelay sweep across the whole matrix). The per-cell Seed is
+	// always derived from BaseSeed and overrides Testbed.Seed.
+	Testbed testbed.Config
+	// Workers caps how many cells execute concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 reproduces the historical strictly
+	// sequential runner. Results are byte-identical for any value —
+	// every cell runs on its own isolated testbed with a position-derived
+	// seed — so Workers trades wall-clock time only.
+	Workers int
+	// OnCellDone, if non-nil, is invoked once per cell (including skipped
+	// and failed cells) as it completes. Calls are serialized and arrive
+	// in completion order, which under concurrency is not matrix order;
+	// use CellStatus.Index for the stable position. Keep it fast: the
+	// scheduler holds its bookkeeping lock during the call.
+	OnCellDone func(CellStatus)
+}
+
+// CellStatus describes one completed cell for progress reporting.
+type CellStatus struct {
+	// Index is the cell's position in the stable Study.Cells ordering.
+	Index   int
+	Method  methods.Kind
+	Profile *browser.Profile
+	Skipped bool
+	// Err is the cell's failure, nil for completed and skipped cells.
+	Err error
+	// Wall is host (not virtual) time spent executing the cell.
+	Wall time.Duration
+	// Done of Total cells have completed when the callback fires.
+	Done, Total int
+}
+
+// StudyStats are the scheduler's observability counters.
+type StudyStats struct {
+	// Workers is the resolved concurrency the study ran with.
+	Workers int
+	// CellsStarted counts cells handed to a worker; CellsFinished counts
+	// cells that ran to completion (including skips). They differ only
+	// when the study aborted early.
+	CellsStarted  int
+	CellsFinished int
+	CellsSkipped  int
+	CellsFailed   int
+	// Wall is total host wall time; CellWall is per-cell host wall time
+	// indexed like Study.Cells (zero for cells never started).
+	Wall     time.Duration
+	CellWall []time.Duration
 }
 
 // Cell is one (method, profile) experiment of a study.
@@ -41,46 +91,9 @@ type Cell struct {
 type Study struct {
 	Options StudyOptions
 	Cells   []Cell
-}
-
-// RunStudy executes the matrix. Unsupported combinations are marked
-// Skipped; any other failure aborts.
-func RunStudy(opts StudyOptions) (*Study, error) {
-	if len(opts.Methods) == 0 {
-		for _, s := range methods.Compared() {
-			opts.Methods = append(opts.Methods, s.Kind)
-		}
-	}
-	if len(opts.Profiles) == 0 {
-		opts.Profiles = browser.Profiles()
-	}
-	st := &Study{Options: opts}
-	for mi, kind := range opts.Methods {
-		spec := methods.Get(kind)
-		for pi, prof := range opts.Profiles {
-			cell := Cell{Spec: spec, Profile: prof}
-			if !prof.Supports(spec.API) {
-				cell.Skipped = true
-				st.Cells = append(st.Cells, cell)
-				continue
-			}
-			cfg := Config{
-				Method:  kind,
-				Profile: prof,
-				Timing:  opts.Timing,
-				Runs:    opts.Runs,
-				Gap:     opts.Gap,
-			}
-			cfg.Testbed.Seed = opts.BaseSeed + int64(mi)*97 + int64(pi)*13 + 1
-			exp, err := Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("core: cell %s / %s: %w", spec.Name, prof.Label(), err)
-			}
-			cell.Exp = exp
-			st.Cells = append(st.Cells, cell)
-		}
-	}
-	return st, nil
+	// Stats reports what the scheduler did (concurrency, counters,
+	// per-cell wall time).
+	Stats StudyStats
 }
 
 // Cell returns the cell for (method, profile label), or nil.

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/methods"
+)
+
+// lookupStudy builds one small study for the lookup tests: WebSocket is
+// in the matrix but unsupported on IE 9 and Safari 5 (Windows), so the
+// study contains both completed and Skipped cells.
+func lookupStudy(t *testing.T) *Study {
+	t.Helper()
+	st, err := RunStudy(StudyOptions{
+		Methods: []methods.Kind{methods.WebSocket, methods.XHRGet},
+		Runs:    1,
+		Gap:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStudyCellLookup(t *testing.T) {
+	st := lookupStudy(t)
+	tests := []struct {
+		name    string
+		kind    methods.Kind
+		label   string
+		found   bool
+		skipped bool
+	}{
+		{"completed cell", methods.WebSocket, "C (U)", true, false},
+		{"completed cell, second method", methods.XHRGet, "F (W)", true, false},
+		{"skipped cell IE", methods.WebSocket, "IE (W)", true, true},
+		{"skipped cell Safari", methods.WebSocket, "S (W)", true, true},
+		{"method not in study", methods.FlashGet, "C (U)", false, false},
+		{"label not in matrix", methods.XHRGet, "IE (U)", false, false},
+		{"garbage label", methods.WebSocket, "nope", false, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := st.Cell(tc.kind, tc.label)
+			if (c != nil) != tc.found {
+				t.Fatalf("Cell(%v, %q) = %v, want found=%v", tc.kind, tc.label, c, tc.found)
+			}
+			if c == nil {
+				return
+			}
+			if c.Skipped != tc.skipped {
+				t.Errorf("Cell(%v, %q).Skipped = %v, want %v", tc.kind, tc.label, c.Skipped, tc.skipped)
+			}
+			if tc.skipped && c.Exp != nil {
+				t.Errorf("skipped cell has an experiment")
+			}
+			if !tc.skipped && c.Exp == nil {
+				t.Errorf("completed cell has no experiment")
+			}
+			if c.Spec.Kind != tc.kind || c.Profile.Label() != tc.label {
+				t.Errorf("cell identity = (%v, %q), want (%v, %q)",
+					c.Spec.Kind, c.Profile.Label(), tc.kind, tc.label)
+			}
+		})
+	}
+}
+
+func TestStudyMethodCells(t *testing.T) {
+	st := lookupStudy(t)
+	profiles := len(st.Options.Profiles)
+	tests := []struct {
+		name string
+		kind methods.Kind
+		want int
+	}{
+		// WebSocket: the two non-supporting Windows browsers are skipped.
+		{"method with skips", methods.WebSocket, profiles - 2},
+		{"method without skips", methods.XHRGet, profiles},
+		{"method not in study", methods.JavaTCP, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cells := st.MethodCells(tc.kind)
+			if len(cells) != tc.want {
+				t.Fatalf("MethodCells(%v) returned %d cells, want %d", tc.kind, len(cells), tc.want)
+			}
+			for _, c := range cells {
+				if c.Skipped {
+					t.Errorf("MethodCells(%v) returned a skipped cell (%s)", tc.kind, c.Profile.Label())
+				}
+				if c.Spec.Kind != tc.kind {
+					t.Errorf("MethodCells(%v) returned a %v cell", tc.kind, c.Spec.Kind)
+				}
+			}
+		})
+	}
+
+	// Score of a skipped (experiment-less) cell is defined as zero.
+	if c := st.Cell(methods.WebSocket, "IE (W)"); c == nil || c.Score() != 0 {
+		t.Errorf("skipped cell Score = %v, want 0", c.Score())
+	}
+}

@@ -260,10 +260,6 @@ func payloadFor(k Kind, round int) []byte {
 	return []byte(fmt.Sprintf("probe-%d-%d", int(k), round))
 }
 
-// udpProbePorts hands out distinct client-side UDP ports across runs that
-// share a testbed (the bind is also released after each run).
-var udpProbePorts uint16 = 40000
-
 // runSocket implements the socket-based methods: WebSocket, Flash TCP,
 // Java TCP and Java UDP. It returns an optional cleanup function to run
 // when the measurement finishes.
@@ -353,11 +349,7 @@ func (r *Runner) runSocket(spec Spec, now func() time.Duration, res *Result, fin
 
 	case JavaUDP:
 		res.ServerPort = testbed.UDPEchoPort
-		localPort := udpProbePorts
-		udpProbePorts++
-		if udpProbePorts < 40000 {
-			udpProbePorts = 40000
-		}
+		localPort := r.TB.NextUDPPort()
 		if err := r.TB.Client.ListenUDP(localPort, func(_ netip.Addr, _ uint16, p []byte) {
 			onEcho(p)
 		}); err != nil {

@@ -236,11 +236,7 @@ func (r *Runner) trainSocket(spec Spec, now func() time.Duration, res *TrainResu
 
 	case JavaUDP:
 		res.ServerPort = testbed.UDPEchoPort
-		localPort := udpProbePorts
-		udpProbePorts++
-		if udpProbePorts < 40000 {
-			udpProbePorts = 40000
-		}
+		localPort := r.TB.NextUDPPort()
 		if err := r.TB.Client.ListenUDP(localPort, func(_ netip.Addr, _ uint16, payload []byte) {
 			// Datagrams carry the probe index; a late echo for an
 			// already-timed-out probe must not be credited to the

@@ -94,6 +94,12 @@ type Testbed struct {
 	ServerLink *netsim.Link
 
 	cfg Config
+
+	// nextUDPPort backs NextUDPPort. Keeping the allocator per-testbed
+	// (rather than process-global) makes port assignment a pure function
+	// of the testbed's own history, so concurrently running testbeds
+	// cannot influence each other's packet traces.
+	nextUDPPort uint16
 }
 
 // New builds the testbed with the paper's parameters (see Config).
@@ -251,3 +257,21 @@ func (tb *Testbed) StartCrossTraffic(rate float64, size int) (c2s, s2c *netsim.T
 // Advance idles the testbed for d of virtual time (e.g. the gap between
 // experiment repetitions).
 func (tb *Testbed) Advance(d time.Duration) { tb.Sim.Advance(d) }
+
+// udpPortBase is the first client-side ephemeral UDP port NextUDPPort
+// hands out (the bind is released after each run, but distinct ports keep
+// late echoes from a previous run out of the next one's socket).
+const udpPortBase uint16 = 40000
+
+// NextUDPPort allocates a distinct client-side UDP port for a probe run on
+// this testbed. Deterministic: the n-th call on any testbed returns
+// udpPortBase+n (wrapping back to udpPortBase on overflow).
+func (tb *Testbed) NextUDPPort() uint16 {
+	p := udpPortBase + tb.nextUDPPort
+	if p < udpPortBase { // wrapped
+		tb.nextUDPPort = 0
+		p = udpPortBase
+	}
+	tb.nextUDPPort++
+	return p
+}
