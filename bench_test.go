@@ -308,6 +308,55 @@ func BenchmarkAblation_CrossTraffic(b *testing.B) {
 	}
 }
 
+// --- Observability overhead ---
+
+// benchExperiment runs one small experiment cell (5 repetitions, 10 wire
+// probes) with the given tracer/metrics — the workload BenchmarkRun and
+// BenchmarkRunTraced share.
+func benchExperiment(b *testing.B, tr *Tracer, m *Metrics) *core.Experiment {
+	b.Helper()
+	exp, err := core.Run(core.Config{
+		Method:  methods.FlashGet,
+		Profile: browser.Lookup(browser.Opera, browser.Windows),
+		Timing:  browser.GetTime,
+		Runs:    5,
+		Gap:     time.Second,
+		Testbed: testbed.Config{Seed: 7},
+		Tracer:  tr,
+		Metrics: m,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return exp
+}
+
+// BenchmarkRun is the observability-off baseline: the instrumented code
+// paths run with a nil tracer and nil metrics registry, whose methods are
+// allocation-free no-ops (TestNilTracerZeroAlloc). Compare against
+// BenchmarkRunTraced for the cost of leaving instrumentation compiled in;
+// EXPERIMENTS.md records the numbers.
+func BenchmarkRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchExperiment(b, nil, nil)
+	}
+}
+
+// BenchmarkRunTraced runs the identical workload with a live tracer and
+// metrics registry, measuring the full recording cost (span and attribute
+// allocation, histogram updates).
+func BenchmarkRunTraced(b *testing.B) {
+	b.ReportAllocs()
+	var spans int
+	for i := 0; i < b.N; i++ {
+		tr := NewTracer()
+		benchExperiment(b, tr, NewMetrics())
+		spans = len(tr.Spans())
+	}
+	b.ReportMetric(float64(spans), "spans")
+}
+
 // --- Substrate micro benches ---
 
 // BenchmarkSubstrate_MeasurementRun times one full two-round measurement

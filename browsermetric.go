@@ -43,6 +43,7 @@ import (
 	"github.com/browsermetric/browsermetric/internal/core"
 	"github.com/browsermetric/browsermetric/internal/liveclient"
 	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/server"
 	"github.com/browsermetric/browsermetric/internal/stats"
 	"github.com/browsermetric/browsermetric/internal/testbed"
@@ -153,6 +154,10 @@ type Options struct {
 	// browser model (0 = the paper's idle testbed). Plugin-based methods
 	// degrade the most under load.
 	Load float64
+	// Tracer and Metrics, when non-nil, capture the experiment's
+	// observability stream (spans / counters). Purely observational.
+	Tracer  *Tracer
+	Metrics *Metrics
 }
 
 // Appraise measures the delay overhead of one method in one browser×OS
@@ -186,6 +191,8 @@ func AppraiseProfile(m Method, prof *Profile, opts Options) (*Experiment, error)
 		Gap:     opts.Gap,
 		Warp:    opts.Warp,
 		Testbed: opts.Testbed,
+		Tracer:  opts.Tracer,
+		Metrics: opts.Metrics,
 	})
 }
 
@@ -229,6 +236,31 @@ func CellSeed(base int64, methodIndex, profileIndex int) int64 {
 
 // Recommend distills the Section 5 guidance from a study.
 func Recommend(s *Study) Recommendation { return core.Recommend(s) }
+
+// --- Observability ---
+
+// Tracer records virtual-time spans across a testbed run; see the
+// internal/obs package doc for the span taxonomy and the determinism
+// guarantee. A nil *Tracer is the disabled tracer (zero-cost no-ops).
+type Tracer = obs.Tracer
+
+// Span is one traced operation with virtual start/end and attributes.
+type Span = obs.Span
+
+// Metrics is a registry of counters, gauges and fixed-bucket histograms
+// fed by the simulated stack and the study scheduler. A nil *Metrics is
+// the disabled registry.
+type Metrics = obs.Metrics
+
+// NewTracer returns an enabled span tracer for Options/StudyOptions.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetrics returns an enabled metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// CellStatsTable renders the n slowest study cells by host wall time
+// (the data behind `appraise -cellstats`).
+func CellStatsTable(s *Study, n int) string { return core.CellStatsTable(s, n) }
 
 // Profiles returns the Table 2 browser×OS matrix.
 func Profiles() []*Profile { return browser.Profiles() }
@@ -384,6 +416,8 @@ func optsToConfig(m Method, b Browser, os OS, opts Options) (core.Config, error)
 		Gap:     opts.Gap,
 		Warp:    opts.Warp,
 		Testbed: opts.Testbed,
+		Tracer:  opts.Tracer,
+		Metrics: opts.Metrics,
 	}, nil
 }
 

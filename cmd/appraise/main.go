@@ -10,6 +10,13 @@
 //	appraise -recommend          # the Section 5 recommendations
 //	appraise -runs 20            # fewer repetitions (faster)
 //	appraise -workers 4          # cap the study's cell-level parallelism
+//	appraise -trace out.json     # Chrome trace_event export of the study
+//	appraise -metrics m.json     # metrics snapshot (JSON or text by extension)
+//	appraise -cellstats          # slowest cells by host wall time
+//	appraise -progress           # structured per-cell progress on stderr
+//
+// All progress and statistics lines go to stderr; stdout carries only the
+// regenerated artifacts, so reports can be piped or redirected cleanly.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	bm "github.com/browsermetric/browsermetric"
@@ -29,21 +37,58 @@ var baseSeed int64
 // (0 = one worker per CPU, 1 = sequential).
 var workers int
 
-// runStudy executes the full matrix with progress on stderr.
+// tracing / metricsReg / progressMode mirror the -trace, -metrics and
+// -progress flags for runStudy.
+var (
+	tracing      bool
+	metricsReg   *bm.Metrics
+	progressMode bool
+)
+
+// runStudy executes the full matrix with progress on stderr. Everything
+// it prints goes to stderr — stdout is reserved for artifacts — and any
+// partial carriage-return counter line is terminated before returning,
+// so a following report or error message starts on a fresh line.
 func runStudy(runs int) (*bm.Study, error) {
 	fmt.Fprintf(os.Stderr, "running the full matrix (%d methods x %d combos x %d runs)...\n",
 		len(bm.ComparedMethods()), len(bm.Profiles()), runs)
-	study, err := bm.RunStudy(bm.StudyOptions{
+	opts := bm.StudyOptions{
 		Runs:     runs,
 		BaseSeed: baseSeed,
 		Workers:  workers,
-		OnCellDone: func(cs bm.CellStatus) {
+		Tracing:  tracing,
+		Metrics:  metricsReg,
+	}
+	partialLine := false // an unterminated \r counter line is on stderr
+	if progressMode {
+		// Structured per-cell lines: one complete line per cell, safe to
+		// interleave with other stderr writers and to parse.
+		opts.OnCellDone = func(cs bm.CellStatus) {
+			status := "ok"
+			switch {
+			case cs.Skipped:
+				status = "skip"
+			case cs.Err != nil:
+				status = "fail"
+			}
+			fmt.Fprintf(os.Stderr, "cell %3d/%d %-4s method=%q browser=%q wall=%v\n",
+				cs.Done, cs.Total, status, cs.Method.String(), cs.Profile.Label(), cs.Wall.Round(10*time.Microsecond))
+		}
+	} else {
+		opts.OnCellDone = func(cs bm.CellStatus) {
 			fmt.Fprintf(os.Stderr, "\r  %d/%d cells", cs.Done, cs.Total)
+			partialLine = cs.Done != cs.Total
 			if cs.Done == cs.Total {
 				fmt.Fprintln(os.Stderr)
 			}
-		},
-	})
+		}
+	}
+	study, err := bm.RunStudy(opts)
+	if partialLine {
+		// The study ended (failure or cancellation) mid-counter: finish
+		// the line so the error doesn't print on top of it.
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -67,24 +112,36 @@ func main() {
 		mdPath      = flag.String("markdown", "", "write a Markdown report of the full study to this file")
 		seed        = flag.Int64("seed", 0, "base seed for the deterministic simulation")
 		nworkers    = flag.Int("workers", 0, "concurrent study cells (0 = one per CPU, 1 = sequential; results are identical)")
+		tracePath   = flag.String("trace", "", "write the study as Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto)")
+		metricsPath = flag.String("metrics", "", "write a metrics snapshot to this file (.json extension = JSON, otherwise text)")
+		cellstats   = flag.Bool("cellstats", false, "print the slowest study cells by host wall time")
+		progressFl  = flag.Bool("progress", false, "structured per-cell progress lines on stderr (instead of the counter)")
 	)
 	flag.Parse()
 	baseSeed = *seed
 	workers = *nworkers
+	tracing = *tracePath != ""
+	if *metricsPath != "" {
+		metricsReg = bm.NewMetrics()
+	}
+	progressMode = *progressFl
 
-	if !*all && *table == 0 && *fig == 0 && !*recommend && !*attribution && !*impact && *csvPath == "" && *mdPath == "" {
+	if !*all && *table == 0 && *fig == 0 && !*recommend && !*attribution && !*impact && *csvPath == "" && *mdPath == "" &&
+		*tracePath == "" && *metricsPath == "" && !*cellstats {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*table, *fig, *runs, *all, *recommend, *ascii, *attribution, *impact, *csvPath, *mdPath); err != nil {
+	if err := run(*table, *fig, *runs, *all, *recommend, *ascii, *attribution, *impact,
+		*csvPath, *mdPath, *tracePath, *metricsPath, *cellstats); err != nil {
 		fmt.Fprintln(os.Stderr, "appraise:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, csvPath, mdPath string) error {
+func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, csvPath, mdPath, tracePath, metricsPath string, cellstats bool) error {
 	var study *bm.Study
-	needStudy := all || fig == 3 || recommend || csvPath != "" || mdPath != ""
+	needStudy := all || fig == 3 || recommend || csvPath != "" || mdPath != "" ||
+		tracePath != "" || metricsPath != "" || cellstats
 	if needStudy {
 		var err error
 		study, err = runStudy(runs)
@@ -204,6 +261,40 @@ func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, 
 		}
 		fmt.Fprintf(os.Stderr, "wrote Markdown report to %s\n", mdPath)
 	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := study.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", tracePath)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		werr := error(nil)
+		if strings.HasSuffix(metricsPath, ".json") {
+			werr = metricsReg.WriteJSON(f)
+		} else {
+			werr = metricsReg.WriteText(f)
+		}
+		if werr != nil {
+			f.Close()
+			return werr
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", metricsPath)
+	}
 	if all || impact {
 		report, err := bm.ImpactReport(bm.Firefox, bm.Windows, bm.NanoTime)
 		if err != nil {
@@ -215,6 +306,11 @@ func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, 
 			return err
 		}
 		fmt.Println(sweep)
+	}
+	// Last so the regenerated artifacts above stay byte-identical with
+	// and without the flag.
+	if cellstats {
+		fmt.Println(bm.CellStatsTable(study, 15))
 	}
 	return nil
 }

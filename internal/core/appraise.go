@@ -16,6 +16,7 @@ import (
 
 	"github.com/browsermetric/browsermetric/internal/browser"
 	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/stats"
 	"github.com/browsermetric/browsermetric/internal/testbed"
 )
@@ -38,6 +39,12 @@ type Config struct {
 	Warp time.Duration
 	// Testbed overrides testbed parameters; zero values use the paper's.
 	Testbed testbed.Config
+	// Tracer and Metrics, when non-nil, are installed on the testbed and
+	// receive the full observability stream (spans, counters, stage
+	// histograms). Purely observational: results are byte-identical with
+	// or without them.
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 func (c *Config) fillDefaults() {
@@ -82,7 +89,10 @@ func RunContext(ctx context.Context, cfg Config) (*Experiment, error) {
 	if cfg.Profile == nil {
 		return nil, fmt.Errorf("core: Config.Profile is nil")
 	}
-	tb := testbed.New(cfg.Testbed)
+	tbCfg := cfg.Testbed
+	tbCfg.Tracer = cfg.Tracer
+	tbCfg.Metrics = cfg.Metrics
+	tb := testbed.New(tbCfg)
 	if cfg.Warp > 0 {
 		tb.Advance(cfg.Warp)
 	}
@@ -91,7 +101,7 @@ func RunContext(ctx context.Context, cfg Config) (*Experiment, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r := &methods.Runner{TB: tb, Profile: cfg.Profile, Timing: cfg.Timing}
+		r := &methods.Runner{TB: tb, Profile: cfg.Profile, Timing: cfg.Timing, RunIndex: run}
 		tb.Cap.Reset()
 		res, err := r.Run(cfg.Method)
 		if err != nil {
@@ -119,6 +129,7 @@ func RunContext(ctx context.Context, cfg Config) (*Experiment, error) {
 				// happen outside the timed window.
 				Handshake: res.NewConnRounds[round-1],
 			})
+			cfg.Metrics.ObserveDur("delta_d_ms", browserRTT-wp.RTT())
 		}
 		tb.Advance(cfg.Gap)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/browsermetric/browsermetric/internal/browser"
 	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/obs"
 )
 
 // CellSeed derives the testbed seed of the (methodIndex, profileIndex)
@@ -157,6 +158,7 @@ func RunStudyContext(ctx context.Context, opts StudyOptions) (*Study, error) {
 	}
 	wg.Wait()
 	st.Stats.Wall = time.Since(start)
+	mergeStudyMetrics(st, opts.Metrics)
 
 	if firstErr != nil {
 		return nil, firstErr
@@ -167,6 +169,29 @@ func RunStudyContext(ctx context.Context, opts StudyOptions) (*Study, error) {
 		return nil, err
 	}
 	return st, nil
+}
+
+// mergeStudyMetrics folds the per-cell registries into the study-level
+// registry in matrix order (so the merged floats don't depend on cell
+// completion order) and adds the scheduler's own counters. Wall times
+// are host time and therefore the one part of a metrics snapshot that
+// varies between identical runs.
+func mergeStudyMetrics(st *Study, m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	for i := range st.Cells {
+		m.Merge(st.Cells[i].Metrics)
+		if w := st.Stats.CellWall[i]; w > 0 {
+			m.ObserveDur("study_cell_wall_ms", w)
+		}
+	}
+	m.Add("study_cells_started", int64(st.Stats.CellsStarted))
+	m.Add("study_cells_finished", int64(st.Stats.CellsFinished))
+	m.Add("study_cells_skipped", int64(st.Stats.CellsSkipped))
+	m.Add("study_cells_failed", int64(st.Stats.CellsFailed))
+	m.Set("study_workers", float64(st.Stats.Workers))
+	m.Set("study_wall_ms", float64(st.Stats.Wall)/float64(time.Millisecond))
 }
 
 // runCell executes one (method, profile) cell on an isolated testbed.
@@ -188,6 +213,17 @@ func runCell(ctx context.Context, opts *StudyOptions, mi, pi int) (Cell, error) 
 		Testbed: opts.Testbed,
 	}
 	cfg.Testbed.Seed = CellSeed(opts.BaseSeed, mi, pi)
+	// Each cell gets its own tracer/registry (a Tracer is single-
+	// goroutine); the scheduler merges registries in matrix order after
+	// the workers drain.
+	if opts.Tracing {
+		cfg.Tracer = obs.NewTracer()
+		cell.Trace = cfg.Tracer
+	}
+	if opts.Metrics != nil {
+		cfg.Metrics = obs.NewMetrics()
+		cell.Metrics = cfg.Metrics
+	}
 	exp, err := runExperiment(ctx, cfg)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/browsermetric/browsermetric/internal/browser"
 	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/stats"
 	"github.com/browsermetric/browsermetric/internal/testbed"
 )
@@ -42,6 +43,14 @@ type StudyOptions struct {
 	// use CellStatus.Index for the stable position. Keep it fast: the
 	// scheduler holds its bookkeeping lock during the call.
 	OnCellDone func(CellStatus)
+	// Tracing gives every executed cell its own virtual-time span tracer
+	// (Cell.Trace), exportable via Study.WriteChromeTrace. Observational
+	// only: results are byte-identical with tracing on or off.
+	Tracing bool
+	// Metrics, when non-nil, receives the merged per-cell metrics plus
+	// the scheduler's own counters (study_cells_*, study_cell_wall_ms).
+	// Cells are merged in matrix order regardless of completion order.
+	Metrics *obs.Metrics
 }
 
 // CellStatus describes one completed cell for progress reporting.
@@ -85,6 +94,12 @@ type Cell struct {
 	// WebSocket on IE 9) — such cells are absent from the paper's figures
 	// rather than failures.
 	Skipped bool
+	// Trace holds the cell's span tracer when StudyOptions.Tracing was
+	// set (nil otherwise, and for skipped cells).
+	Trace *obs.Tracer
+	// Metrics holds the cell's own registry when StudyOptions.Metrics
+	// was set; the same data is already merged into the study registry.
+	Metrics *obs.Metrics
 }
 
 // Study is a completed matrix.

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/obs"
+)
+
+// WriteChromeTrace exports every traced cell of the study as Chrome
+// trace_event JSON (load in chrome://tracing or Perfetto). Each cell
+// renders as its own thread named "method / browser×OS", so the whole
+// matrix reads as stacked per-cell waterfalls: run → round → send-path /
+// handshake / request / server-delay / event-dispatch, with clock-read
+// instants carrying the quantization error. Cells run without tracing
+// (StudyOptions.Tracing unset, or skipped cells) are omitted.
+func (s *Study) WriteChromeTrace(w io.Writer) error {
+	var threads []obs.Thread
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		if c.Trace == nil {
+			continue
+		}
+		threads = append(threads, obs.Thread{
+			ID:    i + 1,
+			Name:  c.Spec.Name + " / " + c.Profile.Label(),
+			Spans: c.Trace.Spans(),
+		})
+	}
+	return obs.WriteChromeTrace(w, threads)
+}
+
+// CellStatsTable renders the n slowest cells by host wall time from the
+// scheduler's CellWall stats — the data behind the -cellstats flag.
+// Cells that never started (zero wall time) are excluded.
+func CellStatsTable(s *Study, n int) string {
+	type row struct {
+		idx  int
+		wall time.Duration
+	}
+	var rows []row
+	for i, w := range s.Stats.CellWall {
+		if w > 0 {
+			rows = append(rows, row{i, w})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].wall != rows[j].wall {
+			return rows[i].wall > rows[j].wall
+		}
+		return rows[i].idx < rows[j].idx
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Slowest cells (%d of %d run, %d workers, total wall %v):\n",
+		len(rows), s.Stats.CellsFinished, s.Stats.Workers, s.Stats.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  %-6s %-14s %-22s %10s\n", "cell", "method", "browser", "wall")
+	for _, r := range rows {
+		c := &s.Cells[r.idx]
+		fmt.Fprintf(&b, "  %-6d %-14s %-22s %10v\n",
+			r.idx, c.Spec.Name, c.Profile.Label(), r.wall.Round(10*time.Microsecond))
+	}
+	return b.String()
+}

@@ -56,7 +56,13 @@ func (s *Server) accept(c *tcpsim.Conn) {
 
 func (s *Server) respond(c *tcpsim.Conn, req *Request) {
 	delay := s.ProcessingDelay + s.ParseCost
+	span := c.Tracer().Begin("server-delay").
+		Str("http_method", req.Method).
+		Str("target", req.Target).
+		Dur("processing", s.ProcessingDelay).
+		Dur("parse_cost", s.ParseCost)
 	s.Sim.Schedule(delay, func() {
+		defer span.Done()
 		if c.State() != tcpsim.StateEstablished && c.State() != tcpsim.StateCloseWait {
 			return
 		}
@@ -67,6 +73,7 @@ func (s *Server) respond(c *tcpsim.Conn, req *Request) {
 		}
 		c.Send(resp.Marshal())
 		s.Requests++
+		c.Metrics().Add("http_requests", 1)
 		if close {
 			c.Close()
 		}

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/clock"
 	"github.com/browsermetric/browsermetric/internal/httpsim"
+	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/testbed"
 	"github.com/browsermetric/browsermetric/internal/wssim"
 )
@@ -53,8 +55,30 @@ type Runner struct {
 	// browser cache, so the "measured RTT" collapses to the cache-hit
 	// time and wildly under-estimates the network RTT.
 	DisableCacheBust bool
+	// RunIndex labels spans with the repetition number when the testbed
+	// carries a tracer (core.RunContext sets it; purely observational).
+	RunIndex int
 
 	domCached map[string]bool
+}
+
+// readClock takes a browser timestamp through clk and, when tracing,
+// records a "clock-read" point carrying the quantization error
+// (quantized − raw, in (−g, 0]) and the active granularity — the err
+// term of the paper's Figures 4–5.
+func (r *Runner) readClock(clk clock.Clock, at string, round int) time.Duration {
+	t := clk.Now()
+	if tr := r.TB.Trace; tr.Enabled() {
+		p := tr.Point("clock-read").
+			Str("at", at).
+			Int("run", int64(r.RunIndex)).
+			Int("round", int64(round)).
+			Dur("err", t-r.TB.Sim.Now())
+		if q, ok := clk.(*clock.Quantized); ok {
+			p.Dur("granularity", q.Granularity())
+		}
+	}
+	return t
 }
 
 // Run executes one full two-phase, two-round measurement and returns the
@@ -73,6 +97,15 @@ func (r *Runner) Run(kind Kind) (*Result, error) {
 	clk := r.Profile.Clock(spec.API, r.Timing, r.TB.Sim.Now)
 	res := &Result{Kind: kind}
 
+	var runSpan *obs.Span
+	if tr := r.TB.Trace; tr.Enabled() {
+		runSpan = tr.Begin("run").
+			Str("method", spec.Name).
+			Str("browser", r.Profile.Label()).
+			Str("clock", clk.Name()).
+			Int("run", int64(r.RunIndex))
+	}
+
 	done := false
 	fail := error(nil)
 	finish := func(err error) { done, fail = true, err }
@@ -81,15 +114,16 @@ func (r *Runner) Run(kind Kind) (*Result, error) {
 	switch spec.Transport {
 	case TransportHTTP:
 		res.ServerPort = testbed.HTTPPort
-		r.runHTTP(spec, clk.Now, res, finish)
+		r.runHTTP(spec, clk, res, finish)
 	default:
-		cleanup = r.runSocket(spec, clk.Now, res, finish)
+		cleanup = r.runSocket(spec, clk, res, finish)
 	}
 
 	deadline := r.TB.Sim.Now() + timeout
 	for !done && r.TB.Sim.Now() < deadline && r.TB.Sim.Pending() > 0 {
 		r.TB.Sim.Step()
 	}
+	runSpan.Done()
 	if cleanup != nil {
 		cleanup()
 	}
@@ -104,9 +138,11 @@ func (r *Runner) Run(kind Kind) (*Result, error) {
 
 // runHTTP implements the HTTP-based methods: XHR GET/POST, DOM,
 // Flash GET/POST, Java GET/POST.
-func (r *Runner) runHTTP(spec Spec, now func() time.Duration, res *Result, finish func(error)) {
+func (r *Runner) runHTTP(spec Spec, clk clock.Clock, res *Result, finish func(error)) {
 	sim := r.TB.Sim
 	rng := sim.Rand()
+	tr := r.TB.Trace
+	met := r.TB.Metrics
 
 	// Preparation phase: download the container page on a keep-alive
 	// connection. This connection is what PolicyReuse methods measure on.
@@ -120,6 +156,18 @@ func (r *Runner) runHTTP(spec Spec, now func() time.Duration, res *Result, finis
 
 	var flashConn *httpsim.ClientConn // the fresh connection Opera Flash GET keeps
 	var round func(k int)
+	var roundSpan *obs.Span
+
+	// endRound stamps tBr and advances to the next round (or finishes).
+	endRound := func(k int) {
+		res.TBr[k-1] = r.readClock(clk, "tBr", k)
+		roundSpan.Done()
+		if k < Rounds {
+			round(k + 1)
+		} else {
+			finish(nil)
+		}
+	}
 
 	// cacheHitCost models serving an <img>/<script> from the browser
 	// cache: sub-millisecond, no network involvement.
@@ -135,13 +183,11 @@ func (r *Runner) runHTTP(spec Spec, now func() time.Duration, res *Result, finis
 			if r.domCached[target] {
 				// Cache hit: the onload event fires without any packet
 				// leaving the host.
-				sim.Schedule(cacheHitCost+r.Profile.RecvCost(spec.API, rng), func() {
-					res.TBr[k-1] = now()
-					if k < Rounds {
-						round(k + 1)
-					} else {
-						finish(nil)
-					}
+				recvCost := r.Profile.RecvCost(spec.API, rng)
+				ed := tr.Begin("event-dispatch").Int("run", int64(r.RunIndex)).Int("round", int64(k)).Bool("cache_hit", true)
+				sim.Schedule(cacheHitCost+recvCost, func() {
+					ed.Done()
+					endRound(k)
 				})
 				return
 			}
@@ -156,7 +202,9 @@ func (r *Runner) runHTTP(spec Spec, now func() time.Duration, res *Result, finis
 			req.Method = "POST"
 			req.Body = []byte("probe-body")
 		}
+		reqSpan := tr.Begin("request").Int("run", int64(r.RunIndex)).Int("round", int64(k)).Str("target", target)
 		if err := cc.RoundTrip(req, func(resp *httpsim.Response) {
+			reqSpan.Done()
 			if resp.Status != 200 {
 				finish(fmt.Errorf("methods: probe status %d", resp.Status))
 				return
@@ -166,13 +214,11 @@ func (r *Runner) runHTTP(spec Spec, now func() time.Duration, res *Result, finis
 			// measurement code can take tBr.
 			recvCost := r.Profile.RecvCost(spec.API, rng)
 			res.RecvCosts[k-1] = recvCost
+			met.ObserveDur("stage_event_dispatch_ms", recvCost)
+			ed := tr.Begin("event-dispatch").Int("run", int64(r.RunIndex)).Int("round", int64(k))
 			sim.Schedule(recvCost, func() {
-				res.TBr[k-1] = now()
-				if k < Rounds {
-					round(k + 1)
-				} else {
-					finish(nil)
-				}
+				ed.Done()
+				endRound(k)
 			})
 		}); err != nil {
 			finish(err)
@@ -183,12 +229,19 @@ func (r *Runner) runHTTP(spec Spec, now func() time.Duration, res *Result, finis
 		// The measurement code records tBs, then the request descends
 		// through the engine/plugin layers (SendCost) before any packet
 		// can leave.
-		res.TBs[k-1] = now()
-		sendCost := r.Profile.SendCost(spec.API, k, spec.Post, rng)
-		res.SendCosts[k-1] = sendCost
 		needNew := policy == browser.PolicyNewAlways ||
 			(policy == browser.PolicyNewOnFirst && flashConn == nil)
+		roundSpan = tr.Begin("round").
+			Int("run", int64(r.RunIndex)).
+			Int("round", int64(k)).
+			Bool("new_conn", needNew)
+		res.TBs[k-1] = r.readClock(clk, "tBs", k)
+		sendCost := r.Profile.SendCost(spec.API, k, spec.Post, rng)
+		res.SendCosts[k-1] = sendCost
+		met.ObserveDur("stage_send_path_ms", sendCost)
+		sp := tr.Begin("send-path").Int("run", int64(r.RunIndex)).Int("round", int64(k))
 		sim.Schedule(sendCost, func() {
+			sp.Done()
 			switch {
 			case !needNew && flashConn != nil:
 				probe(k, flashConn)
@@ -196,6 +249,8 @@ func (r *Runner) runHTTP(spec Spec, now func() time.Duration, res *Result, finis
 				probe(k, container)
 			default:
 				res.NewConnRounds[k-1] = true
+				dialAt := sim.Now()
+				hs := tr.Begin("handshake").Int("run", int64(r.RunIndex)).Int("round", int64(k))
 				tcp, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.HTTPPort)
 				if err != nil {
 					finish(err)
@@ -205,7 +260,11 @@ func (r *Runner) runHTTP(spec Spec, now func() time.Duration, res *Result, finis
 				if policy == browser.PolicyNewOnFirst {
 					flashConn = cc
 				}
-				tcp.OnEstablished = func() { probe(k, cc) }
+				tcp.OnEstablished = func() {
+					hs.Done()
+					met.ObserveDur("stage_handshake_ms", sim.Now()-dialAt)
+					probe(k, cc)
+				}
 			}
 		})
 	}
@@ -263,31 +322,48 @@ func payloadFor(k Kind, round int) []byte {
 // runSocket implements the socket-based methods: WebSocket, Flash TCP,
 // Java TCP and Java UDP. It returns an optional cleanup function to run
 // when the measurement finishes.
-func (r *Runner) runSocket(spec Spec, now func() time.Duration, res *Result, finish func(error)) (cleanup func()) {
+func (r *Runner) runSocket(spec Spec, clk clock.Clock, res *Result, finish func(error)) (cleanup func()) {
 	sim := r.TB.Sim
 	rng := sim.Rand()
+	tr := r.TB.Trace
+	met := r.TB.Metrics
 
 	var round func(k int)
 	var sendProbe func(k int, payload []byte)
 	var onEcho func(payload []byte)
+	var roundSpan, reqSpan *obs.Span
 
 	// Shared round logic: stamp tBs, descend the send path, transmit;
-	// the echo path ascends RecvCost before tBr.
+	// the echo path ascends RecvCost before tBr. Socket methods connect
+	// during preparation, so no round ever opens a fresh connection.
 	round = func(k int) {
-		res.TBs[k-1] = now()
+		roundSpan = tr.Begin("round").
+			Int("run", int64(r.RunIndex)).
+			Int("round", int64(k)).
+			Bool("new_conn", false)
+		res.TBs[k-1] = r.readClock(clk, "tBs", k)
 		sendCost := r.Profile.SendCost(spec.API, k, false, rng)
 		res.SendCosts[k-1] = sendCost
+		met.ObserveDur("stage_send_path_ms", sendCost)
+		sp := tr.Begin("send-path").Int("run", int64(r.RunIndex)).Int("round", int64(k))
 		sim.Schedule(sendCost, func() {
+			sp.Done()
+			reqSpan = tr.Begin("request").Int("run", int64(r.RunIndex)).Int("round", int64(k))
 			sendProbe(k, payloadFor(spec.Kind, k))
 		})
 	}
 	pending := 0
 	onEcho = func([]byte) {
 		k := pending
+		reqSpan.Done()
 		recvCost := r.Profile.RecvCost(spec.API, rng)
 		res.RecvCosts[k-1] = recvCost
+		met.ObserveDur("stage_event_dispatch_ms", recvCost)
+		ed := tr.Begin("event-dispatch").Int("run", int64(r.RunIndex)).Int("round", int64(k))
 		sim.Schedule(recvCost, func() {
-			res.TBr[k-1] = now()
+			ed.Done()
+			res.TBr[k-1] = r.readClock(clk, "tBr", k)
+			roundSpan.Done()
 			if k < Rounds {
 				round(k + 1)
 			} else {

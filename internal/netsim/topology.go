@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/browsermetric/browsermetric/internal/eventsim"
+	"github.com/browsermetric/browsermetric/internal/obs"
 )
 
 // Direction of a frame relative to the tapped interface.
@@ -49,6 +50,9 @@ type Link struct {
 	LossRate float64
 	// Dropped counts frames lost to LossRate.
 	Dropped int
+	// Metrics, when non-nil, counts frames and bytes crossing the link
+	// (wire_frames, wire_bytes, wire_frames_dropped).
+	Metrics *obs.Metrics
 	ports   [2]*Port
 }
 
@@ -103,8 +107,11 @@ func (p *Port) Send(frame []byte) {
 	}
 	done := start + l.txTime(len(frame))
 	p.busyUntil = done
+	l.Metrics.Add("wire_frames", 1)
+	l.Metrics.Add("wire_bytes", int64(len(frame)))
 	if l.LossRate > 0 && l.sim.Rand().Float64() < l.LossRate {
 		l.Dropped++
+		l.Metrics.Add("wire_frames_dropped", 1)
 		return // the frame occupies the wire, then evaporates
 	}
 	l.sim.ScheduleAt(done+l.Propagation, func() {

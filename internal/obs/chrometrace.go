@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Thread is one row in an exported trace: a tid plus the spans drawn on
+// it. The study exporter maps each cell to a thread so a whole study
+// renders as one waterfall per cell.
+type Thread struct {
+	ID    int
+	Name  string
+	Spans []*Span
+}
+
+// traceEvent is one entry of the Chrome trace_event JSON array
+// (the subset of the format chrome://tracing and Perfetto both read:
+// "X" complete events and "M" metadata records). Timestamps and
+// durations are microseconds.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteChromeTrace renders the threads as Chrome trace_event JSON
+// ({"traceEvents":[...]}) loadable in chrome://tracing or Perfetto.
+// All timestamps are virtual simulator time, so the export is as
+// deterministic as the simulation itself. Spans still open at export
+// time are emitted as instant events with an "open":true arg.
+func WriteChromeTrace(w io.Writer, threads []Thread) error {
+	events := make([]traceEvent, 0, 16)
+	for _, th := range threads {
+		if th.Name != "" {
+			events = append(events, traceEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				PID:   1,
+				TID:   th.ID,
+				Args:  map[string]any{"name": th.Name},
+			})
+		}
+		for _, s := range th.Spans {
+			ev := traceEvent{
+				Name: s.Name,
+				PID:  1,
+				TID:  th.ID,
+				TS:   usec(s.Start),
+				Args: attrArgs(s.Attrs),
+			}
+			switch {
+			case s.Open():
+				ev.Phase = "i"
+				ev.Scope = "t"
+				if ev.Args == nil {
+					ev.Args = map[string]any{}
+				}
+				ev.Args["open"] = true
+			case s.Start == s.End:
+				ev.Phase = "i"
+				ev.Scope = "t"
+			default:
+				d := usec(s.End - s.Start)
+				ev.Phase = "X"
+				ev.Dur = &d
+			}
+			events = append(events, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// attrArgs converts span attributes to trace args. Durations become
+// millisecond floats with a _ms suffix so they read naturally in the
+// trace viewer's detail pane.
+func attrArgs(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		switch v := a.Value.(type) {
+		case time.Duration:
+			args[a.Key+"_ms"] = float64(v) / float64(time.Millisecond)
+		case string, bool, int64, float64:
+			args[a.Key] = v
+		default:
+			args[a.Key] = fmt.Sprint(v)
+		}
+	}
+	return args
+}

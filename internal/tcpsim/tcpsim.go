@@ -19,6 +19,7 @@ import (
 
 	"github.com/browsermetric/browsermetric/internal/eventsim"
 	"github.com/browsermetric/browsermetric/internal/netsim"
+	"github.com/browsermetric/browsermetric/internal/obs"
 )
 
 // MSS is the maximum segment payload this stack sends.
@@ -100,6 +101,11 @@ type Stack struct {
 	SegmentsSent          int
 	SegmentsRetransmitted int
 	FastRetransmits       int
+
+	// Trace records a "connect" span per outbound handshake; Metrics
+	// counts segments, bytes and retransmits. Both may be nil (no-op).
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 // NewStack creates a stack and installs itself as the NIC frame handler.
@@ -175,6 +181,9 @@ type Conn struct {
 	OnClose       func() // fires once when the connection fully closes
 	OnReset       func() // peer sent RST
 
+	// connectSpan covers Dial → ESTABLISHED on the active opener.
+	connectSpan *obs.Span
+
 	closed bool
 }
 
@@ -231,9 +240,17 @@ func (s *Stack) Dial(dst netip.Addr, port uint16) (*Conn, error) {
 		oo:       make(map[uint32][]byte),
 	}
 	s.conns[tuple] = c
+	c.connectSpan = s.Trace.Begin("connect").Int("dst_port", int64(port)).Int("local_port", int64(local))
 	c.enqueue(netsim.FlagSYN, nil)
 	return c, nil
 }
+
+// Tracer returns the stack's tracer (possibly nil) so higher layers
+// built on a Conn — like wssim — can record their own spans.
+func (c *Conn) Tracer() *obs.Tracer { return c.stack.Trace }
+
+// Metrics returns the stack's metrics registry (possibly nil).
+func (c *Conn) Metrics() *obs.Metrics { return c.stack.Metrics }
 
 func (s *Stack) allocEphemeral() uint16 {
 	for i := 0; i < 1<<14; i++ {
@@ -378,6 +395,8 @@ func (c *Conn) rawSend(flags byte, seq, ack uint32, payload []byte) {
 		Flags:   flags,
 	}
 	frame := netsim.BuildTCP(s.nic.MAC, mac, s.nic.Addr, c.tuple.remote, s.ipID, hdr, payload)
+	s.Metrics.Add("tcp_segments_sent", 1)
+	s.Metrics.Add("tcp_bytes_sent", int64(len(frame)))
 	s.nic.Send(frame)
 }
 
@@ -408,6 +427,7 @@ func (c *Conn) onRTO() {
 		return
 	}
 	c.stack.SegmentsRetransmitted++
+	c.stack.Metrics.Add("tcp_retransmits", 1)
 	c.rto *= 2
 	if c.rto > 8*time.Second {
 		// Too many losses: give up, as a real stack eventually would.
@@ -434,6 +454,8 @@ func (c *Conn) fastRetransmit() {
 	}
 	c.stack.SegmentsRetransmitted++
 	c.stack.FastRetransmits++
+	c.stack.Metrics.Add("tcp_retransmits", 1)
+	c.stack.Metrics.Add("tcp_fast_retransmits", 1)
 	half := c.inflight() / 2
 	if half < 2*MSS {
 		half = 2 * MSS
@@ -536,6 +558,7 @@ func (c *Conn) handle(p *netsim.Packet) {
 		if t.Flags&netsim.FlagSYN != 0 && t.Flags&netsim.FlagACK != 0 {
 			c.rcvNxt = t.Seq + 1
 			c.state = StateEstablished
+			c.connectSpan.Done()
 			c.sendAck()
 			if c.OnEstablished != nil {
 				c.OnEstablished()

@@ -19,6 +19,7 @@ import (
 	"github.com/browsermetric/browsermetric/internal/eventsim"
 	"github.com/browsermetric/browsermetric/internal/httpsim"
 	"github.com/browsermetric/browsermetric/internal/netsim"
+	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/tcpsim"
 	"github.com/browsermetric/browsermetric/internal/wssim"
 )
@@ -61,6 +62,15 @@ type Config struct {
 	ServerParseCost time.Duration
 	// Seed seeds the deterministic simulation.
 	Seed int64
+	// Tracer, when non-nil, records virtual-time spans across the whole
+	// testbed (TCP connects, HTTP server delay, WebSocket upgrades, and —
+	// via the methods runner — the full Δd stage waterfall). New binds it
+	// to the simulator clock. Tracing only observes; it cannot change any
+	// simulated outcome.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives counters and histograms from every
+	// simulated layer (segments, retransmits, bytes on wire, requests).
+	Metrics *obs.Metrics
 }
 
 func (c *Config) fillDefaults() {
@@ -92,6 +102,10 @@ type Testbed struct {
 	// ServerLink is the switch↔server wire; its loss counters expose how
 	// many frames the LossRate knob discarded.
 	ServerLink *netsim.Link
+	// Trace and Metrics mirror Config.Tracer/Config.Metrics (nil when
+	// observability is off; all recording methods no-op on nil).
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
 
 	cfg Config
 
@@ -106,6 +120,7 @@ type Testbed struct {
 func New(cfg Config) *Testbed {
 	cfg.fillDefaults()
 	sim := eventsim.New(cfg.Seed)
+	cfg.Tracer.Bind(sim.Now)
 
 	clientMAC := netsim.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
 	serverMAC := netsim.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
@@ -120,6 +135,8 @@ func New(cfg Config) *Testbed {
 	clientLink := netsim.NewLink(sim, cfg.LinkRate, cfg.Propagation)
 	serverLink := netsim.NewLink(sim, cfg.LinkRate, cfg.Propagation)
 	serverLink.LossRate = cfg.LossRate
+	clientLink.Metrics = cfg.Metrics
+	serverLink.Metrics = cfg.Metrics
 	clientNIC.Connect(clientLink)
 	sw.Connect(clientLink)
 	serverNIC.Connect(serverLink)
@@ -132,6 +149,10 @@ func New(cfg Config) *Testbed {
 	serverStack := tcpsim.NewStack(sim, serverNIC)
 	clientStack.Resolve = resolve
 	serverStack.Resolve = resolve
+	clientStack.Trace = cfg.Tracer
+	clientStack.Metrics = cfg.Metrics
+	serverStack.Trace = cfg.Tracer
+	serverStack.Metrics = cfg.Metrics
 
 	tb := &Testbed{
 		Sim:        sim,
@@ -142,6 +163,8 @@ func New(cfg Config) *Testbed {
 		ServerAddr: serverIP,
 		Cap:        capture.Attach(clientNIC, nil),
 		ServerLink: serverLink,
+		Trace:      cfg.Tracer,
+		Metrics:    cfg.Metrics,
 		cfg:        cfg,
 	}
 	tb.startServices()

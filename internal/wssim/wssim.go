@@ -177,6 +177,9 @@ func (c *Conn) Send(op Opcode, payload []byte) error {
 		f.Masked = true
 		f.MaskKey = [4]byte{0x12, 0x34, 0x56, 0x78}
 	}
+	m := c.TCP.Metrics()
+	m.Add("ws_messages_sent", 1)
+	m.Add("ws_bytes_sent", int64(len(payload)))
 	return c.TCP.Send(f.Marshal())
 }
 
@@ -292,6 +295,7 @@ const clientKey = "dGhlIHNhbXBsZSBub25jZQ=="
 // response arrives.
 func Dial(tc *tcpsim.Conn, host, path string) (*Conn, error) {
 	c := &Conn{TCP: tc, client: true}
+	upgrade := tc.Tracer().Begin("ws-upgrade").Str("path", path)
 	req := &httpsim.Request{
 		Method: "GET",
 		Target: path,
@@ -322,6 +326,7 @@ func Dial(tc *tcpsim.Conn, host, path string) (*Conn, error) {
 			return
 		}
 		c.upgraded = true
+		upgrade.Done()
 		rest := hbuf[n:]
 		hbuf = nil
 		if c.OnOpen != nil {
