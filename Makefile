@@ -1,13 +1,15 @@
 # Tier-1 verification and CI targets.
 #
-#   make tier1   build + vet + test          (the ROADMAP tier-1 gate)
-#   make race    full suite under -race      (guards the parallel runner)
-#   make ci      tier1 + race
-#   make bench   paper-regeneration + scheduler benchmarks
+#   make tier1       build + vet + test          (the ROADMAP tier-1 gate)
+#   make race        full suite under -race      (guards the parallel runner)
+#   make ci          tier1 + race
+#   make bench       paper-regeneration + scheduler benchmarks
+#   make race-live   loopback server/client under -race (live network path)
+#   make bench-json  run committed benchmarks, write $(BENCH_JSON) trajectory
 
 GO ?= go
 
-.PHONY: all build vet test race race-core tier1 ci bench
+.PHONY: all build vet test race race-core race-live tier1 ci bench bench-json
 
 all: tier1
 
@@ -28,9 +30,26 @@ race:
 race-core:
 	$(GO) test -race ./internal/core/...
 
+# race-live exercises the real-socket path (loopback only): the live
+# measurement server, its drain/observability wiring and the client
+# drivers, with a timeout so a hung drain fails fast instead of wedging CI.
+race-live:
+	$(GO) test -race -timeout 180s ./internal/server/... ./internal/liveclient/...
+
 tier1: build vet test
 
 ci: tier1 race
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json runs every committed benchmark and converts the output into
+# the perf-trajectory snapshot BENCH_<pr>.json (ns/op, B/op, allocs/op
+# per benchmark). BENCHTIME=1x keeps it fast enough for CI; override
+# with BENCHTIME=100ms (or more) for lower-variance local numbers.
+BENCH_JSON ?= BENCH_3.json
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... > bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCH_JSON)
+	@rm -f bench.out

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/browsermetric/browsermetric
+cpu: AMD EPYC 7B13
+BenchmarkRunStudy-8          	      38	  30802498 ns/op	 5272947 B/op	   33772 allocs/op
+BenchmarkRunStudyParallel-8  	     100	  11111111 ns/op	  123456 B/op	    1234 allocs/op
+BenchmarkRun-8               	    2000	    500000 ns/op
+--- BENCH: BenchmarkNoise-8
+    some_test.go:10: log line that mentions Benchmark but is indented
+PASS
+ok  	github.com/browsermetric/browsermetric	4.2s
+pkg: github.com/browsermetric/browsermetric/internal/obs
+BenchmarkSketch-8            	 1000000	      1050 ns/op	      16 B/op	       1 allocs/op
+PASS
+ok  	github.com/browsermetric/browsermetric/internal/obs	1.1s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || f.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header = %q/%q/%q", f.Goos, f.Goarch, f.CPU)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("benchmarks = %d, want 4", len(f.Benchmarks))
+	}
+	// Sorted by package then name; -8 suffixes stripped.
+	wantOrder := []string{"BenchmarkRun", "BenchmarkRunStudy", "BenchmarkRunStudyParallel", "BenchmarkSketch"}
+	for i, want := range wantOrder {
+		if f.Benchmarks[i].Name != want {
+			t.Fatalf("order[%d] = %s, want %s", i, f.Benchmarks[i].Name, want)
+		}
+	}
+	rs := f.Benchmarks[1] // BenchmarkRunStudy
+	if rs.Iterations != 38 || rs.NsPerOp != 30802498 || rs.BytesPerOp != 5272947 || rs.AllocsPerOp != 33772 {
+		t.Fatalf("RunStudy = %+v", rs)
+	}
+	if rs.Package != "github.com/browsermetric/browsermetric" {
+		t.Fatalf("package = %q", rs.Package)
+	}
+	// A line without -benchmem metrics still parses.
+	run := f.Benchmarks[0]
+	if run.NsPerOp != 500000 || run.BytesPerOp != 0 {
+		t.Fatalf("Run = %+v", run)
+	}
+	sk := f.Benchmarks[3]
+	if sk.Package != "github.com/browsermetric/browsermetric/internal/obs" {
+		t.Fatalf("sketch package = %q", sk.Package)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	f, err := Parse(strings.NewReader("PASS\nok x 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %d", len(f.Benchmarks))
+	}
+}

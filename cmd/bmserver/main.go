@@ -5,36 +5,78 @@
 //
 // Usage:
 //
-//	bmserver                 # bind loopback, no artificial delay
-//	bmserver -host 0.0.0.0   # expose on all interfaces
-//	bmserver -delay 50ms     # emulate the paper's testbed delay
-//	bmserver -duration 10s   # exit after a fixed time (0 = run forever)
+//	bmserver                        # bind loopback, no artificial delay
+//	bmserver -host 0.0.0.0          # expose on all interfaces
+//	bmserver -delay 50ms            # emulate the paper's testbed delay
+//	bmserver -duration 10s          # exit after a fixed time (0 = run forever)
+//	bmserver -metrics-addr :9091    # serve /metrics, /healthz, /debug/pprof/*
+//	bmserver -log-level debug       # JSON request logs on stderr
+//
+// With -metrics-addr set, /metrics exposes the Prometheus text format:
+// per-endpoint request counters, service-latency quantile sketches
+// (p50/p95/p99 from a bounded-memory streaming sketch) and the
+// artificial-delay knob as its own series. SIGINT/SIGTERM trigger a
+// graceful drain: listeners close first, in-flight exchanges finish (up
+// to -drain-timeout), and only then are final stats printed — so every
+// exchange is counted exactly once.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	bm "github.com/browsermetric/browsermetric"
+	"github.com/browsermetric/browsermetric/internal/obs"
 )
 
 func main() {
 	var (
-		host     = flag.String("host", "127.0.0.1", "bind address")
-		delay    = flag.Duration("delay", 0, "artificial response delay")
-		duration = flag.Duration("duration", 0, "exit after this long (0 = until interrupted)")
+		host        = flag.String("host", "127.0.0.1", "bind address")
+		delay       = flag.Duration("delay", 0, "artificial response delay")
+		duration    = flag.Duration("duration", 0, "exit after this long (0 = until interrupted)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/* on this address (empty = disabled)")
+		drainWait   = flag.Duration("drain-timeout", 5*time.Second, "how long a graceful drain waits for in-flight exchanges")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
 
-	srv, err := bm.StartServer(bm.ServerConfig{Host: *host, Delay: *delay})
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "bmserver: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	// The wall-clock registry only exists when something can scrape it;
+	// with metrics disabled the instrumented paths cost nothing (nil
+	// registry no-ops).
+	var reg *obs.Metrics
+	if *metricsAddr != "" {
+		reg = obs.NewMetrics()
+	}
+
+	srv, err := bm.StartServer(bm.ServerConfig{Host: *host, Delay: *delay, Metrics: reg, Logger: logger})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bmserver:", err)
+		logger.Error("start failed", "err", err)
 		os.Exit(1)
 	}
-	defer srv.Close()
+
+	var ops *obs.OpsServer
+	if *metricsAddr != "" {
+		ops, err = obs.StartOps(*metricsAddr, reg)
+		if err != nil {
+			logger.Error("metrics endpoint failed", "err", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		logger.Info("metrics endpoint up", "addr", ops.Addr())
+	}
 
 	a := srv.Addrs()
 	fmt.Printf("bmserver up (delay=%v)\n", *delay)
@@ -42,17 +84,34 @@ func main() {
 	fmt.Printf("  WebSocket   : ws://%s/ws\n", a.WS)
 	fmt.Printf("  TCP echo    : %s\n", a.TCPEcho)
 	fmt.Printf("  UDP echo    : %s\n", a.UDPEcho)
+	if ops != nil {
+		fmt.Printf("  metrics     : http://%s/metrics\n", ops.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	if *duration > 0 {
 		select {
-		case <-stop:
+		case sig := <-stop:
+			logger.Info("signal received", "signal", fmt.Sprint(sig))
 		case <-time.After(*duration):
+			logger.Info("duration elapsed", "duration", duration.String())
 		}
 	} else {
-		<-stop
+		sig := <-stop
+		logger.Info("signal received", "signal", fmt.Sprint(sig))
 	}
+
+	// Drain before reading stats: listeners close first and in-flight
+	// exchanges complete, so each one is counted exactly once.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	if err := srv.Drain(ctx); err != nil {
+		logger.Warn("drain incomplete", "err", err)
+	}
+	cancel()
 	h, w, t, u := srv.Stats()
 	fmt.Printf("served: %d http, %d ws, %d tcp, %d udp exchanges\n", h, w, t, u)
+	if ops != nil {
+		_ = ops.Close()
+	}
 }

@@ -8,6 +8,11 @@
 //	liveprobe -delay 20ms          # with an artificial path delay
 //	liveprobe -http H -ws W -tcp T -udp U   # probe an external bmserver
 //	liveprobe -probes 50
+//	liveprobe -metrics client.prom # write the client-side scrape file
+//
+// -metrics writes the client-side registry (per-method probe RTT, wire
+// RTT and Δd attribution sketches, mirroring the simulator's stage_*
+// series names) as a Prometheus text-format scrape file.
 package main
 
 import (
@@ -18,16 +23,18 @@ import (
 
 	bm "github.com/browsermetric/browsermetric"
 	"github.com/browsermetric/browsermetric/internal/liveclient"
+	"github.com/browsermetric/browsermetric/internal/obs"
 )
 
 func main() {
 	var (
-		httpAddr = flag.String("http", "", "HTTP probe address (host:port); empty = start a private server")
-		wsAddr   = flag.String("ws", "", "WebSocket address")
-		tcpAddr  = flag.String("tcp", "", "TCP echo address")
-		udpAddr  = flag.String("udp", "", "UDP echo address")
-		probes   = flag.Int("probes", 25, "probes per client stack")
-		delay    = flag.Duration("delay", 10*time.Millisecond, "artificial delay for the private server")
+		httpAddr    = flag.String("http", "", "HTTP probe address (host:port); empty = start a private server")
+		wsAddr      = flag.String("ws", "", "WebSocket address")
+		tcpAddr     = flag.String("tcp", "", "TCP echo address")
+		udpAddr     = flag.String("udp", "", "UDP echo address")
+		probes      = flag.Int("probes", 25, "probes per client stack")
+		delay       = flag.Duration("delay", 10*time.Millisecond, "artificial delay for the private server")
+		metricsFile = flag.String("metrics", "", "write the client-side Prometheus scrape to this file (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -44,10 +51,28 @@ func main() {
 		fmt.Printf("private server up (delay=%v)\n", *delay)
 	}
 
-	rows, err := liveclient.RunStudy(addrs, *probes)
+	var reg *obs.Metrics
+	if *metricsFile != "" {
+		reg = obs.NewMetrics()
+	}
+	rows, err := liveclient.RunStudyWithOptions(addrs, liveclient.StudyOptions{Probes: *probes, Metrics: reg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "liveprobe:", err)
 		os.Exit(1)
+	}
+	if reg != nil {
+		f, err := os.Create(*metricsFile)
+		if err == nil {
+			err = reg.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "liveprobe: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "client metrics written to %s\n", *metricsFile)
 	}
 	fmt.Printf("\n%-22s %12s %14s %16s %14s\n", "client stack", "probes", "median Δd", "mean ± 95% CI", "wire RTT")
 	for _, r := range rows {

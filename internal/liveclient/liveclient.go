@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/stats"
 	"github.com/browsermetric/browsermetric/internal/wssim"
 )
@@ -403,22 +404,92 @@ type Addrs struct {
 	UDPEcho string
 }
 
+// StudyOptions tunes a live study beyond the probe count.
+type StudyOptions struct {
+	// Probes per client stack (default 25), after two warm-up probes.
+	Probes int
+	// Metrics, when non-nil, receives wall-clock series for every probe:
+	// per-method RTT and overhead-attribution sketches whose family
+	// names mirror the simulator's stage metrics (stage_send_path_ms,
+	// stage_event_dispatch_ms, delta_d_ms), so a sim metrics export and
+	// a live scrape read identically, plus live_probe_rtt_ms /
+	// live_wire_rtt_ms and a live_probes_total counter. nil disables
+	// instrumentation at zero cost.
+	Metrics *obs.Metrics
+}
+
+// methodSeries holds the precomputed registry keys for one client
+// stack, so the probe loop does no label formatting.
+type methodSeries struct {
+	probes   string // counter
+	rtt      string // tool-level ("browser") RTT sketch, ms
+	wire     string // tap-level RTT sketch, ms
+	send     string // send-path attribution (tNs − tBs), ms
+	dispatch string // event-dispatch attribution (tBr − tNr), ms
+	delta    string // Eq. 1 overhead, ms
+}
+
+func newMethodSeries(method string) methodSeries {
+	return methodSeries{
+		probes:   obs.L("live_probes_total", "method", method),
+		rtt:      obs.L("live_probe_rtt_ms", "method", method),
+		wire:     obs.L("live_wire_rtt_ms", "method", method),
+		send:     obs.L("stage_send_path_ms", "method", method),
+		dispatch: obs.L("stage_event_dispatch_ms", "method", method),
+		delta:    obs.L("delta_d_ms", "method", method),
+	}
+}
+
+// registerStudyHelp documents the live series for Prometheus exposition.
+func registerStudyHelp(m *obs.Metrics) {
+	if !m.Enabled() {
+		return
+	}
+	m.SetHelp("live_probes_total", "Probes completed per client stack.")
+	m.SetHelp("live_probe_rtt_ms", "Tool-level probe RTT (tBr - tBs) in milliseconds.")
+	m.SetHelp("live_wire_rtt_ms", "Tap-level probe RTT (tNr - tNs) in milliseconds.")
+	m.SetHelp("stage_send_path_ms", "Send-path cost above the tap (tNs - tBs) in milliseconds; mirrors the simulator's series.")
+	m.SetHelp("stage_event_dispatch_ms", "Receive/dispatch cost above the tap (tBr - tNr) in milliseconds; mirrors the simulator's series.")
+	m.SetHelp("delta_d_ms", "Eq. 1 delay overhead (browser RTT minus wire RTT) in milliseconds; mirrors the simulator's series.")
+}
+
+// observeProbe records one measured probe into the wall-clock registry.
+func observeProbe(m *obs.Metrics, ser methodSeries, meas Measurement) {
+	if !m.Enabled() {
+		return
+	}
+	m.Add(ser.probes, 1)
+	m.SketchDur(ser.rtt, meas.BrowserRTT())
+	m.SketchDur(ser.wire, meas.WireRTT())
+	m.SketchDur(ser.send, meas.TNs.Sub(meas.TBs))
+	m.SketchDur(ser.dispatch, meas.TBr.Sub(meas.TNr))
+	m.SketchDur(ser.delta, meas.Overhead())
+}
+
 // RunStudy appraises every live client stack against the given services
 // with n probes each, warming each stack with two discarded probes first
 // (the Δd1/Δd2 split matters less here: real schedulers dominate).
 func RunStudy(addrs Addrs, n int) ([]StudyRow, error) {
+	return RunStudyWithOptions(addrs, StudyOptions{Probes: n})
+}
+
+// RunStudyWithOptions is RunStudy with wall-clock observability wired.
+func RunStudyWithOptions(addrs Addrs, opt StudyOptions) ([]StudyRow, error) {
+	n := opt.Probes
 	if n <= 0 {
 		n = 25
 	}
+	registerStudyHelp(opt.Metrics)
 	drivers := []struct {
-		name string
-		mk   func() (Method, error)
+		name   string
+		method string // label value on the live series
+		mk     func() (Method, error)
 	}{
-		{"HTTP GET (net/http)", func() (Method, error) { return NewHTTPGet(addrs.HTTP) }},
-		{"HTTP POST (net/http)", func() (Method, error) { return NewHTTPPost(addrs.HTTP) }},
-		{"WebSocket", func() (Method, error) { return NewWebSocket(addrs.WS) }},
-		{"raw TCP socket", func() (Method, error) { return NewTCP(addrs.TCPEcho) }},
-		{"UDP socket", func() (Method, error) { return NewUDP(addrs.UDPEcho) }},
+		{"HTTP GET (net/http)", "http-get", func() (Method, error) { return NewHTTPGet(addrs.HTTP) }},
+		{"HTTP POST (net/http)", "http-post", func() (Method, error) { return NewHTTPPost(addrs.HTTP) }},
+		{"WebSocket", "websocket", func() (Method, error) { return NewWebSocket(addrs.WS) }},
+		{"raw TCP socket", "tcp", func() (Method, error) { return NewTCP(addrs.TCPEcho) }},
+		{"UDP socket", "udp", func() (Method, error) { return NewUDP(addrs.UDPEcho) }},
 	}
 	var rows []StudyRow
 	for _, d := range drivers {
@@ -426,6 +497,7 @@ func RunStudy(addrs Addrs, n int) ([]StudyRow, error) {
 		if err != nil {
 			return rows, fmt.Errorf("liveclient: %s: %w", d.name, err)
 		}
+		ser := newMethodSeries(d.method)
 		var overheads, wires []float64
 		probeErr := func() error {
 			for i := 0; i < n+2; i++ {
@@ -436,6 +508,7 @@ func RunStudy(addrs Addrs, n int) ([]StudyRow, error) {
 				if i < 2 {
 					continue // warm-up
 				}
+				observeProbe(opt.Metrics, ser, meas)
 				overheads = append(overheads, stats.Ms(meas.Overhead()))
 				wires = append(wires, stats.Ms(meas.WireRTT()))
 			}

@@ -1,9 +1,12 @@
 package liveclient
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 	"time"
 
+	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/server"
 )
 
@@ -166,6 +169,58 @@ func TestRunStudyAllStacks(t *testing.T) {
 		}
 		if r.Mean > 100 {
 			t.Fatalf("%s: mean overhead %.3f ms implausible on loopback", r.Name, r.Mean)
+		}
+	}
+}
+
+func TestRunStudyMetricsMirrorSimNames(t *testing.T) {
+	s, err := server.Start(server.Config{Delay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	a := s.Addrs()
+	reg := obs.NewMetrics()
+	rows, err := RunStudyWithOptions(
+		Addrs{HTTP: a.HTTP, WS: a.WS, TCPEcho: a.TCPEcho, UDPEcho: a.UDPEcho},
+		StudyOptions{Probes: 6, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Every stack contributes its probe count and the overhead
+	// attribution series under the simulator's stage_* family names.
+	for _, method := range []string{"http-get", "http-post", "websocket", "tcp", "udp"} {
+		if got := reg.Counter(obs.L("live_probes_total", "method", method)); got != 6 {
+			t.Errorf("live_probes_total{method=%s} = %d, want 6", method, got)
+		}
+		for _, fam := range []string{
+			"live_probe_rtt_ms", "live_wire_rtt_ms",
+			"stage_send_path_ms", "stage_event_dispatch_ms", "delta_d_ms",
+		} {
+			key := obs.L(fam, "method", method)
+			if n := reg.SketchCount(key); n != 6 {
+				t.Errorf("%s sketch count = %d, want 6", key, n)
+			}
+		}
+	}
+	// The attribution identity holds in aggregate for the sketch sums:
+	// Δd = send-path + event-dispatch per probe (no handshake rounds in
+	// a warm study, and wall-clock reads have no quantization term).
+	var scrape bytes.Buffer
+	if err := reg.WritePrometheus(&scrape); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE delta_d_ms summary",
+		"# TYPE stage_send_path_ms summary",
+		`delta_d_ms{method="tcp",quantile="0.5"}`,
+		`live_probe_rtt_ms{method="websocket",quantile="0.99"}`,
+	} {
+		if !strings.Contains(scrape.String(), want) {
+			t.Errorf("scrape missing %q", want)
 		}
 	}
 }

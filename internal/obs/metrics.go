@@ -88,6 +88,8 @@ type Metrics struct {
 	counters map[string]int64
 	gauges   map[string]float64
 	hists    map[string]*Histogram
+	sketches map[string]*Sketch
+	help     map[string]string
 }
 
 // NewMetrics returns an empty enabled registry.
@@ -96,7 +98,52 @@ func NewMetrics() *Metrics {
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
 		hists:    make(map[string]*Histogram),
+		sketches: make(map[string]*Sketch),
+		help:     make(map[string]string),
 	}
+}
+
+// L builds a canonical series key: a family name plus label pairs
+// rendered in Prometheus form with the label names sorted, so the same
+// logical series always maps to the same registry key regardless of
+// argument order. kv alternates name, value. Values are escaped at
+// exposition time, not here. Callers on hot paths should build keys once
+// and reuse them.
+func L(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b []byte
+	b = append(b, name...)
+	b = append(b, '{')
+	for i, p := range pairs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, p.k...)
+		b = append(b, '=', '"')
+		b = append(b, p.v...)
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// SetHelp registers Prometheus HELP text for a metric family (the series
+// name without labels). The exposition writer emits it once per family.
+func (m *Metrics) SetHelp(family, help string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.help[family] = help
+	m.mu.Unlock()
 }
 
 // Enabled reports whether the registry records anything.
@@ -166,6 +213,63 @@ func (m *Metrics) ObserveDur(name string, d time.Duration) {
 	m.Observe(name, float64(d)/float64(time.Millisecond))
 }
 
+// ObserveSketch records one observation into the named streaming
+// quantile sketch (created on first use with DefaultSketchTargets). The
+// sketch is the bounded-memory histogram backend for long-running
+// wall-clock services: it answers p50/p95/p99 over millions of samples
+// without storing them.
+func (m *Metrics) ObserveSketch(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	s := m.sketches[name]
+	if s == nil {
+		s = NewSketch()
+		m.sketches[name] = s
+	}
+	s.Observe(v)
+	m.mu.Unlock()
+}
+
+// SketchDur records a duration observation in milliseconds into the
+// named sketch.
+func (m *Metrics) SketchDur(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.ObserveSketch(name, float64(d)/float64(time.Millisecond))
+}
+
+// SketchQuantile returns the named sketch's estimate for quantile q
+// (NaN when the sketch is absent or empty).
+func (m *Metrics) SketchQuantile(name string, q float64) float64 {
+	if m == nil {
+		return math.NaN()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.sketches[name]
+	if s == nil {
+		return math.NaN()
+	}
+	return s.Quantile(q)
+}
+
+// SketchCount returns the observation count of the named sketch.
+func (m *Metrics) SketchCount(name string) uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.sketches[name]
+	if s == nil {
+		return 0
+	}
+	return s.Count()
+}
+
 // Hist returns a copy of the named histogram, or nil.
 func (m *Metrics) Hist(name string) *Histogram {
 	if m == nil {
@@ -209,6 +313,19 @@ func (m *Metrics) Merge(o *Metrics) {
 		}
 		h.merge(oh)
 	}
+	for k, os := range o.sketches {
+		s := m.sketches[k]
+		if s == nil {
+			s = NewSketch(os.targets...)
+			m.sketches[k] = s
+		}
+		s.mergeFrom(os)
+	}
+	for k, v := range o.help {
+		if _, ok := m.help[k]; !ok {
+			m.help[k] = v
+		}
+	}
 }
 
 // snapshot is the export form of a registry; maps marshal with sorted
@@ -217,6 +334,23 @@ type snapshot struct {
 	Counters   map[string]int64        `json:"counters"`
 	Gauges     map[string]float64      `json:"gauges"`
 	Histograms map[string]histSnapshot `json:"histograms"`
+	// Sketches is only populated by wall-clock registries; the map stays
+	// nil otherwise so the virtual-time exports of PR 1/2 remain
+	// byte-identical.
+	Sketches map[string]sketchSnapshot `json:"sketches,omitempty"`
+}
+
+type sketchSnapshot struct {
+	Count     uint64          `json:"count"`
+	Sum       float64         `json:"sum"`
+	Min       float64         `json:"min"`
+	Max       float64         `json:"max"`
+	Quantiles []quantileValue `json:"quantiles"`
+}
+
+type quantileValue struct {
+	Q float64 `json:"q"`
+	V float64 `json:"v"`
 }
 
 type histSnapshot struct {
@@ -277,6 +411,21 @@ func (m *Metrics) snapshot() snapshot {
 		}
 		snap.Histograms[k] = hs
 	}
+	for k, s := range m.sketches {
+		if snap.Sketches == nil {
+			snap.Sketches = map[string]sketchSnapshot{}
+		}
+		ss := sketchSnapshot{Count: s.Count(), Sum: s.Sum()}
+		if s.Count() > 0 {
+			// Quantiles of an empty sketch are NaN, which JSON cannot
+			// carry; an empty sketch snapshots as count=0 with none.
+			ss.Min, ss.Max = s.Min(), s.Max()
+			for _, t := range s.Targets() {
+				ss.Quantiles = append(ss.Quantiles, quantileValue{Q: t.Quantile, V: s.Quantile(t.Quantile)})
+			}
+		}
+		snap.Sketches[k] = ss
+	}
 	return snap
 }
 
@@ -315,6 +464,18 @@ func (m *Metrics) WriteText(w io.Writer) error {
 				p("  le=+Inf %d\n", b.Count)
 			} else {
 				p("  le=%g %d\n", b.LE, b.Count)
+			}
+		}
+	}
+	// Wall-clock registries only; absent in virtual-time snapshots so the
+	// sim's text exports stay byte-identical.
+	if len(snap.Sketches) > 0 {
+		p("# sketches (ms)\n")
+		for _, k := range sortedKeys(snap.Sketches) {
+			s := snap.Sketches[k]
+			p("%s count=%d sum=%.4f min=%.4f max=%.4f\n", k, s.Count, s.Sum, s.Min, s.Max)
+			for _, qv := range s.Quantiles {
+				p("  q%g %.4f\n", qv.Q, qv.V)
 			}
 		}
 	}

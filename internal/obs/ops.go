@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format the ops handler serves.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// NewOpsHandler builds the operational HTTP surface of a live service:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/healthz        liveness probe ("ok")
+//	/debug/pprof/*  runtime profiling (CPU, heap, goroutine, trace, ...)
+//
+// The handler is safe to serve concurrently with writers to the
+// registry; a nil registry serves an empty exposition.
+func NewOpsHandler(m *Metrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		_ = m.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// OpsServer is a running ops endpoint bound to its own listener, kept
+// separate from the measurement listeners so scrapes and profiles never
+// contend with probe traffic on the accept path.
+type OpsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartOps binds addr (host:port; port 0 picks a free one) and serves
+// the ops handler on it until Close or Shutdown.
+func StartOps(addr string, m *Metrics) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
+	}
+	o := &OpsServer{ln: ln, srv: &http.Server{Handler: NewOpsHandler(m)}}
+	go func() { _ = o.srv.Serve(ln) }()
+	return o, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:9091".
+func (o *OpsServer) Addr() string { return o.ln.Addr().String() }
+
+// Close shuts the ops endpoint down immediately.
+func (o *OpsServer) Close() error { return o.srv.Close() }
+
+// Shutdown drains the ops endpoint gracefully.
+func (o *OpsServer) Shutdown(ctx context.Context) error { return o.srv.Shutdown(ctx) }

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// SketchTarget is one quantile a Sketch tracks, with the rank error the
+// caller is willing to tolerate there. Epsilon is a fraction of the total
+// observation count n: the value returned for Quantile(q) is guaranteed to
+// have true rank within q·n ± Epsilon·n.
+type SketchTarget struct {
+	Quantile float64 // in (0, 1), e.g. 0.99
+	Epsilon  float64 // allowed rank error as a fraction of n, e.g. 0.001
+}
+
+// DefaultSketchTargets track the latency quantiles the live service
+// exports: the median and the tail. Tight epsilons at the tail keep p99
+// honest on long runs; the bounds are what the sketch property test
+// asserts against exact quantiles.
+var DefaultSketchTargets = []SketchTarget{
+	{Quantile: 0.5, Epsilon: 0.01},
+	{Quantile: 0.9, Epsilon: 0.005},
+	{Quantile: 0.95, Epsilon: 0.005},
+	{Quantile: 0.99, Epsilon: 0.001},
+}
+
+// sketchSample is one stored tuple of the CKMS summary: a value, the
+// number of observations it stands for (width), and the rank uncertainty
+// it was inserted with (delta).
+type sketchSample struct {
+	value float64
+	width float64
+	delta float64
+}
+
+// Sketch is a bounded-memory streaming quantile estimator — the
+// Cormode–Korn–Muthukrishnan–Srivastava "targeted quantiles" summary. A
+// long-running server can push millions of observations through it and
+// read p50/p95/p99 at any time; memory stays sublinear because adjacent
+// samples merge whenever the invariant for every target still holds.
+//
+// Observations and queries are deterministic: the same sequence of
+// Observe and Quantile calls produces the same stored tuples and the
+// same answers (a query flushes the insert buffer, so it participates in
+// the sequence), and re-querying an unchanged sketch never changes its
+// state — two scrapes of an unchanged registry are byte-identical.
+//
+// A Sketch is not safe for concurrent use on its own; the Metrics
+// registry serializes access under its lock.
+type Sketch struct {
+	targets []SketchTarget
+	samples []sketchSample // sorted by value
+	buf     []float64      // unsorted insert buffer
+	n       float64        // observations folded into samples
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// sketchBufCap is how many observations buffer before a flush+compress
+// pass. Larger buffers amortize the O(samples) merge better; 512 keeps
+// worst-case per-observation cost small and memory modest.
+const sketchBufCap = 512
+
+// NewSketch returns a sketch tracking the given targets
+// (DefaultSketchTargets when none are given). Quantiles are clamped to
+// (0, 1) and non-positive epsilons default to 0.01.
+func NewSketch(targets ...SketchTarget) *Sketch {
+	if len(targets) == 0 {
+		targets = DefaultSketchTargets
+	}
+	ts := make([]SketchTarget, 0, len(targets))
+	for _, t := range targets {
+		if t.Quantile <= 0 || t.Quantile >= 1 {
+			continue
+		}
+		if t.Epsilon <= 0 {
+			t.Epsilon = 0.01
+		}
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Quantile < ts[j].Quantile })
+	return &Sketch{
+		targets: ts,
+		buf:     make([]float64, 0, sketchBufCap),
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+	}
+}
+
+// Targets returns a copy of the tracked quantile targets, ascending.
+func (s *Sketch) Targets() []SketchTarget {
+	return append([]SketchTarget(nil), s.targets...)
+}
+
+// Observe adds one observation.
+func (s *Sketch) Observe(v float64) {
+	s.count++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.buf = append(s.buf, v)
+	if len(s.buf) >= sketchBufCap {
+		s.flush()
+	}
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Sum returns the sum of all observations.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Min returns the smallest observation (+Inf when empty).
+func (s *Sketch) Min() float64 { return s.min }
+
+// Max returns the largest observation (-Inf when empty).
+func (s *Sketch) Max() float64 { return s.max }
+
+// Len returns the number of stored tuples plus buffered observations —
+// the sketch's memory footprint, which the bounded-memory test pins.
+func (s *Sketch) Len() int { return len(s.samples) + len(s.buf) }
+
+// Quantile returns a value whose rank is within the configured error of
+// q·n. Querying a quantile between targets degrades gracefully (the
+// invariant interpolates); querying an empty sketch returns NaN.
+func (s *Sketch) Quantile(q float64) float64 {
+	s.flush()
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.samples[0].value
+	}
+	if q >= 1 {
+		return s.samples[len(s.samples)-1].value
+	}
+	t := math.Ceil(q * s.n)
+	t += math.Ceil(s.invariant(t) / 2)
+	prev := s.samples[0]
+	var r float64
+	for _, c := range s.samples[1:] {
+		r += prev.width
+		if r+c.width+c.delta > t {
+			return prev.value
+		}
+		prev = c
+	}
+	return prev.value
+}
+
+// sketchSafety under-fills the invariant: tuples are kept twice as tight
+// as each target's epsilon demands. Batched inserts and greedy
+// compression consume part of the theoretical error budget, so enforcing
+// ε/2 internally is what makes the *configured* ε hold in practice (the
+// property test asserts the configured bound against exact quantiles).
+const sketchSafety = 0.5
+
+// invariant is the CKMS targeted-quantiles error function f(r, n): the
+// maximum width+delta a tuple covering rank r may have while every
+// target's rank guarantee still holds.
+func (s *Sketch) invariant(r float64) float64 {
+	minF := s.n + 1
+	for _, t := range s.targets {
+		eps := t.Epsilon * sketchSafety
+		var f float64
+		if r <= t.Quantile*s.n {
+			f = 2 * eps * (s.n - r) / (1 - t.Quantile)
+		} else {
+			f = 2 * eps * r / t.Quantile
+		}
+		if f < minF {
+			minF = f
+		}
+	}
+	if minF < 1 {
+		minF = 1
+	}
+	return minF
+}
+
+// flush sorts the buffer, merges it into the sample list and compresses.
+func (s *Sketch) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Float64s(s.buf)
+	merged := make([]sketchSample, 0, len(s.samples)+len(s.buf))
+	var r float64
+	i := 0
+	for _, v := range s.buf {
+		for i < len(s.samples) && s.samples[i].value <= v {
+			r += s.samples[i].width
+			merged = append(merged, s.samples[i])
+			i++
+		}
+		var delta float64
+		if len(merged) > 0 && i < len(s.samples) {
+			delta = math.Floor(s.invariant(r)) - 1
+			if delta < 0 {
+				delta = 0
+			}
+		}
+		merged = append(merged, sketchSample{value: v, width: 1, delta: delta})
+		s.n++
+	}
+	merged = append(merged, s.samples[i:]...)
+	s.samples = merged
+	s.buf = s.buf[:0]
+	s.compress()
+}
+
+// compress greedily merges each tuple into its right neighbour while the
+// combined width stays under the invariant, scanning right to left so a
+// single pass reaches a locally minimal summary.
+func (s *Sketch) compress() {
+	if len(s.samples) < 2 {
+		return
+	}
+	keep := s.samples[len(s.samples)-1]
+	ki := len(s.samples) - 1
+	r := s.n - 1 - keep.width
+	for i := len(s.samples) - 2; i >= 0; i-- {
+		c := s.samples[i]
+		if i > 0 && c.width+keep.width+keep.delta <= s.invariant(r) {
+			keep.width += c.width
+		} else {
+			s.samples[ki] = keep
+			ki--
+			keep = c
+		}
+		r -= c.width
+	}
+	s.samples[ki] = keep
+	s.samples = s.samples[ki:]
+}
+
+// mergeFrom folds another sketch (same intent: same targets) into this
+// one by re-inserting its stored tuples with their widths. The result's
+// rank error is bounded by the sum of the two sketches' epsilons — fine
+// for registry merges, which happen once at export time.
+func (s *Sketch) mergeFrom(o *Sketch) {
+	o.flush()
+	for _, t := range o.samples {
+		s.insertWeighted(t.value, t.width)
+	}
+	s.count += o.count
+	s.sum += o.sum
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.compress()
+}
+
+// insertWeighted inserts one value standing for w observations.
+func (s *Sketch) insertWeighted(v, w float64) {
+	s.flush()
+	i := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].value > v })
+	var r float64
+	for _, t := range s.samples[:i] {
+		r += t.width
+	}
+	var delta float64
+	if i > 0 && i < len(s.samples) {
+		delta = math.Floor(s.invariant(r)) - 1
+		if delta < 0 {
+			delta = 0
+		}
+	}
+	s.samples = append(s.samples, sketchSample{})
+	copy(s.samples[i+1:], s.samples[i:])
+	s.samples[i] = sketchSample{value: v, width: w, delta: delta}
+	s.n += w
+}

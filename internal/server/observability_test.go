@@ -1,0 +1,233 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/obs"
+)
+
+func tcpExchange(t *testing.T, addr, payload string) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerMetricsWired(t *testing.T) {
+	m := obs.NewMetrics()
+	s, err := Start(Config{Delay: time.Millisecond, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	addrs := s.Addrs()
+
+	for _, url := range []string{"/", "/probe"} {
+		resp, err := http.Get("http://" + addrs.HTTP + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	tcpExchange(t, addrs.TCPEcho, "tcp-probe")
+
+	uc, err := net.Dial("udp", addrs.UDPEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc.Write([]byte("dgram"))
+	buf := make([]byte, 64)
+	uc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := uc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	uc.Close()
+
+	for key, want := range map[string]int64{
+		obs.L("bm_requests_total", "service", "http", "endpoint", "/"):      1,
+		obs.L("bm_requests_total", "service", "http", "endpoint", "/probe"): 1,
+		obs.L("bm_requests_total", "service", "tcp", "endpoint", "echo"):    1,
+		obs.L("bm_requests_total", "service", "udp", "endpoint", "echo"):    1,
+	} {
+		if got := m.Counter(key); got != want {
+			t.Errorf("%s = %d, want %d", key, got, want)
+		}
+	}
+	latKey := obs.L("bm_service_latency_ms", "service", "tcp", "endpoint", "echo")
+	if n := m.SketchCount(latKey); n != 1 {
+		t.Errorf("latency sketch count = %d, want 1", n)
+	}
+	// Service latency includes the artificial delay knob; the knob also
+	// exports as its own series plus its configured value as a gauge.
+	if p50 := m.SketchQuantile(latKey, 0.5); p50 < 1 {
+		t.Errorf("tcp service latency p50 = %g ms, want >= 1 (the delay)", p50)
+	}
+	if n := m.SketchCount("bm_artificial_delay_ms"); n != 4 {
+		t.Errorf("artificial delay series count = %d, want 4", n)
+	}
+	if g := m.Gauge("bm_artificial_delay_config_ms"); g != 1 {
+		t.Errorf("configured delay gauge = %g, want 1", g)
+	}
+
+	// The wired registry scrapes as valid Prometheus text.
+	var scrape bytes.Buffer
+	if err := m.WritePrometheus(&scrape); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE bm_requests_total counter",
+		"# TYPE bm_service_latency_ms summary",
+		`bm_service_latency_ms{endpoint="echo",service="tcp",quantile="0.5"}`,
+	} {
+		if !strings.Contains(scrape.String(), want) {
+			t.Errorf("scrape missing %q:\n%s", want, scrape.String())
+		}
+	}
+}
+
+func TestServerMetricsDisabledIsFree(t *testing.T) {
+	s := startServer(t, 0)
+	// With Metrics nil the observe path must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		s.observe(s.serTCP, time.Now())
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observe allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestDrainCountsInFlightExactlyOnce(t *testing.T) {
+	m := obs.NewMetrics()
+	s, err := Start(Config{Delay: 50 * time.Millisecond, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	addrs := s.Addrs()
+
+	c, err := net.Dial("tcp", addrs.TCPEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("in-flight")); err != nil {
+		t.Fatal(err)
+	}
+	// Start draining while the echo sits in the artificial delay. The
+	// echo must complete, be counted exactly once, and the client still
+	// receives it.
+	time.Sleep(10 * time.Millisecond)
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	buf := make([]byte, 64)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := c.Read(buf)
+	if err != nil || string(buf[:n]) != "in-flight" {
+		t.Fatalf("echo during drain = %q, %v", buf[:n], err)
+	}
+	c.Close()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	_, _, tcpN, _ := s.Stats()
+	if tcpN != 1 {
+		t.Fatalf("tcp echoes after drain = %d, want exactly 1", tcpN)
+	}
+	if got := m.Counter(obs.L("bm_requests_total", "service", "tcp", "endpoint", "echo")); got != 1 {
+		t.Fatalf("tcp counter after drain = %d, want 1", got)
+	}
+
+	// The drained server accepts nothing new.
+	if _, err := net.DialTimeout("tcp", addrs.TCPEcho, 200*time.Millisecond); err == nil {
+		t.Fatal("drained server still accepts TCP connections")
+	}
+}
+
+func TestDrainForceClosesIdleSessions(t *testing.T) {
+	s := startServer(t, 0)
+	c, err := net.Dial("tcp", s.Addrs().TCPEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tcpExchange(t, s.Addrs().TCPEcho, "warm") // separate conn, completes
+	// This client never closes its connection; Drain must give up at ctx
+	// and force-close it rather than hang.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = s.Drain(ctx)
+	if err == nil {
+		t.Fatal("expected ctx error from forced drain")
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("drain took %v despite 100ms ctx", took)
+	}
+	// Second drain and close are no-ops.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	s.Close()
+}
+
+func TestServerStructuredLogs(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	s, err := Start(Config{Logger: lg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpExchange(t, s.Addrs().TCPEcho, "logged")
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var sawStart, sawRequest, sawDrained bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line not JSON: %q (%v)", line, err)
+		}
+		switch rec["msg"] {
+		case "server started":
+			sawStart = true
+		case "request":
+			sawRequest = true
+			if rec["service"] != "tcp" || rec["endpoint"] != "echo" {
+				t.Errorf("request log fields = %v", rec)
+			}
+		case "drained":
+			sawDrained = true
+			if rec["tcp"] != float64(1) {
+				t.Errorf("drained log tcp count = %v, want 1", rec["tcp"])
+			}
+		}
+	}
+	if !sawStart || !sawRequest || !sawDrained {
+		t.Fatalf("lifecycle logs missing: start=%v request=%v drained=%v\n%s",
+			sawStart, sawRequest, sawDrained, buf.String())
+	}
+}

@@ -11,13 +11,16 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
 	"time"
 
+	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/wssim"
 )
 
@@ -28,6 +31,25 @@ type Config struct {
 	// Delay is the artificial pause before every response (the paper's
 	// +50 ms; default 0 for live use).
 	Delay time.Duration
+	// Metrics is the wall-clock observability registry. The server
+	// records per-endpoint request counters, service-latency quantile
+	// sketches and the artificial-delay knob into it. nil disables
+	// instrumentation at zero cost (the obs nil-receiver contract); this
+	// registry is separate from the simulator's virtual-time registries,
+	// so sim exports stay byte-identical with live observability wired.
+	Metrics *obs.Metrics
+	// Logger receives structured request and lifecycle logs (requests at
+	// Debug, lifecycle at Info). nil disables logging.
+	Logger *slog.Logger
+}
+
+// series holds the precomputed registry keys for one endpoint, so the
+// per-request path does no label formatting.
+type series struct {
+	service  string
+	endpoint string
+	total    string // request counter
+	latency  string // service-latency sketch (ms)
 }
 
 // Server is a running measurement server.
@@ -40,8 +62,16 @@ type Server struct {
 	tcpLn   net.Listener
 	udpConn *net.UDPConn
 
+	serContainer series
+	serProbe     series
+	serWS        series
+	serTCP       series
+	serUDP       series
+	delayKey     string
+
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{} // live ws/tcp echo sessions, for forced drain
 	wg     sync.WaitGroup
 
 	// Stats.
@@ -64,7 +94,8 @@ func Start(cfg Config) (*Server, error) {
 	if cfg.Host == "" {
 		cfg.Host = "127.0.0.1"
 	}
-	s := &Server{cfg: cfg}
+	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s.initSeries()
 
 	var err error
 	if s.httpLn, err = net.Listen("tcp", cfg.Host+":0"); err != nil {
@@ -98,7 +129,60 @@ func Start(cfg Config) (*Server, error) {
 	go func() { defer s.wg.Done(); s.serveTCPEcho() }()
 	s.wg.Add(1)
 	go func() { defer s.wg.Done(); s.serveUDPEcho() }()
+	if lg := s.cfg.Logger; lg != nil {
+		a := s.Addrs()
+		lg.Info("server started",
+			"http", a.HTTP, "ws", a.WS, "tcp", a.TCPEcho, "udp", a.UDPEcho,
+			"delay", cfg.Delay.String())
+	}
 	return s, nil
+}
+
+// initSeries precomputes the wall-clock registry keys and registers
+// their HELP text, so the request paths never format labels.
+func (s *Server) initSeries() {
+	mk := func(service, endpoint string) series {
+		return series{
+			service:  service,
+			endpoint: endpoint,
+			total:    obs.L("bm_requests_total", "service", service, "endpoint", endpoint),
+			latency:  obs.L("bm_service_latency_ms", "service", service, "endpoint", endpoint),
+		}
+	}
+	s.serContainer = mk("http", "/")
+	s.serProbe = mk("http", "/probe")
+	s.serWS = mk("ws", "echo")
+	s.serTCP = mk("tcp", "echo")
+	s.serUDP = mk("udp", "echo")
+	s.delayKey = "bm_artificial_delay_ms"
+	m := s.cfg.Metrics
+	if !m.Enabled() {
+		return
+	}
+	m.SetHelp("bm_requests_total", "Exchanges served, by service and endpoint.")
+	m.SetHelp("bm_service_latency_ms", "Server-side service time per exchange in milliseconds (streaming quantile sketch).")
+	m.SetHelp("bm_artificial_delay_ms", "Artificial response delay applied per exchange in milliseconds (the testbed's +delay knob).")
+	m.SetHelp("bm_artificial_delay_config_ms", "Configured artificial response delay in milliseconds.")
+	m.Set("bm_artificial_delay_config_ms", float64(s.cfg.Delay)/float64(time.Millisecond))
+}
+
+// observe records one served exchange: counter, service-latency sketch,
+// the artificial-delay series and a Debug request log. Allocation-free
+// when Metrics and Logger are both nil.
+func (s *Server) observe(ser series, start time.Time) {
+	took := time.Since(start)
+	if m := s.cfg.Metrics; m.Enabled() {
+		m.Add(ser.total, 1)
+		m.SketchDur(ser.latency, took)
+		if s.cfg.Delay > 0 {
+			m.SketchDur(s.delayKey, s.cfg.Delay)
+		}
+	}
+	if lg := s.cfg.Logger; lg != nil {
+		lg.Debug("request",
+			"service", ser.service, "endpoint", ser.endpoint,
+			"ms", float64(took)/float64(time.Millisecond))
+	}
 }
 
 // Addrs returns the bound addresses.
@@ -118,7 +202,8 @@ func (s *Server) Stats() (int64, int64, int64, int64) {
 	return s.httpRequests, s.wsMessages, s.tcpEchoes, s.udpEchoes
 }
 
-// Close shuts every listener down and waits for the service goroutines.
+// Close shuts every listener down, force-closes live echo sessions and
+// waits for the service goroutines. For a graceful stop use Drain.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -141,7 +226,74 @@ func (s *Server) Close() {
 	if s.udpConn != nil {
 		_ = s.udpConn.Close()
 	}
+	s.closeConns()
 	s.wg.Wait()
+	if lg := s.cfg.Logger; lg != nil {
+		lg.Info("server closed")
+	}
+}
+
+// Drain gracefully stops the server: it closes every listener first (no
+// new work is accepted), lets in-flight exchanges finish, and only then
+// returns — so a Stats read after Drain counts each exchange exactly
+// once, never mid-flight. Echo sessions whose clients keep the
+// connection open past ctx are force-closed; the context error is
+// returned in that case. Drain after Close (or a second Drain) is a
+// no-op.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if lg := s.cfg.Logger; lg != nil {
+		lg.Info("draining")
+	}
+	// Stop accepting: raw listeners close immediately; the HTTP server
+	// drains in-flight requests up to ctx.
+	_ = s.wsLn.Close()
+	_ = s.tcpLn.Close()
+	_ = s.udpConn.Close()
+	err := s.httpSrv.Shutdown(ctx)
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.closeConns()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	if lg := s.cfg.Logger; lg != nil {
+		h, w, tc, u := s.Stats()
+		lg.Info("drained", "http", h, "ws", w, "tcp", tc, "udp", u)
+	}
+	return err
+}
+
+// track registers a live echo session connection for forced drain.
+func (s *Server) track(c net.Conn) {
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
 }
 
 func (s *Server) pause() {
@@ -151,21 +303,25 @@ func (s *Server) pause() {
 }
 
 func (s *Server) handleContainer(w http.ResponseWriter, _ *http.Request) {
+	start := time.Now()
 	s.pause()
 	s.count(&s.httpRequests)
 	w.Header().Set("Content-Type", "text/html")
 	_, _ = io.WriteString(w, "<html><body><script src=\"/measure.js\"></script></body></html>")
+	s.observe(s.serContainer, start)
 }
 
 func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	s.pause()
 	s.count(&s.httpRequests)
 	if r.Method == http.MethodPost {
 		_, _ = io.Copy(io.Discard, r.Body)
 		_, _ = io.WriteString(w, "post-ok")
-		return
+	} else {
+		_, _ = io.WriteString(w, "pong")
 	}
-	_, _ = io.WriteString(w, "pong")
+	s.observe(s.serProbe, start)
 }
 
 func (s *Server) count(field *int64) {
@@ -183,8 +339,10 @@ func (s *Server) serveWS() {
 			return
 		}
 		s.wg.Add(1)
+		s.track(conn)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			s.wsSession(conn)
 		}()
@@ -233,12 +391,14 @@ func (s *Server) wsSession(conn net.Conn) {
 					out := &wssim.Frame{Fin: true, Opcode: wssim.OpPong, Payload: f.Payload}
 					_, _ = conn.Write(out.Marshal())
 				default:
+					start := time.Now()
 					s.pause()
 					s.count(&s.wsMessages)
 					out := &wssim.Frame{Fin: true, Opcode: f.Opcode, Payload: f.Payload}
 					if _, err := conn.Write(out.Marshal()); err != nil {
 						return
 					}
+					s.observe(s.serWS, start)
 				}
 			}
 		}
@@ -255,18 +415,22 @@ func (s *Server) serveTCPEcho() {
 			return
 		}
 		s.wg.Add(1)
+		s.track(conn)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			buf := make([]byte, 4096)
 			for {
 				n, err := conn.Read(buf)
 				if n > 0 {
+					start := time.Now()
 					s.pause()
 					s.count(&s.tcpEchoes)
 					if _, werr := conn.Write(buf[:n]); werr != nil {
 						return
 					}
+					s.observe(s.serTCP, start)
 				}
 				if err != nil {
 					return
@@ -283,10 +447,12 @@ func (s *Server) serveUDPEcho() {
 		if err != nil {
 			return
 		}
+		start := time.Now()
 		s.pause()
 		s.count(&s.udpEchoes)
 		payload := make([]byte, n)
 		copy(payload, buf[:n])
 		_, _ = s.udpConn.WriteToUDP(payload, addr)
+		s.observe(s.serUDP, start)
 	}
 }
