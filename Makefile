@@ -6,10 +6,11 @@
 #   make bench       paper-regeneration + scheduler benchmarks
 #   make race-live   loopback server/client under -race (live network path)
 #   make bench-json  run committed benchmarks, write $(BENCH_JSON) trajectory
+#   make bench-diff  compare $(BENCH_OLD) vs $(BENCH_NEW), fail on allocs/op regression
 
 GO ?= go
 
-.PHONY: all build vet test race race-core race-live tier1 ci bench bench-json
+.PHONY: all build vet test race race-core race-live tier1 ci bench bench-json bench-diff
 
 all: tier1
 
@@ -45,11 +46,21 @@ bench:
 
 # bench-json runs every committed benchmark and converts the output into
 # the perf-trajectory snapshot BENCH_<pr>.json (ns/op, B/op, allocs/op
-# per benchmark). BENCHTIME=1x keeps it fast enough for CI; override
-# with BENCHTIME=100ms (or more) for lower-variance local numbers.
-BENCH_JSON ?= BENCH_3.json
-BENCHTIME ?= 1x
+# per benchmark). BENCHTIME=3x trades a little CI time for numbers that
+# are not single-iteration noise; override with BENCHTIME=100ms (or more)
+# for lower-variance local runs. The setting is recorded in the snapshot
+# header so downstream diffs know what they are looking at.
+BENCH_JSON ?= BENCH_4.json
+BENCHTIME ?= 3x
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... > bench.out
-	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCH_JSON)
+	$(GO) run ./cmd/benchjson -in bench.out -benchtime $(BENCHTIME) -out $(BENCH_JSON)
 	@rm -f bench.out
+
+# bench-diff compares two trajectory snapshots and exits non-zero when any
+# benchmark's allocs/op regressed by more than 20% — the allocation gate
+# CI runs against the committed baseline.
+BENCH_OLD ?= BENCH_4.json
+BENCH_NEW ?= BENCH_ci.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff -old $(BENCH_OLD) -new $(BENCH_NEW)

@@ -1,0 +1,24 @@
+package browsermetric
+
+import "testing"
+
+// TestStudyAllocCeiling is the top-level allocation regression guard for
+// the zero-allocation hot-path work: a full Figure 3 study (every
+// method × profile cell, 20 runs each) must stay under the ceiling. The
+// seed study needed ~740k allocations for the same workload; the pooled
+// event engine, sealed stats views and interned labels brought it under
+// 150k, and this test keeps it there with headroom for benign drift.
+func TestStudyAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell study in -short mode")
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := RunStudy(StudyOptions{Runs: 20, BaseSeed: 1}); err != nil {
+			t.Error(err)
+		}
+	})
+	const ceiling = 200_000
+	if allocs > ceiling {
+		t.Fatalf("Fig3-style study allocated %.0f objects, ceiling %d", allocs, ceiling)
+	}
+}

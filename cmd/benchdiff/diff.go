@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/browsermetric/browsermetric/internal/benchfmt"
+)
+
+// Diff renders the per-benchmark deltas between two snapshots and returns
+// the benchmarks whose allocs/op regressed by more than threshold
+// (a fraction: 0.20 = 20%). Benchmarks present in only one snapshot are
+// listed but never counted as regressions.
+func Diff(oldFile, newFile *benchfmt.File, threshold float64) (report string, regressions []string) {
+	oldBy := make(map[string]benchfmt.Result, len(oldFile.Benchmarks))
+	for _, r := range oldFile.Benchmarks {
+		oldBy[r.Key()] = r
+	}
+
+	var sb strings.Builder
+	if oldFile.Benchtime != "" || newFile.Benchtime != "" {
+		fmt.Fprintf(&sb, "benchtime: old=%s new=%s\n", orDash(oldFile.Benchtime), orDash(newFile.Benchtime))
+	}
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tns/op old\tnew\tΔ\tB/op old\tnew\tΔ\tallocs/op old\tnew\tΔ")
+	seen := make(map[string]bool, len(newFile.Benchmarks))
+	for _, n := range newFile.Benchmarks {
+		seen[n.Key()] = true
+		o, ok := oldBy[n.Key()]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t-\t%d\tnew\t-\t%d\tnew\n",
+				n.Name, n.NsPerOp, n.BytesPerOp, n.AllocsPerOp)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%d\t%d\t%s\t%d\t%d\t%s\n",
+			n.Name,
+			o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp),
+			o.BytesPerOp, n.BytesPerOp, pct(float64(o.BytesPerOp), float64(n.BytesPerOp)),
+			o.AllocsPerOp, n.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(n.AllocsPerOp)))
+		if float64(n.AllocsPerOp) > float64(o.AllocsPerOp)*(1+threshold) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %d -> %d (%s)", n.Key(), o.AllocsPerOp, n.AllocsPerOp,
+					pct(float64(o.AllocsPerOp), float64(n.AllocsPerOp))))
+		}
+	}
+	for _, o := range oldFile.Benchmarks {
+		if !seen[o.Key()] {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\tgone\t%d\t-\tgone\t%d\t-\tgone\n",
+				o.Name, o.NsPerOp, o.BytesPerOp, o.AllocsPerOp)
+		}
+	}
+	tw.Flush()
+	return sb.String(), regressions
+}
+
+// pct formats the relative change from old to new.
+func pct(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "0%"
+		}
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/browsermetric/browsermetric/internal/benchfmt"
+)
+
+func snap(results ...benchfmt.Result) *benchfmt.File {
+	return &benchfmt.File{Benchmarks: results}
+}
+
+func res(name string, ns float64, b, allocs int64) benchfmt.Result {
+	return benchfmt.Result{Name: name, Package: "pkg", NsPerOp: ns, BytesPerOp: b, AllocsPerOp: allocs}
+}
+
+func TestDiffImprovementPasses(t *testing.T) {
+	report, regressions := Diff(
+		snap(res("BenchmarkA", 1000, 500, 100)),
+		snap(res("BenchmarkA", 900, 400, 20)),
+		0.20,
+	)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none", regressions)
+	}
+	if !strings.Contains(report, "BenchmarkA") || !strings.Contains(report, "-80.0%") {
+		t.Fatalf("report missing delta:\n%s", report)
+	}
+}
+
+func TestDiffFlagsAllocRegression(t *testing.T) {
+	_, regressions := Diff(
+		snap(res("BenchmarkA", 1000, 500, 100)),
+		snap(res("BenchmarkA", 1000, 500, 121)), // +21% > 20% threshold
+		0.20,
+	)
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want 1", regressions)
+	}
+	if !strings.Contains(regressions[0], "100 -> 121") {
+		t.Fatalf("regression detail = %q", regressions[0])
+	}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	_, regressions := Diff(
+		snap(res("BenchmarkA", 1000, 500, 100)),
+		snap(res("BenchmarkA", 5000, 500, 119)), // ns/op noise ignored; +19% allocs OK
+		0.20,
+	)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none", regressions)
+	}
+}
+
+func TestDiffHandlesAddedAndRemoved(t *testing.T) {
+	report, regressions := Diff(
+		snap(res("BenchmarkOld", 1000, 0, 10)),
+		snap(res("BenchmarkNew", 1000, 0, 999)),
+		0.20,
+	)
+	if len(regressions) != 0 {
+		t.Fatalf("added/removed benchmarks must not regress: %v", regressions)
+	}
+	if !strings.Contains(report, "new") || !strings.Contains(report, "gone") {
+		t.Fatalf("report should mark added/removed:\n%s", report)
+	}
+}

@@ -1,0 +1,52 @@
+// Command benchdiff compares two perf-trajectory snapshots (written by
+// cmd/benchjson) and prints the ns/op, B/op and allocs/op delta for every
+// benchmark present in both. It exits non-zero when any benchmark's
+// allocs/op regressed by more than the threshold (default 20%), so CI can
+// gate on allocation regressions — the one metric of the three that is
+// deterministic across machines.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_3.json -new BENCH_4.json
+//	benchdiff -old BENCH_4.json -new BENCH_ci.json -threshold 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/browsermetric/browsermetric/internal/benchfmt"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline snapshot (required)")
+		newPath   = flag.String("new", "", "candidate snapshot (required)")
+		threshold = flag.Float64("threshold", 0.20, "allocs/op regression fraction that fails the diff")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldFile, err := benchfmt.ReadFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newFile, err := benchfmt.ReadFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	report, regressions := Diff(oldFile, newFile, *threshold)
+	fmt.Print(report)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d allocs/op regression(s) above %.0f%%:\n", len(regressions), *threshold*100)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,50 +1,34 @@
 // Command benchjson converts `go test -bench` text output into the
-// repository's perf-trajectory JSON format. `make bench-json` pipes the
-// committed benchmarks through it and writes BENCH_<pr>.json, so every
-// PR leaves a machine-readable ns/op, B/op and allocs/op snapshot that
-// CI archives as an artifact.
+// repository's perf-trajectory JSON format (internal/benchfmt).
+// `make bench-json` pipes the committed benchmarks through it and writes
+// BENCH_<pr>.json, so every PR leaves a machine-readable ns/op, B/op and
+// allocs/op snapshot that CI archives as an artifact.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./... > bench.out
-//	benchjson -in bench.out -out BENCH_3.json
+//	go test -run '^$' -bench . -benchmem -benchtime 3x ./... > bench.out
+//	benchjson -in bench.out -benchtime 3x -out BENCH_4.json
+//
+// -benchtime does not rerun anything; it records the setting the `go
+// test` invocation used in the snapshot header, so a reader can tell an
+// iterations-starved 1x snapshot from a stable multi-iteration one.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
+
+	"github.com/browsermetric/browsermetric/internal/benchfmt"
 )
-
-// Result is one benchmark's measurement.
-type Result struct {
-	Name        string  `json:"name"`
-	Package     string  `json:"package,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-// File is the trajectory snapshot: environment header plus every
-// benchmark, sorted by package then name for stable diffs.
-type File struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
-}
 
 func main() {
 	var (
-		in  = flag.String("in", "", "benchmark output to read (empty = stdin)")
-		out = flag.String("out", "", "JSON file to write (empty = stdout)")
+		in        = flag.String("in", "", "benchmark output to read (empty = stdin)")
+		out       = flag.String("out", "", "JSON file to write (empty = stdout)")
+		benchtime = flag.String("benchtime", "", "-benchtime the run used, recorded in the snapshot header")
 	)
 	flag.Parse()
 
@@ -58,7 +42,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	file, err := Parse(r)
+	file, err := benchfmt.Parse(r)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -67,6 +51,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
 		os.Exit(1)
 	}
+	file.Benchtime = *benchtime
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -92,81 +77,4 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(file.Benchmarks), *out)
 	}
-}
-
-// Parse reads `go test -bench -benchmem` output. Benchmark lines look
-// like:
-//
-//	BenchmarkRunStudy-8  38  30802498 ns/op  5272947 B/op  33772 allocs/op
-//
-// goos/goarch/cpu/pkg header lines annotate the results; everything else
-// (PASS, ok, test logs) is skipped.
-func Parse(r io.Reader) (*File, error) {
-	file := &File{}
-	var pkg string
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			file.Goos = strings.TrimPrefix(line, "goos: ")
-			continue
-		case strings.HasPrefix(line, "goarch: "):
-			file.Goarch = strings.TrimPrefix(line, "goarch: ")
-			continue
-		case strings.HasPrefix(line, "cpu: "):
-			file.CPU = strings.TrimPrefix(line, "cpu: ")
-			continue
-		case strings.HasPrefix(line, "pkg: "):
-			pkg = strings.TrimPrefix(line, "pkg: ")
-			continue
-		}
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 || fields[3] != "ns/op" {
-			continue
-		}
-		res := Result{Package: pkg}
-		// Strip the -GOMAXPROCS suffix from the name.
-		res.Name = fields[0]
-		if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
-			if _, err := strconv.Atoi(res.Name[i+1:]); err == nil {
-				res.Name = res.Name[:i]
-			}
-		}
-		var err error
-		if res.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
-			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
-		}
-		if res.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
-			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
-		}
-		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
-			if err != nil {
-				continue // non-integer custom metric; skip
-			}
-			switch fields[i+1] {
-			case "B/op":
-				res.BytesPerOp = v
-			case "allocs/op":
-				res.AllocsPerOp = v
-			}
-		}
-		file.Benchmarks = append(file.Benchmarks, res)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	sort.Slice(file.Benchmarks, func(i, j int) bool {
-		a, b := file.Benchmarks[i], file.Benchmarks[j]
-		if a.Package != b.Package {
-			return a.Package < b.Package
-		}
-		return a.Name < b.Name
-	})
-	return file, nil
 }

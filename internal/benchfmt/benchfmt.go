@@ -1,0 +1,132 @@
+// Package benchfmt defines the repository's perf-trajectory snapshot
+// format (BENCH_<pr>.json) and parses `go test -bench -benchmem` text
+// output into it. cmd/benchjson writes snapshots, cmd/benchdiff compares
+// them, and CI archives both so every PR leaves a machine-readable ns/op,
+// B/op and allocs/op record.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Key identifies a benchmark across snapshots.
+func (r Result) Key() string { return r.Package + "." + r.Name }
+
+// File is the trajectory snapshot: environment header plus every
+// benchmark, sorted by package then name for stable diffs.
+type File struct {
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchtime records the -benchtime the run used, so a snapshot with
+	// iterations-starved numbers (e.g. 1x) is recognizable when compared.
+	Benchtime  string   `json:"benchtime,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// ReadFile loads a snapshot written by cmd/benchjson.
+func ReadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Parse reads `go test -bench -benchmem` output. Benchmark lines look
+// like:
+//
+//	BenchmarkRunStudy-8  38  30802498 ns/op  5272947 B/op  33772 allocs/op
+//
+// goos/goarch/cpu/pkg header lines annotate the results; everything else
+// (PASS, ok, test logs) is skipped.
+func Parse(r io.Reader) (*File, error) {
+	file := &File{}
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			file.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			file.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			file.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		res := Result{Package: pkg}
+		// Strip the -GOMAXPROCS suffix from the name.
+		res.Name = fields[0]
+		if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
+			if _, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+				res.Name = res.Name[:i]
+			}
+		}
+		var err error
+		if res.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		if res.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue // non-integer custom metric; skip
+			}
+			switch fields[i+1] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		file.Benchmarks = append(file.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(file.Benchmarks, func(i, j int) bool {
+		a, b := file.Benchmarks[i], file.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	return file, nil
+}

@@ -15,7 +15,8 @@ import (
 	"github.com/browsermetric/browsermetric/internal/netsim"
 )
 
-// Record is one captured frame.
+// Record is one captured frame. Data references the frame exactly as it
+// crossed the wire and must be treated as read-only.
 type Record struct {
 	Time time.Duration
 	Dir  netsim.Direction
@@ -47,6 +48,9 @@ type Capture struct {
 	// Dropped counts frames that failed to decode (never expected on the
 	// simulated wire, but kept for parity with real capture stats).
 	Dropped int
+	// pkt is scratch decode storage for the tap filter; the *Packet a
+	// Filter sees is only valid for the duration of the call.
+	pkt netsim.Packet
 }
 
 // Attach installs the capture on nic and returns it.
@@ -54,18 +58,18 @@ func Attach(nic *netsim.NIC, filter Filter) *Capture {
 	c := &Capture{filter: filter}
 	nic.AddTap(func(frame []byte, at time.Duration, dir netsim.Direction) {
 		if c.filter != nil {
-			p, err := netsim.Decode(frame, at)
-			if err != nil {
+			if err := c.pkt.Parse(frame, at); err != nil {
 				c.Dropped++
 				return
 			}
-			if !c.filter(p) {
+			if !c.filter(&c.pkt) {
 				return
 			}
 		}
-		buf := make([]byte, len(frame))
-		copy(buf, frame)
-		c.records = append(c.records, Record{Time: at, Dir: dir, Data: buf})
+		// Frames are immutable once handed to NIC.Send (each transmit
+		// builds a fresh buffer and nothing writes to it afterwards), so
+		// the record can retain the frame without a defensive copy.
+		c.records = append(c.records, Record{Time: at, Dir: dir, Data: frame})
 	})
 	return c
 }
@@ -91,6 +95,18 @@ func (c *Capture) Packets() []*netsim.Packet {
 		out = append(out, p)
 	}
 	return out
+}
+
+// each decodes records into one reused Packet, calling fn per decodable
+// frame. The matching paths use it to avoid materializing []*Packet.
+func (c *Capture) each(fn func(p *netsim.Packet)) {
+	var pkt netsim.Packet
+	for _, r := range c.records {
+		if pkt.Parse(r.Data, r.Time) != nil {
+			continue
+		}
+		fn(&pkt)
+	}
 }
 
 // WirePair is one request/response exchange observed on the wire.
@@ -120,7 +136,7 @@ func (c *Capture) MatchRTT(serverPort uint16) []WirePair {
 	var out []WirePair
 	pending := map[key]int{} // open request index in out
 	sawSyn := false
-	for _, p := range c.Packets() {
+	c.each(func(p *netsim.Packet) {
 		var (
 			srcPort, dstPort uint16
 			payload          int
@@ -133,20 +149,20 @@ func (c *Capture) MatchRTT(serverPort uint16) []WirePair {
 		case p.UDP != nil:
 			srcPort, dstPort, payload = p.UDP.SrcPort, p.UDP.DstPort, len(p.Payload)
 		default:
-			continue
+			return
 		}
 		if syn && dstPort == serverPort {
 			sawSyn = true
-			continue
+			return
 		}
 		if payload == 0 {
-			continue
+			return
 		}
 		switch {
 		case dstPort == serverPort: // outbound request
 			k := key{local: srcPort, remote: dstPort}
 			if _, open := pending[k]; open {
-				continue // multi-packet request: keep the first packet's time
+				return // multi-packet request: keep the first packet's time
 			}
 			out = append(out, WirePair{SendAt: p.Time, Handshake: sawSyn})
 			sawSyn = false
@@ -158,7 +174,7 @@ func (c *Capture) MatchRTT(serverPort uint16) []WirePair {
 				delete(pending, k)
 			}
 		}
-	}
+	})
 	// Drop unanswered requests.
 	complete := out[:0]
 	for _, w := range out {
@@ -197,7 +213,7 @@ func (t Transfer) BitsPerSecond() float64 {
 func (c *Capture) MatchTransfer(serverPort uint16) (Transfer, bool) {
 	var tr Transfer
 	started := false
-	for _, p := range c.Packets() {
+	c.each(func(p *netsim.Packet) {
 		var srcPort, dstPort uint16
 		switch {
 		case p.TCP != nil:
@@ -205,10 +221,10 @@ func (c *Capture) MatchTransfer(serverPort uint16) (Transfer, bool) {
 		case p.UDP != nil:
 			srcPort, dstPort = p.UDP.SrcPort, p.UDP.DstPort
 		default:
-			continue
+			return
 		}
 		if len(p.Payload) == 0 {
-			continue
+			return
 		}
 		switch {
 		case dstPort == serverPort:
@@ -223,7 +239,7 @@ func (c *Capture) MatchTransfer(serverPort uint16) (Transfer, bool) {
 			tr.LastAt = p.Time
 			tr.Bytes += len(p.Payload)
 		}
-	}
+	})
 	return tr, started && tr.Bytes > 0
 }
 
@@ -233,9 +249,9 @@ func (c *Capture) MatchTransfer(serverPort uint16) (Transfer, bool) {
 // would report.
 func (c *Capture) CountUnanswered(serverPort uint16) (sent, lost int) {
 	awaiting := false
-	for _, p := range c.Packets() {
+	c.each(func(p *netsim.Packet) {
 		if p.UDP == nil || len(p.Payload) == 0 {
-			continue
+			return
 		}
 		switch {
 		case p.UDP.DstPort == serverPort:
@@ -247,7 +263,7 @@ func (c *Capture) CountUnanswered(serverPort uint16) (sent, lost int) {
 		case p.UDP.SrcPort == serverPort:
 			awaiting = false
 		}
-	}
+	})
 	if awaiting {
 		lost++
 	}

@@ -101,21 +101,25 @@ func (s *Schedule) At(t time.Duration) time.Duration {
 // produces the ~15 ms granularity regime (64 Hz -> 15.625 ms).
 const WindowsTimerPeriod = 15625 * time.Microsecond
 
-// WindowsGetTimeSchedule reproduces the paper's observed behaviour of
-// Date.getTime() on Windows 7: multi-minute alternation between 1 ms and
-// ~15.6 ms granularity. phase offsets where in the cycle time zero falls.
-func WindowsGetTimeSchedule() *Schedule {
-	return NewSchedule(
+// The canonical schedules are process-wide singletons: they are immutable
+// by convention (callers must not modify Regimes), so per-run construction
+// would only churn the allocator.
+var (
+	windowsGetTime = NewSchedule(
 		Regime{Granularity: time.Millisecond, Length: 4 * time.Minute},
 		Regime{Granularity: WindowsTimerPeriod, Length: 5 * time.Minute},
 	)
-}
+	linuxGetTime = NewSchedule(Regime{Granularity: time.Millisecond, Length: time.Hour})
+)
+
+// WindowsGetTimeSchedule reproduces the paper's observed behaviour of
+// Date.getTime() on Windows 7: multi-minute alternation between 1 ms and
+// ~15.6 ms granularity. phase offsets where in the cycle time zero falls.
+func WindowsGetTimeSchedule() *Schedule { return windowsGetTime }
 
 // LinuxGetTimeSchedule models Date.getTime() on Ubuntu: a steady 1 ms
 // granularity (the paper observed the artifact only on Windows).
-func LinuxGetTimeSchedule() *Schedule {
-	return NewSchedule(Regime{Granularity: time.Millisecond, Length: time.Hour})
-}
+func LinuxGetTimeSchedule() *Schedule { return linuxGetTime }
 
 // Quantized models Date.getTime()/System.currentTimeMillis(): timestamps
 // are floor-quantized to the granularity the schedule prescribes at the

@@ -71,9 +71,50 @@ type Sample struct {
 }
 
 // Experiment is a completed measurement cell.
+//
+// The derived statistics (Box, CDF, MeanCI, ...) lazily cache per-round
+// sample views on first use; Samples must not be modified after the
+// first derived-statistic call.
 type Experiment struct {
 	Config  Config
 	Samples []Sample
+
+	// ovRun caches each round's Δd samples in run order (ms); ovSorted
+	// caches the sealed sorted view the order-invariant statistics share.
+	ovRun    [methods.Rounds][]float64
+	ovSorted [methods.Rounds]*stats.Samples
+}
+
+// roundMs returns the cached run-order Δd samples (ms) for round.
+// The slice is shared; callers must not mutate it.
+func (e *Experiment) roundMs(round int) []float64 {
+	cached := round >= 1 && round <= methods.Rounds
+	if cached && e.ovRun[round-1] != nil {
+		return e.ovRun[round-1]
+	}
+	out := make([]float64, 0, len(e.Samples)/methods.Rounds+1)
+	for _, s := range e.Samples {
+		if s.Round == round {
+			out = append(out, stats.Ms(s.Overhead))
+		}
+	}
+	if cached {
+		e.ovRun[round-1] = out
+	}
+	return out
+}
+
+// roundSamples returns the cached sealed (sorted) Δd set for round.
+func (e *Experiment) roundSamples(round int) *stats.Samples {
+	cached := round >= 1 && round <= methods.Rounds
+	if cached && e.ovSorted[round-1] != nil {
+		return e.ovSorted[round-1]
+	}
+	s := stats.NewSamples(e.roundMs(round))
+	if cached {
+		e.ovSorted[round-1] = s
+	}
+	return s
 }
 
 // Run executes the experiment on a fresh deterministic testbed.
@@ -97,6 +138,7 @@ func RunContext(ctx context.Context, cfg Config) (*Experiment, error) {
 		tb.Advance(cfg.Warp)
 	}
 	exp := &Experiment{Config: cfg}
+	exp.Samples = make([]Sample, 0, cfg.Runs*methods.Rounds)
 	for run := 0; run < cfg.Runs; run++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -136,31 +178,34 @@ func RunContext(ctx context.Context, cfg Config) (*Experiment, error) {
 	return exp, nil
 }
 
-// Overheads returns the Δd samples of one round in milliseconds.
+// Overheads returns the Δd samples of one round in milliseconds, in run
+// order. The returned slice is the caller's to keep.
 func (e *Experiment) Overheads(round int) []float64 {
-	var out []float64
-	for _, s := range e.Samples {
-		if s.Round == round {
-			out = append(out, stats.Ms(s.Overhead))
-		}
+	ms := e.roundMs(round)
+	if len(ms) == 0 {
+		return nil
 	}
+	out := make([]float64, len(ms))
+	copy(out, ms)
 	return out
 }
 
 // Box returns the Figure 3 box summary of one round's overheads.
-func (e *Experiment) Box(round int) stats.Box { return stats.NewBox(e.Overheads(round)) }
+func (e *Experiment) Box(round int) stats.Box { return e.roundSamples(round).Box() }
 
 // CDF returns the Figure 4 CDF of one round's overheads.
-func (e *Experiment) CDF(round int) *stats.CDF { return stats.NewCDF(e.Overheads(round)) }
+func (e *Experiment) CDF(round int) *stats.CDF { return e.roundSamples(round).CDF() }
 
 // MeanCI returns the Table 4 mean ± 95% CI of one round's overheads (ms).
+// Summation runs over the run-order samples, so results are bit-identical
+// with the pre-caching implementation.
 func (e *Experiment) MeanCI(round int) (mean, half float64) {
-	return stats.MeanCI95(e.Overheads(round))
+	return stats.MeanCI95(e.roundMs(round))
 }
 
 // MedianOverhead returns the median Δd of a round (ms), the Table 3 unit.
 func (e *Experiment) MedianOverhead(round int) float64 {
-	return stats.Median(e.Overheads(round))
+	return e.roundSamples(round).Median()
 }
 
 // HandshakeRounds counts per round how many runs opened a fresh TCP
@@ -180,7 +225,7 @@ func (e *Experiment) HandshakeRounds() [methods.Rounds]int {
 // A perfectly stable overhead cancels in jitter computations; a noisy one
 // is indistinguishable from network jitter (Section 2.2).
 func (e *Experiment) JitterInflation(round int) float64 {
-	return stats.StdDev(e.Overheads(round))
+	return stats.StdDev(e.roundMs(round))
 }
 
 // ThroughputBias returns the median multiplicative error a round-trip
@@ -202,5 +247,9 @@ func (e *Experiment) ThroughputBias(round int) float64 {
 // Bimodal reports whether a round's overheads split into two levels at
 // least 10 ms apart (the Figure 4 granularity signature).
 func (e *Experiment) Bimodal(round int) bool {
-	return stats.Bimodal(e.Overheads(round), 3, 10, 0.08)
+	s := e.roundSamples(round)
+	if s.N() == 0 {
+		return false
+	}
+	return s.Bimodal(3, 10, 0.08)
 }

@@ -115,7 +115,7 @@ func MeasureJitter(cfg Config, probes int) (JitterImpact, error) {
 	}
 	browserRTTs := stats.DurationsToMs(train.BrowserRTTs())
 	pairs := tb.Cap.MatchRTT(train.ServerPort)
-	var wireRTTs []float64
+	wireRTTs := make([]float64, 0, len(pairs))
 	for _, p := range pairs {
 		wireRTTs = append(wireRTTs, stats.Ms(p.RTT()))
 	}

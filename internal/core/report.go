@@ -186,9 +186,9 @@ func Fig4(runs int) (string, []Fig4Row, error) {
 			part = "(b) appletviewer control"
 		}
 		for round := 1; round <= methods.Rounds; round++ {
-			samples := exp.Overheads(round)
-			cdf := stats.NewCDF(samples)
-			centers, counts := stats.Levels(samples, 3)
+			sm := exp.roundSamples(round)
+			cdf := sm.CDF()
+			centers, counts := sm.Levels(3)
 			var levels []float64
 			for j, ctr := range centers {
 				if counts[j] >= runs/20 {

@@ -5,68 +5,87 @@
 // keeps runs fully deterministic for a given seed. All simulated subsystems
 // (links, TCP stacks, browser engines) advance time exclusively through a
 // Simulator, so a whole testbed run is reproducible bit-for-bit.
+//
+// The queue is a concrete 4-ary min-heap over pooled event records: no
+// interface boxing on push/pop, and fired or canceled events return to a
+// per-simulator freelist, so schedule/fire/cancel in steady state allocates
+// nothing. Handles returned by Schedule carry a generation counter, which
+// makes canceling an event that already fired (and whose record has been
+// recycled) a safe no-op.
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback.
-type Event struct {
-	// At is the virtual time at which the event fires.
-	At time.Duration
-	// Fn is invoked when the event fires.
-	Fn func()
+// event is the pooled record behind an Event handle.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker: FIFO among same-time events
 
-	seq      uint64 // tie-breaker: FIFO among same-time events
-	index    int    // heap index; -1 when not queued
+	// gen distinguishes successive uses of a recycled record; an Event
+	// handle only acts when its generation matches.
+	gen uint32
+
 	canceled bool
+	// canceledGen remembers the most recently canceled generation (+1, so
+	// zero means "none"), letting a stale handle still answer Canceled.
+	canceledGen uint32
+
+	fn   func()
+	bfn  func([]byte) // byte-argument variant; avoids a closure per frame
+	arg  []byte
+	afn  func(any) // any-argument variant; avoids a closure per receiver
+	aarg any
+}
+
+// Event is a cancelable handle to a scheduled callback. The zero value is
+// inert: Cancel is a no-op and Canceled reports false.
+type Event struct {
+	e   *event
+	gen uint32
+}
+
+// At returns the virtual time at which the event fires (zero for the zero
+// handle or after the record has been recycled).
+func (h Event) At() time.Duration {
+	if h.e == nil || h.e.gen != h.gen {
+		return 0
+	}
+	return h.e.at
 }
 
 // Cancel prevents a pending event from firing. Canceling an event that has
 // already fired (or was already canceled) is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
-
-// Canceled reports whether Cancel was called.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
+func (h Event) Cancel() {
+	e := h.e
+	if e == nil || e.gen != h.gen || e.canceled {
+		return
 	}
-	return q[i].seq < q[j].seq
+	e.canceled = true
+	e.canceledGen = h.gen + 1
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// Canceled reports whether Cancel was called before the event fired.
+func (h Event) Canceled() bool {
+	e := h.e
+	if e == nil {
+		return false
+	}
+	if e.gen == h.gen {
+		return e.canceled
+	}
+	return e.canceledGen == h.gen+1
 }
 
 // Simulator is a discrete-event simulator with a virtual clock.
 // The zero value is not usable; call New.
 type Simulator struct {
 	now     time.Duration
-	queue   eventQueue
+	queue   []*event
+	free    []*event
 	nextSeq uint64
 	rng     *rand.Rand
 	fired   uint64
@@ -94,26 +113,166 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 // canceled events not yet dequeued).
 func (s *Simulator) Pending() int { return len(s.queue) }
 
-// Schedule queues fn to run after delay. A negative delay is treated as
-// zero (the event fires at the current instant, after already-queued
-// same-instant events). It returns the Event so callers may cancel it.
-func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
-	if fn == nil {
-		panic("eventsim: Schedule with nil fn")
+// Reserve pre-sizes the queue and the freelist for at least n concurrently
+// pending events, so a testbed sized from its topology never grows either
+// on the hot path.
+func (s *Simulator) Reserve(n int) {
+	if cap(s.queue) < n {
+		q := make([]*event, len(s.queue), n)
+		copy(q, s.queue)
+		s.queue = q
 	}
+	if cap(s.free) < n {
+		f := make([]*event, len(s.free), n)
+		copy(f, s.free)
+		s.free = f
+	}
+	for len(s.free)+len(s.queue) < n {
+		s.free = append(s.free, &event{})
+	}
+}
+
+// alloc takes an event record from the freelist, or heap-allocates one.
+func (s *Simulator) alloc() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// recycle returns a dequeued record to the freelist, invalidating all
+// outstanding handles by bumping the generation.
+func (s *Simulator) recycle(e *event) {
+	e.gen++
+	e.canceled = false
+	e.fn = nil
+	e.bfn = nil
+	e.arg = nil
+	e.afn = nil
+	e.aarg = nil
+	s.free = append(s.free, e)
+}
+
+// schedule queues a freshly filled record.
+func (s *Simulator) schedule(delay time.Duration) *event {
 	if delay < 0 {
 		delay = 0
 	}
-	e := &Event{At: s.now + delay, Fn: fn, seq: s.nextSeq}
+	e := s.alloc()
+	e.at = s.now + delay
+	e.seq = s.nextSeq
 	s.nextSeq++
-	heap.Push(&s.queue, e)
+	s.push(e)
 	return e
+}
+
+// Schedule queues fn to run after delay. A negative delay is treated as
+// zero (the event fires at the current instant, after already-queued
+// same-instant events). It returns a handle so callers may cancel it.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) Event {
+	if fn == nil {
+		panic("eventsim: Schedule with nil fn")
+	}
+	e := s.schedule(delay)
+	e.fn = fn
+	return Event{e: e, gen: e.gen}
+}
+
+// ScheduleBytes queues fn(arg) to run after delay. It exists for the frame
+// delivery paths: binding the argument in the event record instead of a
+// closure keeps per-frame scheduling allocation-free.
+func (s *Simulator) ScheduleBytes(delay time.Duration, fn func([]byte), arg []byte) Event {
+	if fn == nil {
+		panic("eventsim: ScheduleBytes with nil fn")
+	}
+	e := s.schedule(delay)
+	e.bfn = fn
+	e.arg = arg
+	return Event{e: e, gen: e.gen}
+}
+
+// ScheduleAny queues fn(arg) to run after delay. Like ScheduleBytes it
+// binds the argument in the event record; with a pointer-typed arg (stored
+// directly in the interface word) scheduling a bound callback stays
+// allocation-free, where a per-receiver method value would allocate.
+func (s *Simulator) ScheduleAny(delay time.Duration, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("eventsim: ScheduleAny with nil fn")
+	}
+	e := s.schedule(delay)
+	e.afn = fn
+	e.aarg = arg
+	return Event{e: e, gen: e.gen}
 }
 
 // ScheduleAt queues fn at an absolute virtual time. Times in the past are
 // clamped to the current instant.
-func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) Event {
 	return s.Schedule(at-s.now, fn)
+}
+
+// less orders events by (at, seq): earliest first, FIFO among ties.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends e and sifts it up the 4-ary heap.
+func (s *Simulator) push(e *event) {
+	s.queue = append(s.queue, e)
+	q := s.queue
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+}
+
+// popMin removes and returns the earliest event.
+func (s *Simulator) popMin() *event {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	s.queue = q[:n]
+	if n > 0 {
+		q = s.queue
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if less(q[j], q[m]) {
+					m = j
+				}
+			}
+			if !less(q[m], last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	return top
 }
 
 // Step fires the single earliest pending event, advancing the clock to it.
@@ -121,16 +280,28 @@ func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
 // Canceled events are discarded without firing and without counting.
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+		e := s.popMin()
 		if e.canceled {
+			s.recycle(e)
 			continue
 		}
-		if e.At < s.now {
-			panic(fmt.Sprintf("eventsim: time went backwards: %v < %v", e.At, s.now))
+		if e.at < s.now {
+			panic(fmt.Sprintf("eventsim: time went backwards: %v < %v", e.at, s.now))
 		}
-		s.now = e.At
+		s.now = e.at
 		s.fired++
-		e.Fn()
+		// Recycle before invoking, so the callback can reuse the record
+		// for whatever it schedules; outstanding handles are stale now.
+		fn, bfn, arg, afn, aarg := e.fn, e.bfn, e.arg, e.afn, e.aarg
+		s.recycle(e)
+		switch {
+		case bfn != nil:
+			bfn(arg)
+		case afn != nil:
+			afn(aarg)
+		default:
+			fn()
+		}
 		return true
 	}
 	return false
@@ -169,12 +340,12 @@ func (s *Simulator) RunUntil(deadline time.Duration) uint64 {
 // The queue must be drained of leading canceled events first.
 func (s *Simulator) peekTime() time.Duration {
 	for len(s.queue) > 0 && s.queue[0].canceled {
-		heap.Pop(&s.queue)
+		s.recycle(s.popMin())
 	}
 	if len(s.queue) == 0 {
 		return 1<<62 - 1
 	}
-	return s.queue[0].At
+	return s.queue[0].at
 }
 
 // Advance moves the clock forward by d, firing any events that fall within

@@ -213,7 +213,7 @@ func TestCancelDuringFire(t *testing.T) {
 	// An event canceled by an earlier same-instant event must not fire.
 	s := New(1)
 	fired := false
-	var e2 *Event
+	var e2 Event
 	s.Schedule(time.Millisecond, func() { e2.Cancel() })
 	e2 = s.Schedule(time.Millisecond, func() { fired = true })
 	s.Run()
@@ -252,6 +252,173 @@ func TestQuickMonotoneFiring(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCancelThenFireOrdering(t *testing.T) {
+	// Canceling one of several same-instant events must not disturb the
+	// FIFO order of the survivors, including events scheduled after the
+	// cancellation that reuse the recycled record.
+	s := New(1)
+	var got []int
+	s.Schedule(time.Millisecond, func() { got = append(got, 1) })
+	e2 := s.Schedule(time.Millisecond, func() { got = append(got, 2) })
+	s.Schedule(time.Millisecond, func() { got = append(got, 3) })
+	e2.Cancel()
+	s.Schedule(time.Millisecond, func() { got = append(got, 4) })
+	s.Run()
+	want := []int{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if !e2.Canceled() {
+		t.Fatal("Canceled() = false for a canceled, discarded event")
+	}
+}
+
+func TestStaleHandleCancelIsNoop(t *testing.T) {
+	// After an event fires, its pooled record may back a later event; the
+	// stale handle must neither cancel it nor report it canceled.
+	s := New(1)
+	first := s.Schedule(time.Millisecond, func() {})
+	s.Run()
+	fired := false
+	s.Schedule(time.Millisecond, func() { fired = true })
+	first.Cancel() // stale: generation moved on
+	if first.Canceled() {
+		t.Fatal("stale handle reports Canceled after the event fired")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("stale Cancel leaked onto a recycled event")
+	}
+}
+
+func TestZeroEventHandle(t *testing.T) {
+	var e Event
+	e.Cancel() // must not panic
+	if e.Canceled() {
+		t.Fatal("zero handle reports Canceled")
+	}
+	if e.At() != 0 {
+		t.Fatalf("zero handle At = %v, want 0", e.At())
+	}
+}
+
+func TestSameInstantFIFOAcrossHeapRebuilds(t *testing.T) {
+	// Interleave same-instant events with earlier ones and partial Steps so
+	// the 4-ary heap repeatedly rebuilds; the same-instant cohort must
+	// still fire in scheduling order.
+	s := New(1)
+	var got []int
+	for i := 0; i < 64; i++ {
+		i := i
+		s.Schedule(10*time.Millisecond, func() { got = append(got, i) })
+		if i%3 == 0 {
+			s.Schedule(time.Duration(i)*time.Microsecond, func() {})
+		}
+		if i%5 == 0 {
+			s.Step() // pop an early event mid-build, forcing sift-downs
+		}
+	}
+	s.Run()
+	if len(got) != 64 {
+		t.Fatalf("fired %d same-instant events, want 64", len(got))
+	}
+	for i := 0; i < 64; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestStepOnDrainedQueue(t *testing.T) {
+	s := New(1)
+	s.Schedule(time.Millisecond, func() {})
+	s.Run()
+	if s.Step() {
+		t.Fatal("Step on drained queue returned true")
+	}
+	// A queue holding only canceled events must also report no fire.
+	e := s.Schedule(time.Millisecond, func() { t.Fatal("canceled event fired") })
+	e.Cancel()
+	if s.Step() {
+		t.Fatal("Step over canceled-only queue returned true")
+	}
+}
+
+func TestRunawayLimitDefault(t *testing.T) {
+	// The zero Limit means the 100M default; a custom limit must not leak
+	// across calls that stay under it.
+	s := New(1)
+	s.Limit = 1000
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 500 {
+			s.Schedule(time.Microsecond, tick)
+		}
+	}
+	s.Schedule(0, tick)
+	s.Run() // 500 < 1000: must not panic
+	if count != 500 {
+		t.Fatalf("count = %d, want 500", count)
+	}
+}
+
+func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
+	// The tentpole guarantee: schedule/fire/cancel in steady state (after
+	// the pool has warmed) allocates nothing.
+	s := New(1)
+	s.Reserve(64)
+	fn := func() {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e := s.Schedule(time.Microsecond, fn)
+		s.Schedule(2*time.Microsecond, fn)
+		e.Cancel()
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/fire/cancel allocs = %g, want 0", allocs)
+	}
+}
+
+func TestScheduleBytesZeroAlloc(t *testing.T) {
+	s := New(1)
+	s.Reserve(16)
+	var delivered int
+	fn := func(b []byte) { delivered += len(b) }
+	frame := make([]byte, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.ScheduleBytes(time.Microsecond, fn, frame)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("ScheduleBytes steady-state allocs = %g, want 0", allocs)
+	}
+	if delivered == 0 {
+		t.Fatal("byte events never delivered")
+	}
+}
+
+func TestReservePresizes(t *testing.T) {
+	s := New(1)
+	s.Reserve(128)
+	fn := func() {}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 128; i++ {
+			s.Schedule(time.Duration(i)*time.Microsecond, fn)
+		}
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("scheduling within Reserve(128) allocs = %g, want 0", allocs)
 	}
 }
 

@@ -69,30 +69,64 @@ type Response struct {
 	Body    []byte
 }
 
+// appendHeaders emits each header as "Key: Value\r\n".
+func appendHeaders(b []byte, hs Headers) []byte {
+	for _, h := range hs {
+		b = append(b, h.Key...)
+		b = append(b, ':', ' ')
+		b = append(b, h.Value...)
+		b = append(b, '\r', '\n')
+	}
+	return b
+}
+
+// headersLen is the serialized size of a header block.
+func headersLen(hs Headers) int {
+	n := 0
+	for _, h := range hs {
+		n += len(h.Key) + 2 + len(h.Value) + 2
+	}
+	return n
+}
+
 // Marshal serializes the request, adding Content-Length when a body is
-// present and none is set.
+// present and none is set. The output is built in a single allocation.
 func (r *Request) Marshal() []byte {
-	var b bytes.Buffer
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
 	}
-	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Target, proto)
-	hs := r.Headers
-	if len(r.Body) > 0 && hs.Get("Content-Length") == "" {
-		hs = append(hs, Header{"Content-Length", strconv.Itoa(len(r.Body))})
+	var clBuf [20]byte
+	var cl []byte
+	if len(r.Body) > 0 && r.Headers.Get("Content-Length") == "" {
+		cl = strconv.AppendInt(clBuf[:0], int64(len(r.Body)), 10)
 	}
-	for _, h := range hs {
-		fmt.Fprintf(&b, "%s: %s\r\n", h.Key, h.Value)
+	n := len(r.Method) + 1 + len(r.Target) + 1 + len(proto) + 2 +
+		headersLen(r.Headers) + 2 + len(r.Body)
+	if cl != nil {
+		n += len("Content-Length: ") + len(cl) + 2
 	}
-	b.WriteString("\r\n")
-	b.Write(r.Body)
-	return b.Bytes()
+	b := make([]byte, 0, n)
+	b = append(b, r.Method...)
+	b = append(b, ' ')
+	b = append(b, r.Target...)
+	b = append(b, ' ')
+	b = append(b, proto...)
+	b = append(b, '\r', '\n')
+	b = appendHeaders(b, r.Headers)
+	if cl != nil {
+		b = append(b, "Content-Length: "...)
+		b = append(b, cl...)
+		b = append(b, '\r', '\n')
+	}
+	b = append(b, '\r', '\n')
+	b = append(b, r.Body...)
+	return b
 }
 
-// Marshal serializes the response, always emitting Content-Length.
+// Marshal serializes the response, always emitting Content-Length. The
+// output is built in a single allocation.
 func (r *Response) Marshal() []byte {
-	var b bytes.Buffer
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
@@ -101,17 +135,33 @@ func (r *Response) Marshal() []byte {
 	if reason == "" {
 		reason = StatusText(r.Status)
 	}
-	fmt.Fprintf(&b, "%s %d %s\r\n", proto, r.Status, reason)
-	hs := r.Headers
-	if hs.Get("Content-Length") == "" {
-		hs = append(hs, Header{"Content-Length", strconv.Itoa(len(r.Body))})
+	var statusBuf, clBuf [20]byte
+	status := strconv.AppendInt(statusBuf[:0], int64(r.Status), 10)
+	var cl []byte
+	if r.Headers.Get("Content-Length") == "" {
+		cl = strconv.AppendInt(clBuf[:0], int64(len(r.Body)), 10)
 	}
-	for _, h := range hs {
-		fmt.Fprintf(&b, "%s: %s\r\n", h.Key, h.Value)
+	n := len(proto) + 1 + len(status) + 1 + len(reason) + 2 +
+		headersLen(r.Headers) + 2 + len(r.Body)
+	if cl != nil {
+		n += len("Content-Length: ") + len(cl) + 2
 	}
-	b.WriteString("\r\n")
-	b.Write(r.Body)
-	return b.Bytes()
+	b := make([]byte, 0, n)
+	b = append(b, proto...)
+	b = append(b, ' ')
+	b = append(b, status...)
+	b = append(b, ' ')
+	b = append(b, reason...)
+	b = append(b, '\r', '\n')
+	b = appendHeaders(b, r.Headers)
+	if cl != nil {
+		b = append(b, "Content-Length: "...)
+		b = append(b, cl...)
+		b = append(b, '\r', '\n')
+	}
+	b = append(b, '\r', '\n')
+	b = append(b, r.Body...)
+	return b
 }
 
 // StatusText returns the reason phrase for common status codes.
@@ -142,13 +192,14 @@ func ParseRequest(b []byte) (*Request, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	lines := strings.Split(head, "\r\n")
-	parts := strings.SplitN(lines[0], " ", 3)
-	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
-		return nil, 0, fmt.Errorf("%w: bad request line %q", ErrMalformed, lines[0])
+	line, rest, _ := strings.Cut(head, "\r\n")
+	method, r1, ok1 := strings.Cut(line, " ")
+	target, proto, ok2 := strings.Cut(r1, " ")
+	if !ok1 || !ok2 || !strings.HasPrefix(proto, "HTTP/") {
+		return nil, 0, fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
 	}
-	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
-	if err := parseHeaders(lines[1:], &req.Headers); err != nil {
+	req := &Request{Method: method, Target: target, Proto: proto}
+	if err := parseHeaders(rest, &req.Headers); err != nil {
 		return nil, 0, err
 	}
 	body, consumed, err := readBody(b, bodyStart, req.Headers)
@@ -166,20 +217,18 @@ func ParseResponse(b []byte) (*Response, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	lines := strings.Split(head, "\r\n")
-	parts := strings.SplitN(lines[0], " ", 3)
-	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
-		return nil, 0, fmt.Errorf("%w: bad status line %q", ErrMalformed, lines[0])
+	line, rest, _ := strings.Cut(head, "\r\n")
+	proto, r1, ok := strings.Cut(line, " ")
+	if !ok || !strings.HasPrefix(proto, "HTTP/") {
+		return nil, 0, fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
 	}
-	status, err := strconv.Atoi(parts[1])
+	code, reason, _ := strings.Cut(r1, " ")
+	status, err := strconv.Atoi(code)
 	if err != nil {
-		return nil, 0, fmt.Errorf("%w: bad status code %q", ErrMalformed, parts[1])
+		return nil, 0, fmt.Errorf("%w: bad status code %q", ErrMalformed, code)
 	}
-	resp := &Response{Proto: parts[0], Status: status}
-	if len(parts) == 3 {
-		resp.Reason = parts[2]
-	}
-	if err := parseHeaders(lines[1:], &resp.Headers); err != nil {
+	resp := &Response{Proto: proto, Status: status, Reason: reason}
+	if err := parseHeaders(rest, &resp.Headers); err != nil {
 		return nil, 0, err
 	}
 	body, consumed, err := readBody(b, bodyStart, resp.Headers)
@@ -203,8 +252,15 @@ func splitHead(b []byte) (string, int, error) {
 	return string(b[:idx]), idx + 4, nil
 }
 
-func parseHeaders(lines []string, out *Headers) error {
-	for _, ln := range lines {
+// parseHeaders scans the CRLF-separated header block (everything after
+// the start line) without materializing a []string of lines.
+func parseHeaders(block string, out *Headers) error {
+	if block != "" && *out == nil {
+		*out = make(Headers, 0, strings.Count(block, "\r\n")+1)
+	}
+	for block != "" {
+		ln, rest, _ := strings.Cut(block, "\r\n")
+		block = rest
 		if ln == "" {
 			continue
 		}

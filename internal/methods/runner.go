@@ -3,6 +3,7 @@ package methods
 import (
 	"fmt"
 	"net/netip"
+	"strconv"
 	"time"
 
 	"github.com/browsermetric/browsermetric/internal/browser"
@@ -174,7 +175,7 @@ func (r *Runner) runHTTP(spec Spec, clk clock.Clock, res *Result, finish func(er
 	const cacheHitCost = 300 * time.Microsecond
 
 	probe := func(k int, cc *httpsim.ClientConn) {
-		target := fmt.Sprintf("/probe?m=%d&r=%d", int(spec.Kind), k)
+		target := probeTarget(spec.Kind, k)
 		if spec.Kind == DOM && r.DisableCacheBust {
 			target = "/probe.img" // identical URL every round
 			if r.domCached == nil {
@@ -314,9 +315,25 @@ func (r *Runner) fetchFlashPolicy(next func(), finish func(error)) {
 	pc.OnReset = func() { finish(fmt.Errorf("methods: flash policy fetch refused")) }
 }
 
+// probeTarget renders "/probe?m=<kind>&r=<round>" with one allocation
+// (the string conversion), replacing fmt.Sprintf on the per-round path.
+func probeTarget(k Kind, round int) string {
+	var buf [48]byte
+	b := append(buf[:0], "/probe?m="...)
+	b = strconv.AppendInt(b, int64(k), 10)
+	b = append(b, "&r="...)
+	b = strconv.AppendInt(b, int64(round), 10)
+	return string(b)
+}
+
 // payloadFor builds a small single-packet probe payload.
 func payloadFor(k Kind, round int) []byte {
-	return []byte(fmt.Sprintf("probe-%d-%d", int(k), round))
+	b := make([]byte, 0, 24)
+	b = append(b, "probe-"...)
+	b = strconv.AppendInt(b, int64(k), 10)
+	b = append(b, '-')
+	b = strconv.AppendInt(b, int64(round), 10)
+	return b
 }
 
 // runSocket implements the socket-based methods: WebSocket, Flash TCP,

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/browsermetric/browsermetric/internal/eventsim"
 	"github.com/browsermetric/browsermetric/internal/httpsim"
 	"github.com/browsermetric/browsermetric/internal/testbed"
 	"github.com/browsermetric/browsermetric/internal/wssim"
@@ -154,7 +155,7 @@ func (r *Runner) trainSocket(spec Spec, now func() time.Duration, res *TrainResu
 	var probe func(i int)
 	var sendProbe func(i int, payload []byte)
 	current := -1
-	var timeoutEv interface{ Cancel() }
+	var timeoutEv eventsim.Event
 
 	// onEcho attributes an echo to probe i. Callers that can identify the
 	// probe from the payload pass its index; -1 means "the current one".
@@ -166,9 +167,7 @@ func (r *Runner) trainSocket(spec Spec, now func() time.Duration, res *TrainResu
 		if i != current || i < 0 || res.TBr[i] != 0 {
 			return // stale echo: a reply to an already-timed-out probe
 		}
-		if timeoutEv != nil {
-			timeoutEv.Cancel()
-		}
+		timeoutEv.Cancel() // no-op on the zero handle
 		sim.Schedule(r.Profile.RecvCost(spec.API, rng), func() {
 			res.TBr[i] = now()
 			if i+1 < probes {

@@ -48,25 +48,40 @@ type Ethernet struct {
 
 const ethernetHeaderLen = 14
 
-// Serialize appends the header followed by payload and returns the frame.
-func (e *Ethernet) Serialize(payload []byte) []byte {
-	b := make([]byte, ethernetHeaderLen+len(payload))
+// put writes the 14-byte header into b[:ethernetHeaderLen].
+func (e *Ethernet) put(b []byte) {
 	copy(b[0:6], e.Dst[:])
 	copy(b[6:12], e.Src[:])
 	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+}
+
+// Serialize appends the header followed by payload and returns the frame.
+func (e *Ethernet) Serialize(payload []byte) []byte {
+	b := make([]byte, ethernetHeaderLen+len(payload))
+	e.put(b)
 	copy(b[ethernetHeaderLen:], payload)
 	return b
 }
 
-// DecodeEthernet parses an Ethernet II header, returning it and the payload.
-func DecodeEthernet(b []byte) (*Ethernet, []byte, error) {
+// decode fills e from the front of b and returns the payload.
+func (e *Ethernet) decode(b []byte) ([]byte, error) {
 	if len(b) < ethernetHeaderLen {
-		return nil, nil, fmt.Errorf("%w: ethernet header needs %d bytes, have %d", ErrTruncated, ethernetHeaderLen, len(b))
+		return nil, fmt.Errorf("%w: ethernet header needs %d bytes, have %d", ErrTruncated, ethernetHeaderLen, len(b))
 	}
-	e := &Ethernet{EtherType: binary.BigEndian.Uint16(b[12:14])}
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
 	copy(e.Dst[:], b[0:6])
 	copy(e.Src[:], b[6:12])
-	return e, b[ethernetHeaderLen:], nil
+	return b[ethernetHeaderLen:], nil
+}
+
+// DecodeEthernet parses an Ethernet II header, returning it and the payload.
+func DecodeEthernet(b []byte) (*Ethernet, []byte, error) {
+	e := &Ethernet{}
+	rest, err := e.decode(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, rest, nil
 }
 
 // IPv4 is an IPv4 header without options.
@@ -82,13 +97,12 @@ type IPv4 struct {
 
 const ipv4HeaderLen = 20
 
-// Serialize appends the header (with computed checksum and total length)
-// followed by payload.
-func (ip *IPv4) Serialize(payload []byte) []byte {
-	b := make([]byte, ipv4HeaderLen+len(payload))
+// put writes the 20-byte header (with computed checksum and total length
+// for a payload of payloadLen bytes) into b[:ipv4HeaderLen].
+func (ip *IPv4) put(b []byte, payloadLen int) {
 	b[0] = 0x45 // version 4, IHL 5
 	b[1] = ip.TOS
-	binary.BigEndian.PutUint16(b[2:4], uint16(ipv4HeaderLen+len(payload)))
+	binary.BigEndian.PutUint16(b[2:4], uint16(ipv4HeaderLen+payloadLen))
 	binary.BigEndian.PutUint16(b[4:6], ip.ID)
 	frag := uint16(ip.Flags)<<13 | ip.FragOff&0x1fff
 	binary.BigEndian.PutUint16(b[6:8], frag)
@@ -98,47 +112,64 @@ func (ip *IPv4) Serialize(payload []byte) []byte {
 	}
 	b[8] = ttl
 	b[9] = ip.Protocol
+	b[10], b[11] = 0, 0
 	src := ip.Src.As4()
 	dst := ip.Dst.As4()
 	copy(b[12:16], src[:])
 	copy(b[16:20], dst[:])
 	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:ipv4HeaderLen]))
+}
+
+// Serialize appends the header (with computed checksum and total length)
+// followed by payload.
+func (ip *IPv4) Serialize(payload []byte) []byte {
+	b := make([]byte, ipv4HeaderLen+len(payload))
+	ip.put(b, len(payload))
 	copy(b[ipv4HeaderLen:], payload)
 	return b
+}
+
+// decode fills ip from the front of b and returns the payload. The header
+// checksum is verified.
+func (ip *IPv4) decode(b []byte) ([]byte, error) {
+	if len(b) < ipv4HeaderLen {
+		return nil, fmt.Errorf("%w: ipv4 header needs %d bytes, have %d", ErrTruncated, ipv4HeaderLen, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("%w: not IPv4 (version %d)", ErrBadHeader, b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("%w: bad IHL %d", ErrBadHeader, ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, fmt.Errorf("%w: ipv4 checksum mismatch", ErrBadHeader)
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return nil, fmt.Errorf("%w: total length %d outside [%d,%d]", ErrBadHeader, total, ihl, len(b))
+	}
+	frag := binary.BigEndian.Uint16(b[6:8])
+	ip.TOS = b[1]
+	ip.ID = binary.BigEndian.Uint16(b[4:6])
+	ip.Flags = byte(frag >> 13)
+	ip.FragOff = frag & 0x1fff
+	ip.TTL = b[8]
+	ip.Protocol = b[9]
+	ip.Src = netip.AddrFrom4([4]byte(b[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(b[16:20]))
+	return b[ihl:total], nil
 }
 
 // DecodeIPv4 parses an IPv4 header and returns it with its payload. The
 // header checksum is verified.
 func DecodeIPv4(b []byte) (*IPv4, []byte, error) {
-	if len(b) < ipv4HeaderLen {
-		return nil, nil, fmt.Errorf("%w: ipv4 header needs %d bytes, have %d", ErrTruncated, ipv4HeaderLen, len(b))
+	ip := &IPv4{}
+	rest, err := ip.decode(b)
+	if err != nil {
+		return nil, nil, err
 	}
-	if b[0]>>4 != 4 {
-		return nil, nil, fmt.Errorf("%w: not IPv4 (version %d)", ErrBadHeader, b[0]>>4)
-	}
-	ihl := int(b[0]&0x0f) * 4
-	if ihl < ipv4HeaderLen || len(b) < ihl {
-		return nil, nil, fmt.Errorf("%w: bad IHL %d", ErrBadHeader, ihl)
-	}
-	if Checksum(b[:ihl]) != 0 {
-		return nil, nil, fmt.Errorf("%w: ipv4 checksum mismatch", ErrBadHeader)
-	}
-	total := int(binary.BigEndian.Uint16(b[2:4]))
-	if total < ihl || total > len(b) {
-		return nil, nil, fmt.Errorf("%w: total length %d outside [%d,%d]", ErrBadHeader, total, ihl, len(b))
-	}
-	frag := binary.BigEndian.Uint16(b[6:8])
-	ip := &IPv4{
-		TOS:      b[1],
-		ID:       binary.BigEndian.Uint16(b[4:6]),
-		Flags:    byte(frag >> 13),
-		FragOff:  frag & 0x1fff,
-		TTL:      b[8],
-		Protocol: b[9],
-		Src:      netip.AddrFrom4([4]byte(b[12:16])),
-		Dst:      netip.AddrFrom4([4]byte(b[16:20])),
-	}
-	return ip, b[ihl:total], nil
+	return ip, rest, nil
 }
 
 // TCP flag bits.
@@ -160,10 +191,10 @@ type TCP struct {
 
 const tcpHeaderLen = 20
 
-// Serialize appends the header (with checksum over the IPv4 pseudo-header)
-// followed by payload.
-func (t *TCP) Serialize(src, dst netip.Addr, payload []byte) []byte {
-	b := make([]byte, tcpHeaderLen+len(payload))
+// put writes the 20-byte header into b[:tcpHeaderLen] and stamps the
+// pseudo-header checksum over all of b, whose tail must already hold the
+// payload.
+func (t *TCP) put(b []byte, src, dst netip.Addr) {
 	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
 	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
 	binary.BigEndian.PutUint32(b[4:8], t.Seq)
@@ -175,33 +206,51 @@ func (t *TCP) Serialize(src, dst netip.Addr, payload []byte) []byte {
 		win = 65535
 	}
 	binary.BigEndian.PutUint16(b[14:16], win)
-	copy(b[tcpHeaderLen:], payload)
+	b[16], b[17] = 0, 0
+	b[18], b[19] = 0, 0
 	binary.BigEndian.PutUint16(b[16:18], pseudoChecksum(src, dst, ProtoTCP, b))
+}
+
+// Serialize appends the header (with checksum over the IPv4 pseudo-header)
+// followed by payload.
+func (t *TCP) Serialize(src, dst netip.Addr, payload []byte) []byte {
+	b := make([]byte, tcpHeaderLen+len(payload))
+	copy(b[tcpHeaderLen:], payload)
+	t.put(b, src, dst)
 	return b
+}
+
+// decode fills t from the front of b, verifying the checksum against the
+// given IPv4 endpoints, and returns the payload.
+func (t *TCP) decode(src, dst netip.Addr, b []byte) ([]byte, error) {
+	if len(b) < tcpHeaderLen {
+		return nil, fmt.Errorf("%w: tcp header needs %d bytes, have %d", ErrTruncated, tcpHeaderLen, len(b))
+	}
+	off := int(b[12]>>4) * 4
+	if off < tcpHeaderLen || len(b) < off {
+		return nil, fmt.Errorf("%w: bad tcp data offset %d", ErrBadHeader, off)
+	}
+	if pseudoChecksum(src, dst, ProtoTCP, b) != 0 {
+		return nil, fmt.Errorf("%w: tcp checksum mismatch", ErrBadHeader)
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	t.Flags = b[13]
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	return b[off:], nil
 }
 
 // DecodeTCP parses a TCP header, verifying the checksum against the given
 // IPv4 endpoints, and returns the header and payload.
 func DecodeTCP(src, dst netip.Addr, b []byte) (*TCP, []byte, error) {
-	if len(b) < tcpHeaderLen {
-		return nil, nil, fmt.Errorf("%w: tcp header needs %d bytes, have %d", ErrTruncated, tcpHeaderLen, len(b))
+	t := &TCP{}
+	rest, err := t.decode(src, dst, b)
+	if err != nil {
+		return nil, nil, err
 	}
-	off := int(b[12]>>4) * 4
-	if off < tcpHeaderLen || len(b) < off {
-		return nil, nil, fmt.Errorf("%w: bad tcp data offset %d", ErrBadHeader, off)
-	}
-	if pseudoChecksum(src, dst, ProtoTCP, b) != 0 {
-		return nil, nil, fmt.Errorf("%w: tcp checksum mismatch", ErrBadHeader)
-	}
-	t := &TCP{
-		SrcPort: binary.BigEndian.Uint16(b[0:2]),
-		DstPort: binary.BigEndian.Uint16(b[2:4]),
-		Seq:     binary.BigEndian.Uint32(b[4:8]),
-		Ack:     binary.BigEndian.Uint32(b[8:12]),
-		Flags:   b[13],
-		Window:  binary.BigEndian.Uint16(b[14:16]),
-	}
-	return t, b[off:], nil
+	return t, rest, nil
 }
 
 // FlagString renders the flag bits as in tcpdump (e.g. "SA" for SYN+ACK).
@@ -235,39 +284,54 @@ type UDP struct {
 
 const udpHeaderLen = 8
 
-// Serialize appends the header (with length and pseudo-header checksum)
-// followed by payload.
-func (u *UDP) Serialize(src, dst netip.Addr, payload []byte) []byte {
-	b := make([]byte, udpHeaderLen+len(payload))
+// put writes the 8-byte header (with length and pseudo-header checksum)
+// into b[:udpHeaderLen]; the tail of b must already hold the payload.
+func (u *UDP) put(b []byte, src, dst netip.Addr) {
 	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
 	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
 	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
-	copy(b[udpHeaderLen:], payload)
+	b[6], b[7] = 0, 0
 	sum := pseudoChecksum(src, dst, ProtoUDP, b)
 	if sum == 0 {
 		sum = 0xffff // RFC 768: transmitted zero checksum means "none"
 	}
 	binary.BigEndian.PutUint16(b[6:8], sum)
+}
+
+// Serialize appends the header (with length and pseudo-header checksum)
+// followed by payload.
+func (u *UDP) Serialize(src, dst netip.Addr, payload []byte) []byte {
+	b := make([]byte, udpHeaderLen+len(payload))
+	copy(b[udpHeaderLen:], payload)
+	u.put(b, src, dst)
 	return b
+}
+
+// decode fills u from the front of b, verifying length and checksum.
+func (u *UDP) decode(src, dst netip.Addr, b []byte) ([]byte, error) {
+	if len(b) < udpHeaderLen {
+		return nil, fmt.Errorf("%w: udp header needs %d bytes, have %d", ErrTruncated, udpHeaderLen, len(b))
+	}
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	if length < udpHeaderLen || length > len(b) {
+		return nil, fmt.Errorf("%w: udp length %d outside [%d,%d]", ErrBadHeader, length, udpHeaderLen, len(b))
+	}
+	if binary.BigEndian.Uint16(b[6:8]) != 0 && pseudoChecksum(src, dst, ProtoUDP, b[:length]) != 0 {
+		return nil, fmt.Errorf("%w: udp checksum mismatch", ErrBadHeader)
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	return b[udpHeaderLen:length], nil
 }
 
 // DecodeUDP parses a UDP header, verifying length and checksum.
 func DecodeUDP(src, dst netip.Addr, b []byte) (*UDP, []byte, error) {
-	if len(b) < udpHeaderLen {
-		return nil, nil, fmt.Errorf("%w: udp header needs %d bytes, have %d", ErrTruncated, udpHeaderLen, len(b))
+	u := &UDP{}
+	rest, err := u.decode(src, dst, b)
+	if err != nil {
+		return nil, nil, err
 	}
-	length := int(binary.BigEndian.Uint16(b[4:6]))
-	if length < udpHeaderLen || length > len(b) {
-		return nil, nil, fmt.Errorf("%w: udp length %d outside [%d,%d]", ErrBadHeader, length, udpHeaderLen, len(b))
-	}
-	if binary.BigEndian.Uint16(b[6:8]) != 0 && pseudoChecksum(src, dst, ProtoUDP, b[:length]) != 0 {
-		return nil, nil, fmt.Errorf("%w: udp checksum mismatch", ErrBadHeader)
-	}
-	u := &UDP{
-		SrcPort: binary.BigEndian.Uint16(b[0:2]),
-		DstPort: binary.BigEndian.Uint16(b[2:4]),
-	}
-	return u, b[udpHeaderLen:length], nil
+	return u, rest, nil
 }
 
 // Checksum computes the RFC 1071 Internet checksum of b.

@@ -8,6 +8,11 @@ import (
 
 // Packet is a fully decoded frame as seen on a link, together with the
 // virtual capture timestamp assigned by the NIC that observed it.
+//
+// The layer pointers aim into storage embedded in the Packet itself, so
+// decoding with Parse allocates nothing beyond the Packet. A Packet may be
+// reused across frames by calling Parse again; the previous parse's layer
+// views are overwritten.
 type Packet struct {
 	Time time.Duration // virtual time the frame passed the observation point
 	Raw  []byte        // the frame bytes as transmitted
@@ -18,40 +23,56 @@ type Packet struct {
 	UDP *UDP // nil unless IP.Protocol == ProtoUDP
 
 	Payload []byte // transport payload (nil for non-IP frames)
+
+	eth Ethernet
+	ip  IPv4
+	tcp TCP
+	udp UDP
 }
 
-// Decode parses raw as Ethernet/IPv4/{TCP,UDP}. Unknown upper layers leave
-// the corresponding fields nil; only structural errors are returned.
-func Decode(raw []byte, at time.Duration) (*Packet, error) {
-	p := &Packet{Time: at, Raw: raw}
-	eth, rest, err := DecodeEthernet(raw)
+// Parse decodes raw as Ethernet/IPv4/{TCP,UDP} into p, reusing p's
+// embedded header storage. Unknown upper layers leave the corresponding
+// fields nil; only structural errors are returned.
+func (p *Packet) Parse(raw []byte, at time.Duration) error {
+	p.Time, p.Raw = at, raw
+	p.Eth, p.IP, p.TCP, p.UDP, p.Payload = nil, nil, nil, nil, nil
+	rest, err := p.eth.decode(raw)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	p.Eth = eth
-	if eth.EtherType != EtherTypeIPv4 {
-		return p, nil
+	p.Eth = &p.eth
+	if p.eth.EtherType != EtherTypeIPv4 {
+		return nil
 	}
-	ip, rest, err := DecodeIPv4(rest)
+	rest, err = p.ip.decode(rest)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	p.IP = ip
-	switch ip.Protocol {
+	p.IP = &p.ip
+	switch p.ip.Protocol {
 	case ProtoTCP:
-		t, payload, err := DecodeTCP(ip.Src, ip.Dst, rest)
+		payload, err := p.tcp.decode(p.ip.Src, p.ip.Dst, rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		p.TCP = t
+		p.TCP = &p.tcp
 		p.Payload = payload
 	case ProtoUDP:
-		u, payload, err := DecodeUDP(ip.Src, ip.Dst, rest)
+		payload, err := p.udp.decode(p.ip.Src, p.ip.Dst, rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		p.UDP = u
+		p.UDP = &p.udp
 		p.Payload = payload
+	}
+	return nil
+}
+
+// Decode parses raw as Ethernet/IPv4/{TCP,UDP} into a fresh Packet.
+func Decode(raw []byte, at time.Duration) (*Packet, error) {
+	p := &Packet{}
+	if err := p.Parse(raw, at); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -73,18 +94,28 @@ func (p *Packet) String() string {
 	}
 }
 
-// BuildTCP assembles a complete Ethernet/IPv4/TCP frame.
+// BuildTCP assembles a complete Ethernet/IPv4/TCP frame in one allocation.
 func BuildTCP(srcMAC, dstMAC MAC, src, dst netip.Addr, ipID uint16, hdr *TCP, payload []byte) []byte {
-	seg := hdr.Serialize(src, dst, payload)
-	ip := &IPv4{ID: ipID, Protocol: ProtoTCP, Src: src, Dst: dst}
-	eth := &Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
-	return eth.Serialize(ip.Serialize(seg))
+	b := make([]byte, ethernetHeaderLen+ipv4HeaderLen+tcpHeaderLen+len(payload))
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	eth.put(b)
+	seg := b[ethernetHeaderLen+ipv4HeaderLen:]
+	copy(seg[tcpHeaderLen:], payload)
+	hdr.put(seg, src, dst)
+	ip := IPv4{ID: ipID, Protocol: ProtoTCP, Src: src, Dst: dst}
+	ip.put(b[ethernetHeaderLen:], tcpHeaderLen+len(payload))
+	return b
 }
 
-// BuildUDP assembles a complete Ethernet/IPv4/UDP frame.
+// BuildUDP assembles a complete Ethernet/IPv4/UDP frame in one allocation.
 func BuildUDP(srcMAC, dstMAC MAC, src, dst netip.Addr, ipID uint16, hdr *UDP, payload []byte) []byte {
-	seg := hdr.Serialize(src, dst, payload)
-	ip := &IPv4{ID: ipID, Protocol: ProtoUDP, Src: src, Dst: dst}
-	eth := &Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
-	return eth.Serialize(ip.Serialize(seg))
+	b := make([]byte, ethernetHeaderLen+ipv4HeaderLen+udpHeaderLen+len(payload))
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	eth.put(b)
+	seg := b[ethernetHeaderLen+ipv4HeaderLen:]
+	copy(seg[udpHeaderLen:], payload)
+	hdr.put(seg, src, dst)
+	ip := IPv4{ID: ipID, Protocol: ProtoUDP, Src: src, Dst: dst}
+	ip.put(b[ethernetHeaderLen:], udpHeaderLen+len(payload))
+	return b
 }

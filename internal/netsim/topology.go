@@ -67,6 +67,7 @@ func (l *Link) Attach(dev Device) *Port {
 	for i := range l.ports {
 		if l.ports[i] == nil {
 			p := &Port{link: l, side: i, dev: dev}
+			p.deliver = p.deliverFrame // cached once; a method value allocates
 			l.ports[i] = p
 			return p
 		}
@@ -88,8 +89,12 @@ type Port struct {
 	link      *Link
 	side      int
 	dev       Device
+	deliver   func(frame []byte) // bound deliverFrame, for ScheduleBytes
 	busyUntil time.Duration
 }
+
+// deliverFrame hands an arrived frame to the attached device.
+func (p *Port) deliverFrame(frame []byte) { p.dev.Receive(p, frame) }
 
 // Send transmits frame toward the opposite end of the link, honoring the
 // line rate (frames queue behind earlier transmissions) and propagation
@@ -114,9 +119,7 @@ func (p *Port) Send(frame []byte) {
 		l.Metrics.Add("wire_frames_dropped", 1)
 		return // the frame occupies the wire, then evaporates
 	}
-	l.sim.ScheduleAt(done+l.Propagation, func() {
-		other.dev.Receive(other, frame)
-	})
+	l.sim.ScheduleBytes(done+l.Propagation-now, other.deliver, frame)
 }
 
 // NIC is a host network interface: it has a MAC and IPv4 address, delivers
@@ -137,6 +140,7 @@ type NIC struct {
 	EgressDelay time.Duration
 
 	port    *Port
+	egress  func(frame []byte) // bound port.Send, for ScheduleBytes
 	handler func(frame []byte)
 	taps    []TapFunc
 }
@@ -150,6 +154,7 @@ func NewNIC(sim *eventsim.Simulator, name string, mac MAC, addr netip.Addr) *NIC
 // Connect attaches the NIC to one end of link.
 func (n *NIC) Connect(link *Link) {
 	n.port = link.Attach(n)
+	n.egress = n.port.Send
 }
 
 // SetHandler installs the function invoked for every inbound frame.
@@ -160,6 +165,10 @@ func (n *NIC) AddTap(t TapFunc) { n.taps = append(n.taps, t) }
 
 // Send transmits an Ethernet frame out the wire. Taps observe it with the
 // current virtual timestamp, exactly like a capture running on this host.
+//
+// The frame is immutable from this point on: taps and receivers may retain
+// it (the capture layer records it without copying), so callers must hand
+// over a freshly built buffer and never write to it again.
 func (n *NIC) Send(frame []byte) {
 	if n.port == nil {
 		panic(fmt.Sprintf("netsim: NIC %s is not connected", n.Name))
@@ -168,7 +177,7 @@ func (n *NIC) Send(frame []byte) {
 		t(frame, n.sim.Now(), DirOut)
 	}
 	if n.EgressDelay > 0 {
-		n.sim.Schedule(n.EgressDelay, func() { n.port.Send(frame) })
+		n.sim.ScheduleBytes(n.EgressDelay, n.egress, frame)
 		return
 	}
 	n.port.Send(frame)
@@ -192,6 +201,7 @@ type Switch struct {
 	// ForwardingDelay models lookup plus store-and-forward latency.
 	ForwardingDelay time.Duration
 	ports           []*Port
+	fwd             []func(frame []byte) // per-port bound forward, for ScheduleBytes
 	table           map[MAC]*Port
 }
 
@@ -204,27 +214,39 @@ func NewSwitch(sim *eventsim.Simulator, forwardingDelay time.Duration) *Switch {
 func (s *Switch) Connect(link *Link) {
 	p := link.Attach(s)
 	s.ports = append(s.ports, p)
+	s.fwd = append(s.fwd, func(frame []byte) { s.forward(p, frame) })
 }
 
 // Receive implements Device: learn the source, then forward after the
 // forwarding delay.
 func (s *Switch) Receive(in *Port, frame []byte) {
-	eth, _, err := DecodeEthernet(frame)
-	if err != nil {
+	if len(frame) < ethernetHeaderLen {
 		return // runt frame: drop silently, as hardware would
 	}
-	s.table[eth.Src] = in
-	s.sim.Schedule(s.ForwardingDelay, func() {
-		if out, ok := s.table[eth.Dst]; ok && eth.Dst != Broadcast {
-			if out != in {
-				out.Send(frame)
-			}
+	var src MAC
+	copy(src[:], frame[6:12])
+	s.table[src] = in
+	for i, p := range s.ports {
+		if p == in {
+			s.sim.ScheduleBytes(s.ForwardingDelay, s.fwd[i], frame)
 			return
 		}
-		for _, p := range s.ports { // flood
-			if p != in {
-				p.Send(frame)
-			}
+	}
+}
+
+// forward transmits a buffered frame on the learned port, or floods.
+func (s *Switch) forward(in *Port, frame []byte) {
+	var dst MAC
+	copy(dst[:], frame[0:6])
+	if out, ok := s.table[dst]; ok && dst != Broadcast {
+		if out != in {
+			out.Send(frame)
 		}
-	})
+		return
+	}
+	for _, p := range s.ports { // flood
+		if p != in {
+			p.Send(frame)
+		}
+	}
 }

@@ -31,16 +31,21 @@ type TrafficGen struct {
 	Sent    int
 	running bool
 	ipID    uint16
+
+	tick    func()
+	payload []byte
 }
 
 // NewTrafficGen builds a generator sending from nic to the given sink.
 func NewTrafficGen(sim *eventsim.Simulator, nic *NIC, dst netip.Addr, dstMAC MAC, rate float64, size int) *TrafficGen {
-	return &TrafficGen{
+	g := &TrafficGen{
 		sim: sim, nic: nic,
 		Rate: rate, Size: size,
 		Dst: dst, DstMAC: dstMAC,
 		SrcPort: 50001, DstPort: 50002,
 	}
+	g.tick = g.fire // cached once; a method value allocates
+	return g
 }
 
 // Start begins generation; traffic flows until Stop.
@@ -61,16 +66,23 @@ func (g *TrafficGen) scheduleNext() {
 	}
 	// Exponential inter-arrival: -ln(U)/rate.
 	gap := time.Duration(g.sim.Rand().ExpFloat64() / g.Rate * float64(time.Second))
-	g.sim.Schedule(gap, func() {
-		if !g.running {
-			return
-		}
-		g.ipID++
-		payload := make([]byte, g.Size)
-		frame := BuildUDP(g.nic.MAC, g.DstMAC, g.nic.Addr, g.Dst, g.ipID,
-			&UDP{SrcPort: g.SrcPort, DstPort: g.DstPort}, payload)
-		g.nic.Send(frame)
-		g.Sent++
-		g.scheduleNext()
-	})
+	g.sim.Schedule(gap, g.tick)
+}
+
+// fire emits one datagram and schedules the next. BuildUDP copies the
+// payload into the frame, so the zeroed payload buffer is reused.
+func (g *TrafficGen) fire() {
+	if !g.running {
+		return
+	}
+	g.ipID++
+	if len(g.payload) != g.Size {
+		g.payload = make([]byte, g.Size)
+	}
+	hdr := UDP{SrcPort: g.SrcPort, DstPort: g.DstPort}
+	frame := BuildUDP(g.nic.MAC, g.DstMAC, g.nic.Addr, g.Dst, g.ipID,
+		&hdr, g.payload)
+	g.nic.Send(frame)
+	g.Sent++
+	g.scheduleNext()
 }

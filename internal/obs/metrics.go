@@ -103,16 +103,101 @@ func NewMetrics() *Metrics {
 	}
 }
 
+// intern is the process-wide canonical-string table behind L and Intern.
+// Keys repeat heavily (one per logical series), so the table stays small
+// while hot-path lookups stop allocating: the rendered key lives in a
+// stack buffer and the map lookup uses the compiler's zero-copy
+// map[string(bytes)] form; only the first sighting of a series copies it
+// to the heap.
+var (
+	internMu sync.RWMutex
+	interned = make(map[string]string)
+)
+
+// Intern returns the canonical copy of s, storing it on first sight.
+func Intern(s string) string {
+	internMu.RLock()
+	v, ok := interned[s]
+	internMu.RUnlock()
+	if ok {
+		return v
+	}
+	internMu.Lock()
+	if v, ok = interned[s]; !ok {
+		interned[s] = s
+		v = s
+	}
+	internMu.Unlock()
+	return v
+}
+
+// internBytes is Intern for a rendered key still in its scratch buffer;
+// the string copy happens only on a miss.
+func internBytes(b []byte) string {
+	internMu.RLock()
+	v, ok := interned[string(b)]
+	internMu.RUnlock()
+	if ok {
+		return v
+	}
+	s := string(b)
+	internMu.Lock()
+	if v, ok = interned[s]; !ok {
+		interned[s] = s
+		v = s
+	}
+	internMu.Unlock()
+	return v
+}
+
+// lMaxPairs bounds the inline sort buffer in L; longer label sets take a
+// (rare, allocating) fallback path.
+const lMaxPairs = 8
+
 // L builds a canonical series key: a family name plus label pairs
 // rendered in Prometheus form with the label names sorted, so the same
 // logical series always maps to the same registry key regardless of
 // argument order. kv alternates name, value. Values are escaped at
-// exposition time, not here. Callers on hot paths should build keys once
-// and reuse them.
+// exposition time, not here. The returned string is interned: repeat
+// calls for the same series allocate nothing, so L is safe to call
+// directly on hot paths.
 func L(name string, kv ...string) string {
 	if len(kv) < 2 {
 		return name
 	}
+	n := len(kv) / 2
+	if n > lMaxPairs {
+		return internBytes(lSlow(name, kv))
+	}
+	var pairs [lMaxPairs][2]string
+	for i := 0; i < n; i++ {
+		pairs[i] = [2]string{kv[2*i], kv[2*i+1]}
+	}
+	// Insertion sort by label name: n is tiny and this stays inline.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && pairs[j][0] < pairs[j-1][0]; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	var buf [128]byte
+	b := buf[:0]
+	b = append(b, name...)
+	b = append(b, '{')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, pairs[i][0]...)
+		b = append(b, '=', '"')
+		b = append(b, pairs[i][1]...)
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	return internBytes(b)
+}
+
+// lSlow renders a key with an unbounded pair count.
+func lSlow(name string, kv []string) []byte {
 	type pair struct{ k, v string }
 	pairs := make([]pair, 0, len(kv)/2)
 	for i := 0; i+1 < len(kv); i += 2 {
@@ -132,7 +217,7 @@ func L(name string, kv ...string) string {
 		b = append(b, '"')
 	}
 	b = append(b, '}')
-	return string(b)
+	return b
 }
 
 // SetHelp registers Prometheus HELP text for a metric family (the series

@@ -45,6 +45,9 @@ type Span struct {
 	Attrs []Attr
 
 	tr *Tracer
+	// attrBuf inlines the first few attributes so typical spans (<= 4
+	// annotations) never allocate for Attrs.
+	attrBuf [4]Attr
 }
 
 // Str annotates the span with a string attribute. Returns the span for
@@ -148,6 +151,26 @@ func (s *Span) Duration() time.Duration {
 type Tracer struct {
 	now   func() time.Duration
 	spans []*Span
+	// slab is the current span allocation chunk. Spans are handed out as
+	// pointers into it; a chunk is never grown in place (a fresh one is
+	// started when full), so those pointers stay valid. This amortizes
+	// span allocation to one chunk per slabChunk spans on traced runs.
+	slab []Span
+}
+
+// slabChunk is the number of spans per allocation chunk.
+const slabChunk = 64
+
+// newSpan carves a span out of the slab and registers it.
+func (t *Tracer) newSpan(name string, start, end time.Duration) *Span {
+	if len(t.slab) == cap(t.slab) {
+		t.slab = make([]Span, 0, slabChunk)
+	}
+	t.slab = append(t.slab, Span{Name: name, Start: start, End: end, tr: t})
+	s := &t.slab[len(t.slab)-1]
+	s.Attrs = s.attrBuf[:0]
+	t.spans = append(t.spans, s)
+	return s
 }
 
 // NewTracer returns an enabled tracer. It records spans at virtual time
@@ -181,9 +204,7 @@ func (t *Tracer) Begin(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{Name: name, Start: t.clock(), End: noEnd, tr: t}
-	t.spans = append(t.spans, s)
-	return s
+	return t.newSpan(name, t.clock(), noEnd)
 }
 
 // Point records an instant event (a zero-duration span), e.g. a clock
@@ -193,9 +214,7 @@ func (t *Tracer) Point(name string) *Span {
 		return nil
 	}
 	now := t.clock()
-	s := &Span{Name: name, Start: now, End: now, tr: t}
-	t.spans = append(t.spans, s)
-	return s
+	return t.newSpan(name, now, now)
 }
 
 // Spans returns every recorded span in creation order. The slice is the

@@ -18,24 +18,30 @@ func Ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 // DurationsToMs converts a sample set.
 func DurationsToMs(ds []time.Duration) []float64 {
-	out := make([]float64, len(ds))
-	for i, d := range ds {
-		out[i] = Ms(d)
-	}
-	return out
+	return DurationsToMsInto(make([]float64, 0, len(ds)), ds)
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) of the samples using
-// linear interpolation between order statistics (R type-7, the matplotlib
-// default used for the paper's box plots). It panics on empty input.
-func Quantile(samples []float64, q float64) float64 {
-	if len(samples) == 0 {
+// DurationsToMsInto appends the converted samples to dst and returns the
+// extended slice, letting per-repetition export paths reuse one buffer.
+func DurationsToMsInto(dst []float64, ds []time.Duration) []float64 {
+	for _, d := range ds {
+		dst = append(dst, Ms(d))
+	}
+	return dst
+}
+
+// checkQuantile validates the inputs shared by the quantile entry points.
+func checkQuantile(n int, q float64) {
+	if n == 0 {
 		panic("stats: Quantile of empty sample set")
 	}
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
 	}
-	s := sortedCopy(samples)
+}
+
+// quantileSorted computes the R type-7 quantile of an already-sorted set.
+func quantileSorted(s []float64, q float64) float64 {
 	if len(s) == 1 {
 		return s[0]
 	}
@@ -47,6 +53,16 @@ func Quantile(samples []float64, q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the samples using
+// linear interpolation between order statistics (R type-7, the matplotlib
+// default used for the paper's box plots). It panics on empty input.
+// Callers computing several statistics over one set should build a
+// Samples once instead: this function sorts a fresh copy per call.
+func Quantile(samples []float64, q float64) float64 {
+	checkQuantile(len(samples), q)
+	return quantileSorted(sortedCopy(samples), q)
 }
 
 // Median is Quantile(0.5).
@@ -92,14 +108,18 @@ type Box struct {
 
 // NewBox computes the box summary. It panics on empty input.
 func NewBox(samples []float64) Box {
-	s := sortedCopy(samples)
+	return boxSorted(sortedCopy(samples))
+}
+
+// boxSorted computes the summary over an already-sorted sample set.
+func boxSorted(s []float64) Box {
 	b := Box{
 		N:      len(s),
 		Min:    s[0],
 		Max:    s[len(s)-1],
-		Q1:     Quantile(s, 0.25),
-		Median: Quantile(s, 0.5),
-		Q3:     Quantile(s, 0.75),
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
 	}
 	iqr := b.Q3 - b.Q1
 	loFence := b.Q1 - 1.5*iqr
@@ -145,6 +165,18 @@ func NewCDF(samples []float64) *CDF {
 	return &CDF{sorted: sortedCopy(samples)}
 }
 
+// NewCDFInto builds the ECDF using dst as backing storage (append-style;
+// pass dst[:0] to reuse a buffer across repetitions). The buffer is
+// sealed into the CDF: the caller must not mutate it afterwards.
+func NewCDFInto(dst []float64, samples []float64) *CDF {
+	if len(samples) == 0 {
+		panic("stats: CDF of empty sample set")
+	}
+	dst = append(dst, samples...)
+	sort.Float64s(dst)
+	return &CDF{sorted: dst}
+}
+
 // At returns P(X <= x).
 func (c *CDF) At(x float64) float64 {
 	// First index with sorted[i] > x.
@@ -156,7 +188,10 @@ func (c *CDF) At(x float64) float64 {
 }
 
 // Quantile returns the p-quantile of the ECDF (inverse of At).
-func (c *CDF) Quantile(p float64) float64 { return Quantile(c.sorted, p) }
+func (c *CDF) Quantile(p float64) float64 {
+	checkQuantile(len(c.sorted), p)
+	return quantileSorted(c.sorted, p)
+}
 
 // Points returns the step-function vertices (x, P(X<=x)) for plotting.
 func (c *CDF) Points() (xs, ps []float64) {
@@ -227,7 +262,14 @@ func Levels(samples []float64, tol float64) (centers []float64, counts []int) {
 	if len(samples) == 0 {
 		return nil, nil
 	}
-	s := sortedCopy(samples)
+	return levelsSorted(sortedCopy(samples), tol)
+}
+
+// levelsSorted clusters an already-sorted sample set.
+func levelsSorted(s []float64, tol float64) (centers []float64, counts []int) {
+	if len(s) == 0 {
+		return nil, nil
+	}
 	start := 0
 	var sum float64
 	flush := func(end int) {
@@ -249,8 +291,16 @@ func Levels(samples []float64, tol float64) (centers []float64, counts []int) {
 // Bimodal reports whether the samples split into two dominant levels at
 // least gap apart, each holding at least minFrac of the mass.
 func Bimodal(samples []float64, tol, gap, minFrac float64) bool {
-	centers, counts := Levels(samples, tol)
-	n := len(samples)
+	if len(samples) == 0 {
+		return false
+	}
+	return bimodalLevels(sortedCopy(samples), tol, gap, minFrac)
+}
+
+// bimodalLevels runs the Bimodal test over an already-sorted sample set.
+func bimodalLevels(s []float64, tol, gap, minFrac float64) bool {
+	centers, counts := levelsSorted(s, tol)
+	n := len(s)
 	for i := 0; i < len(centers); i++ {
 		for j := i + 1; j < len(centers); j++ {
 			if centers[j]-centers[i] >= gap &&
@@ -270,7 +320,11 @@ func KSStatistic(a, b []float64) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		panic("stats: KSStatistic of empty sample set")
 	}
-	sa, sb := sortedCopy(a), sortedCopy(b)
+	return ksSorted(sortedCopy(a), sortedCopy(b))
+}
+
+// ksSorted computes the KS statistic over two already-sorted sample sets.
+func ksSorted(sa, sb []float64) float64 {
 	var i, j int
 	var d float64
 	for i < len(sa) && j < len(sb) {

@@ -106,6 +106,10 @@ type Stack struct {
 	// counts segments, bytes and retransmits. Both may be nil (no-op).
 	Trace   *obs.Tracer
 	Metrics *obs.Metrics
+
+	// rxPkt is scratch decode storage for the inbound frame handler.
+	// Safe because all frame delivery is event-scheduled, never reentrant.
+	rxPkt netsim.Packet
 }
 
 // NewStack creates a stack and installs itself as the NIC frame handler.
@@ -158,9 +162,13 @@ type Conn struct {
 	sndUna, sndTx, sndNxt uint32
 	sendQ                 []segment
 	retxQ                 []segment
-	rto                   time.Duration
-	rtoTimer              *eventsim.Event
-
+	// Inline backing for the two queues: probe-style connections never
+	// hold more than a few segments, so seeding the slices from these
+	// arrays (see initQueues) makes their steady state allocation-free.
+	sendBuf  [4]segment
+	retxBuf  [4]segment
+	rto      time.Duration
+	rtoTimer eventsim.Event
 	// Congestion control: classic slow start / congestion avoidance.
 	cwnd     int // bytes
 	ssthresh int // bytes
@@ -237,8 +245,8 @@ func (s *Stack) Dial(dst netip.Addr, port uint16) (*Conn, error) {
 		rto:      defaultRTO,
 		cwnd:     initialCwnd,
 		ssthresh: initialSsthresh,
-		oo:       make(map[uint32][]byte),
 	}
+	c.initQueues()
 	s.conns[tuple] = c
 	c.connectSpan = s.Trace.Begin("connect").Int("dst_port", int64(port)).Int("local_port", int64(local))
 	c.enqueue(netsim.FlagSYN, nil)
@@ -324,14 +332,19 @@ func (c *Conn) teardown() {
 	}
 	c.closed = true
 	c.state = StateClosed
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Cancel() // no-op on the zero handle or a fired timer
+	c.rtoTimer = eventsim.Event{}
 	delete(c.stack.conns, c.tuple)
 	if c.OnClose != nil {
 		c.OnClose()
 	}
+}
+
+// initQueues seeds sendQ and retxQ from the connection's inline arrays so
+// short-lived connections never heap-allocate queue storage.
+func (c *Conn) initQueues() {
+	c.sendQ = c.sendBuf[:0]
+	c.retxQ = c.retxBuf[:0]
 }
 
 // enqueue assigns sequence space to a segment and lets the congestion
@@ -350,17 +363,33 @@ func (c *Conn) inflight() int { return int(c.sndTx - c.sndUna) }
 // Handshake segments (SYN, SYN-ACK) bypass the window; everything else —
 // including the FIN — honors it.
 func (c *Conn) pump() {
-	for len(c.sendQ) > 0 {
-		seg := c.sendQ[0]
+	sent, full := 0, false
+	for sent < len(c.sendQ) {
+		seg := c.sendQ[sent]
 		bypass := seg.flags&netsim.FlagSYN != 0
 		if !bypass && c.inflight()+int(seg.seqLen()) > c.cwnd && c.inflight() > 0 {
-			return // window full; ACKs will reopen it
+			full = true
+			break
 		}
-		c.sendQ = c.sendQ[1:]
+		sent++
 		seg.sentAt = c.stack.sim.Now()
 		c.sndTx = seg.seq + seg.seqLen()
 		c.retxQ = append(c.retxQ, seg)
 		c.transmit(seg)
+	}
+	if sent > 0 {
+		// Compact instead of re-slicing so the queue keeps its backing
+		// array; popping via sendQ[1:] would strand the capacity and force
+		// every subsequent enqueue to reallocate.
+		n := copy(c.sendQ, c.sendQ[sent:])
+		tail := c.sendQ[n:]
+		for i := range tail {
+			tail[i] = segment{} // release payload references
+		}
+		c.sendQ = c.sendQ[:n]
+	}
+	if full {
+		return // window full; ACKs will reopen it (RTO stays as armed)
 	}
 	c.armRTO()
 }
@@ -408,19 +437,21 @@ func (s *Stack) resolveMAC(a netip.Addr) (netsim.MAC, bool) {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
+	c.rtoTimer.Cancel() // no-op if unset or already fired
 	if len(c.retxQ) == 0 {
-		c.rtoTimer = nil
+		c.rtoTimer = eventsim.Event{}
 		return
 	}
-	c.rtoTimer = c.stack.sim.Schedule(c.rto, c.onRTO)
+	c.rtoTimer = c.stack.sim.ScheduleAny(c.rto, onRTOAny, c)
 }
 
 // Cwnd exposes the current congestion window (bytes) for tests and
 // diagnostics.
 func (c *Conn) Cwnd() int { return c.cwnd }
+
+// onRTOAny adapts onRTO for eventsim.ScheduleAny: one shared func(any)
+// instead of a per-connection method value, which would allocate.
+func onRTOAny(v any) { v.(*Conn).onRTO() }
 
 func (c *Conn) onRTO() {
 	if len(c.retxQ) == 0 || c.closed {
@@ -468,7 +499,8 @@ func (c *Conn) fastRetransmit() {
 
 // receive is the NIC inbound frame handler.
 func (s *Stack) receive(frame []byte) {
-	p, err := netsim.Decode(frame, s.sim.Now())
+	p := &s.rxPkt
+	err := p.Parse(frame, s.sim.Now())
 	if err != nil || p.IP == nil || p.IP.Dst != s.nic.Addr {
 		return
 	}
@@ -530,8 +562,8 @@ func (s *Stack) acceptSyn(l *Listener, tuple fourTuple, p *netsim.Packet) {
 		rto:      defaultRTO,
 		cwnd:     initialCwnd,
 		ssthresh: initialSsthresh,
-		oo:       make(map[uint32][]byte),
 	}
+	c.initQueues()
 	s.conns[tuple] = c
 	c.acceptCb = l.Accept
 	c.enqueue(netsim.FlagSYN|netsim.FlagACK, nil)
@@ -582,14 +614,15 @@ func (c *Conn) handle(p *netsim.Packet) {
 
 	// Data and FIN processing for synchronized states.
 	before := c.rcvNxt
+	delivered := false
 	if len(p.Payload) > 0 {
-		c.ingestData(t.Seq, p.Payload)
+		delivered = c.ingestData(t.Seq, p.Payload)
 	}
 	if t.Flags&netsim.FlagFIN != 0 {
 		finSeq := t.Seq + uint32(len(p.Payload))
 		c.peerFinSeq, c.peerFinSet = finSeq, true
 	}
-	c.drainInOrder()
+	c.drainInOrder(delivered)
 	if len(p.Payload) > 0 && c.rcvNxt == before && !c.closed {
 		// Out-of-order (or stale) data: duplicate ACK so the sender's
 		// fast-retransmit logic can kick in.
@@ -647,21 +680,39 @@ func (c *Conn) processAck(ack uint32) {
 	}
 }
 
-func (c *Conn) ingestData(seq uint32, payload []byte) {
+// ingestData accepts one data segment and reports whether rcvNxt advanced.
+// In-order data — the overwhelmingly common case on the simulator's
+// loss-free paths — is handed to OnData directly: frames are immutable
+// once transmitted (see netsim.NIC.Send), so no defensive copy is needed
+// and the reassembly map is never touched. Only reordered segments are
+// copied and staged for drainInOrder.
+func (c *Conn) ingestData(seq uint32, payload []byte) bool {
 	if seqLE(seq+uint32(len(payload)), c.rcvNxt) {
-		return // entirely old: retransmission of delivered data
+		return false // entirely old: retransmission of delivered data
+	}
+	if seq == c.rcvNxt && len(c.oo) == 0 {
+		c.rcvNxt += uint32(len(payload))
+		if c.OnData != nil {
+			c.OnData(payload)
+		}
+		return true
+	}
+	if c.oo == nil {
+		c.oo = make(map[uint32][]byte, 4) // lazy: most conns never reorder
 	}
 	if _, dup := c.oo[seq]; !dup {
 		buf := make([]byte, len(payload))
 		copy(buf, payload)
 		c.oo[seq] = buf
 	}
+	return false
 }
 
 // drainInOrder delivers contiguous data, processes a pending peer FIN and
-// acknowledges whatever advanced rcvNxt.
-func (c *Conn) drainInOrder() {
-	advanced := false
+// acknowledges whatever advanced rcvNxt. advanced carries whether the
+// caller already advanced rcvNxt (ingestData's in-order fast path), so a
+// single ACK covers direct delivery, reassembled data and the FIN alike.
+func (c *Conn) drainInOrder(advanced bool) {
 	for {
 		if data, ok := c.oo[c.rcvNxt]; ok {
 			delete(c.oo, c.rcvNxt)

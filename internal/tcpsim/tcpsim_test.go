@@ -212,12 +212,12 @@ func TestOutOfOrderReassembly(t *testing.T) {
 	}
 	base := sc.rcvNxt
 	sc.ingestData(base+3, []byte("def"))
-	sc.drainInOrder()
+	sc.drainInOrder(false)
 	if len(got) != 0 {
 		t.Fatalf("delivered out-of-order data early: %q", got)
 	}
 	sc.ingestData(base, []byte("abc"))
-	sc.drainInOrder()
+	sc.drainInOrder(false)
 	if string(got) != "abcdef" {
 		t.Fatalf("reassembled = %q, want abcdef", got)
 	}
@@ -238,9 +238,9 @@ func TestDuplicateDataIgnored(t *testing.T) {
 	}
 	base := sc.rcvNxt
 	sc.ingestData(base, []byte("xyz"))
-	sc.drainInOrder()
+	sc.drainInOrder(false)
 	sc.ingestData(base, []byte("xyz")) // retransmitted duplicate
-	sc.drainInOrder()
+	sc.drainInOrder(false)
 	if string(got) != "xyz" {
 		t.Fatalf("got %q, want xyz exactly once", got)
 	}

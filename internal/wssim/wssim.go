@@ -54,32 +54,41 @@ type Frame struct {
 // Marshal serializes the frame. Masked frames are XOR-masked with MaskKey
 // as the client side must do.
 func (f *Frame) Marshal() []byte {
-	var hdr []byte
 	b0 := byte(f.Opcode) & 0x0f
 	if f.Fin {
 		b0 |= 0x80
 	}
 	n := len(f.Payload)
+	hdrLen := 2
 	switch {
 	case n < 126:
-		hdr = []byte{b0, byte(n)}
 	case n <= 0xffff:
-		hdr = []byte{b0, 126, 0, 0}
-		binary.BigEndian.PutUint16(hdr[2:], uint16(n))
+		hdrLen = 4
 	default:
-		hdr = make([]byte, 10)
-		hdr[0], hdr[1] = b0, 127
-		binary.BigEndian.PutUint64(hdr[2:], uint64(n))
+		hdrLen = 10
 	}
 	if f.Masked {
-		hdr[1] |= 0x80
-		hdr = append(hdr, f.MaskKey[:]...)
+		hdrLen += 4
 	}
-	out := make([]byte, len(hdr)+n)
-	copy(out, hdr)
-	copy(out[len(hdr):], f.Payload)
+	out := make([]byte, hdrLen+n) // header + payload in one allocation
+	out[0] = b0
+	switch {
+	case n < 126:
+		out[1] = byte(n)
+	case n <= 0xffff:
+		out[1] = 126
+		binary.BigEndian.PutUint16(out[2:], uint16(n))
+	default:
+		out[1] = 127
+		binary.BigEndian.PutUint64(out[2:], uint64(n))
+	}
 	if f.Masked {
-		body := out[len(hdr):]
+		out[1] |= 0x80
+		copy(out[hdrLen-4:hdrLen], f.MaskKey[:])
+	}
+	copy(out[hdrLen:], f.Payload)
+	if f.Masked {
+		body := out[hdrLen:]
 		for i := range body {
 			body[i] ^= f.MaskKey[i%4]
 		}
