@@ -1,16 +1,19 @@
 # Tier-1 verification and CI targets.
 #
 #   make tier1       build + vet + test          (the ROADMAP tier-1 gate)
+#   make lint        gofmt -l empty + go vet (+ staticcheck when installed)
 #   make race        full suite under -race      (guards the parallel runner)
 #   make ci          tier1 + race
 #   make bench       paper-regeneration + scheduler benchmarks
 #   make race-live   loopback server/client under -race (live network path)
 #   make bench-json  run committed benchmarks, write $(BENCH_JSON) trajectory
 #   make bench-diff  compare $(BENCH_OLD) vs $(BENCH_NEW), fail on allocs/op regression
+#   make fuzz-smoke  run every fuzz target briefly (native Go fuzzing)
+#   make cover       whole-repo coverage.out + enforce the faults floor
 
 GO ?= go
 
-.PHONY: all build vet test race race-core race-live tier1 ci bench bench-json bench-diff
+.PHONY: all build vet test lint race race-core race-live tier1 ci bench bench-json bench-diff fuzz-smoke cover
 
 all: tier1
 
@@ -22,6 +25,21 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# lint fails when any file needs gofmt, then vets. staticcheck runs only
+# when present on PATH (CI images without it skip with a note rather than
+# requiring a network install).
+lint:
+	@fmtout="$$(gofmt -l .)"; \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (gofmt + go vet ran)"; \
+	fi
 
 # race runs everything under the race detector; race-core is the quick
 # loop for the parallel study scheduler.
@@ -50,7 +68,7 @@ bench:
 # are not single-iteration noise; override with BENCHTIME=100ms (or more)
 # for lower-variance local runs. The setting is recorded in the snapshot
 # header so downstream diffs know what they are looking at.
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_ci.json
 BENCHTIME ?= 3x
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... > bench.out
@@ -59,8 +77,33 @@ bench-json:
 
 # bench-diff compares two trajectory snapshots and exits non-zero when any
 # benchmark's allocs/op regressed by more than 20% — the allocation gate
-# CI runs against the committed baseline.
-BENCH_OLD ?= BENCH_4.json
+# CI runs against the committed baseline. The baseline auto-discovers the
+# highest-numbered committed BENCH_<n>.json so new PRs cannot silently
+# diff against a stale hand-written default; override with BENCH_OLD=....
+BENCH_BASELINE := $(shell ls BENCH_*.json 2>/dev/null | grep -E '^BENCH_[0-9]+\.json$$' | sort -t_ -k2 -n | tail -1)
+BENCH_OLD ?= $(BENCH_BASELINE)
 BENCH_NEW ?= BENCH_ci.json
 bench-diff:
+	@if [ -z "$(BENCH_OLD)" ]; then echo "no committed BENCH_<n>.json baseline found"; exit 1; fi
+	@echo "baseline: $(BENCH_OLD)"
 	$(GO) run ./cmd/benchdiff -old $(BENCH_OLD) -new $(BENCH_NEW)
+
+# fuzz-smoke runs each native fuzz target briefly. Go allows one -fuzz
+# target per invocation, so the ~30 s budget is split across the three.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzPacketParse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/netsim/
+	$(GO) test -fuzz '^FuzzParseRequest$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/httpsim/
+	$(GO) test -fuzz '^FuzzParseResponse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/httpsim/
+
+# cover writes the whole-repo profile to coverage.out (the CI artifact)
+# and enforces the statement-coverage floor on the fault-injection layer.
+FAULTS_COVER_MIN ?= 85
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) test -coverprofile=coverage_faults.out ./internal/faults/
+	@total="$$($(GO) tool cover -func=coverage_faults.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
+	echo "internal/faults coverage: $$total% (floor $(FAULTS_COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(FAULTS_COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
+		{ echo "internal/faults coverage below floor"; exit 1; }
+	@rm -f coverage_faults.out

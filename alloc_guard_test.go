@@ -22,3 +22,24 @@ func TestStudyAllocCeiling(t *testing.T) {
 		t.Fatalf("Fig3-style study allocated %.0f objects, ceiling %d", allocs, ceiling)
 	}
 }
+
+// TestCleanFaultProfileAllocCeiling is the zero-overhead-when-disabled
+// guard for the fault-injection layer: selecting the Clean profile must
+// not install an impairment (the link keeps its nil fast path), so the
+// allocation count stays under the same ceiling as the pre-faults study.
+func TestCleanFaultProfileAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell study in -short mode")
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		opts := StudyOptions{Runs: 20, BaseSeed: 1}
+		opts.Testbed.Faults = FaultClean
+		if _, err := RunStudy(opts); err != nil {
+			t.Error(err)
+		}
+	})
+	const ceiling = 200_000
+	if allocs > ceiling {
+		t.Fatalf("Clean-profile study allocated %.0f objects, ceiling %d", allocs, ceiling)
+	}
+}

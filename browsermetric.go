@@ -41,6 +41,7 @@ import (
 
 	"github.com/browsermetric/browsermetric/internal/browser"
 	"github.com/browsermetric/browsermetric/internal/core"
+	"github.com/browsermetric/browsermetric/internal/faults"
 	"github.com/browsermetric/browsermetric/internal/liveclient"
 	"github.com/browsermetric/browsermetric/internal/methods"
 	"github.com/browsermetric/browsermetric/internal/obs"
@@ -236,6 +237,53 @@ func CellSeed(base int64, methodIndex, profileIndex int) int64 {
 
 // Recommend distills the Section 5 guidance from a study.
 func Recommend(s *Study) Recommendation { return core.Recommend(s) }
+
+// --- Fault injection ---
+
+// FaultProfile names a canned network-impairment scenario applied to the
+// testbed's server link (TestbedConfig.Faults). The zero value runs the
+// paper's pristine wire.
+type FaultProfile = faults.Profile
+
+// The built-in fault profiles.
+const (
+	// FaultClean is the paper's loss-free LAN (no impairment installed).
+	FaultClean FaultProfile = faults.Clean
+	// FaultLossy1pct drops 1% of frames independently.
+	FaultLossy1pct FaultProfile = faults.Lossy1pct
+	// FaultBurstyWiFi is Gilbert–Elliott bursty loss with jitter,
+	// reordering and duplication — an interfered wireless link.
+	FaultBurstyWiFi FaultProfile = faults.BurstyWiFi
+	// FaultCongested is a rate-limited bottleneck with a finite queue.
+	FaultCongested FaultProfile = faults.Congested
+)
+
+// FaultProfiles lists the built-in fault profiles in severity order.
+func FaultProfiles() []FaultProfile { return faults.Profiles() }
+
+// ParseFaultProfile resolves a profile name case-insensitively; "" and
+// "none" mean FaultClean. Unknown names error.
+func ParseFaultProfile(s string) (FaultProfile, error) { return faults.Parse(s) }
+
+// FaultImpactOptions configures RunFaultImpact.
+type FaultImpactOptions = core.FaultImpactOptions
+
+// FaultImpact is a completed impairment study: per-method Δd quantiles
+// under a sweep of fault profiles, with a text Report.
+type FaultImpact = core.FaultImpact
+
+// MethodFaultImpact is one row of the impact matrix.
+type MethodFaultImpact = core.MethodFaultImpact
+
+// RunFaultImpact appraises every method under each fault profile with
+// identical seeds and tabulates how the Δd distribution degrades. The
+// expected shape mirrors the paper's handshake finding: methods that open
+// TCP connections inside the timed window grow heavy tails at the first
+// lost handshake segment, while socket methods stay tight because loss
+// recovery happens below both the browser and the capture clocks.
+func RunFaultImpact(ctx context.Context, opts FaultImpactOptions) (*FaultImpact, error) {
+	return core.RunFaultImpact(ctx, opts)
+}
 
 // --- Observability ---
 

@@ -14,12 +14,15 @@
 //	appraise -metrics m.json     # metrics snapshot (JSON or text by extension)
 //	appraise -cellstats          # slowest cells by host wall time
 //	appraise -progress           # structured per-cell progress on stderr
+//	appraise -faults lossy1pct   # appraise under a network-impairment profile
+//	appraise -faultimpact        # Δd degradation study across fault profiles
 //
 // All progress and statistics lines go to stderr; stdout carries only the
 // regenerated artifacts, so reports can be piped or redirected cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +48,10 @@ var (
 	progressMode bool
 )
 
+// faultProfile is the impairment profile every study cell runs under
+// (-faults flag; FaultClean keeps the paper's pristine wire).
+var faultProfile bm.FaultProfile
+
 // runStudy executes the full matrix with progress on stderr. Everything
 // it prints goes to stderr — stdout is reserved for artifacts — and any
 // partial carriage-return counter line is terminated before returning,
@@ -58,6 +65,10 @@ func runStudy(runs int) (*bm.Study, error) {
 		Workers:  workers,
 		Tracing:  tracing,
 		Metrics:  metricsReg,
+	}
+	opts.Testbed.Faults = faultProfile
+	if faultProfile.Enabled() {
+		fmt.Fprintf(os.Stderr, "fault profile: %s\n", faultProfile)
 	}
 	partialLine := false // an unterminated \r counter line is on stderr
 	if progressMode {
@@ -116,6 +127,8 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write a metrics snapshot to this file (.json extension = JSON, otherwise text)")
 		cellstats   = flag.Bool("cellstats", false, "print the slowest study cells by host wall time")
 		progressFl  = flag.Bool("progress", false, "structured per-cell progress lines on stderr (instead of the counter)")
+		faultsFl    = flag.String("faults", "", "network-impairment profile for every study cell (clean, lossy1pct, burstywifi, congested)")
+		faultimpact = flag.Bool("faultimpact", false, "Δd degradation study: every method under every fault profile")
 	)
 	flag.Parse()
 	baseSeed = *seed
@@ -125,20 +138,26 @@ func main() {
 		metricsReg = bm.NewMetrics()
 	}
 	progressMode = *progressFl
+	var err error
+	faultProfile, err = bm.ParseFaultProfile(*faultsFl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "appraise:", err)
+		os.Exit(2)
+	}
 
 	if !*all && *table == 0 && *fig == 0 && !*recommend && !*attribution && !*impact && *csvPath == "" && *mdPath == "" &&
-		*tracePath == "" && *metricsPath == "" && !*cellstats {
+		*tracePath == "" && *metricsPath == "" && !*cellstats && !*faultimpact {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if err := run(*table, *fig, *runs, *all, *recommend, *ascii, *attribution, *impact,
-		*csvPath, *mdPath, *tracePath, *metricsPath, *cellstats); err != nil {
+		*csvPath, *mdPath, *tracePath, *metricsPath, *cellstats, *faultimpact); err != nil {
 		fmt.Fprintln(os.Stderr, "appraise:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, csvPath, mdPath, tracePath, metricsPath string, cellstats bool) error {
+func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, csvPath, mdPath, tracePath, metricsPath string, cellstats, faultimpact bool) error {
 	var study *bm.Study
 	needStudy := all || fig == 3 || recommend || csvPath != "" || mdPath != "" ||
 		tracePath != "" || metricsPath != "" || cellstats
@@ -306,6 +325,19 @@ func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, 
 			return err
 		}
 		fmt.Println(sweep)
+	}
+	if faultimpact {
+		fmt.Fprintf(os.Stderr, "running the fault-impact study (%d profiles x %d methods x %d runs)...\n",
+			len(bm.FaultProfiles()), len(bm.ComparedMethods()), runs)
+		fi, err := bm.RunFaultImpact(context.Background(), bm.FaultImpactOptions{
+			Runs:     runs,
+			BaseSeed: baseSeed,
+			Workers:  workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(fi.Report())
 	}
 	// Last so the regenerated artifacts above stay byte-identical with
 	// and without the flag.

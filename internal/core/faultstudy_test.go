@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/faults"
+	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/obs"
+)
+
+// TestFaultDeterminismAcrossWorkers extends the headline equivalence
+// guarantee to every fault profile: impairment is seeded per cell from the
+// same pure CellSeed schedule, so worker count must not change a byte of
+// the exports.
+func TestFaultDeterminismAcrossWorkers(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, fp := range faults.Profiles() {
+		fp := fp
+		t.Run(string(fp), func(t *testing.T) {
+			base := StudyOptions{Runs: 3, Gap: time.Second, BaseSeed: 42}
+			base.Testbed.Faults = fp
+			var want []byte
+			for _, w := range workerCounts {
+				opts := base
+				opts.Workers = w
+				st, err := RunStudy(opts)
+				if err != nil {
+					t.Fatalf("Workers=%d: %v", w, err)
+				}
+				got := exportBytes(t, st)
+				if want == nil {
+					want = got
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("Workers=%d exports differ from Workers=%d (%d vs %d bytes)",
+						w, workerCounts[0], len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestCleanProfileBitIdentical is the zero-overhead-when-disabled guard:
+// selecting faults.Clean (or leaving Faults zero) must be indistinguishable
+// from the pre-faults code path — no impairment layer is installed, no
+// extra random draw happens, and the exports match byte for byte.
+func TestCleanProfileBitIdentical(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	run := func(fp faults.Profile) []byte {
+		opts := StudyOptions{Runs: 3, Gap: time.Second, BaseSeed: 42, Workers: 2}
+		opts.Testbed.Faults = fp
+		st, err := RunStudy(opts)
+		if err != nil {
+			t.Fatalf("Faults=%q: %v", fp, err)
+		}
+		return exportBytes(t, st)
+	}
+	zero := run("")
+	clean := run(faults.Clean)
+	if !bytes.Equal(zero, clean) {
+		t.Error("faults.Clean exports differ from zero-value Faults")
+	}
+}
+
+// TestFaultProfilesActuallyImpair guards against the impairment layer
+// silently not being wired: every enabled profile must record judged
+// frames, and the lossy profiles must drop some.
+func TestFaultProfilesActuallyImpair(t *testing.T) {
+	for _, fp := range []faults.Profile{faults.Lossy1pct, faults.BurstyWiFi, faults.Congested} {
+		cfg := Config{
+			Method:  methods.XHRGet,
+			Profile: browser.Lookup(browser.Opera, browser.Windows),
+			Runs:    10,
+			Gap:     time.Second,
+		}
+		cfg.Testbed.Faults = fp
+		cfg.Testbed.Seed = 7
+		cfg.Metrics = obs.NewMetrics()
+		exp, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", fp, err)
+		}
+		if len(exp.Samples) == 0 {
+			t.Fatalf("%s: no samples", fp)
+		}
+		if cfg.Metrics.Counter("fault_frames") == 0 {
+			t.Errorf("%s: impairment layer judged no frames — not wired", fp)
+		}
+		drops := cfg.Metrics.Counter("fault_drops_loss") + cfg.Metrics.Counter("fault_drops_queue")
+		if fp != faults.Congested && drops == 0 {
+			t.Errorf("%s: lossy profile dropped no frames", fp)
+		}
+	}
+}
+
+// TestFaultImpactHTTPHeavierThanSocket is the acceptance property: under
+// the bursty-loss profile, at least one HTTP method's p95 Δd must degrade
+// by more than any socket method's p95 does. The mechanism is structural —
+// a lost probe or echo is retransmitted below both clocks, so the recovery
+// time cancels out of Δd; only the HTTP methods that open a fresh TCP
+// connection inside the timed window (Opera's Flash GET/POST) expose
+// handshake-window losses to the browser clock alone.
+func TestFaultImpactHTTPHeavierThanSocket(t *testing.T) {
+	fi, err := RunFaultImpact(context.Background(), FaultImpactOptions{
+		Profiles: []faults.Profile{faults.Clean, faults.BurstyWiFi},
+		Runs:     40,
+		BaseSeed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fi.Rows) == 0 {
+		t.Fatal("no usable rows")
+	}
+	wh, hm, okH := fi.WorstDegradation(1, methods.TransportHTTP)
+	ws, sm, okS := fi.WorstDegradation(1, methods.TransportSocket)
+	if !okH || !okS {
+		t.Fatalf("missing transports in rows (http=%v socket=%v)", okH, okS)
+	}
+	t.Logf("worst HTTP: %s %+.2f ms; worst socket: %s %+.2f ms", hm, wh, sm, ws)
+	if wh <= ws {
+		t.Errorf("expected an HTTP method's p95 Δd to degrade more than every socket method's: "+
+			"worst HTTP %s %+.2f ms <= worst socket %s %+.2f ms", hm, wh, sm, ws)
+	}
+
+	// The report must mention the per-profile contrast and stay stable.
+	rep := fi.Report()
+	if rep == "" || fi.Report() != rep {
+		t.Error("Report must be non-empty and deterministic")
+	}
+}
+
+// TestRunFaultImpactDeterministic: two identical invocations must agree on
+// every tabulated quantile (and hence on the rendered report).
+func TestRunFaultImpactDeterministic(t *testing.T) {
+	opts := FaultImpactOptions{
+		Profiles: []faults.Profile{faults.Clean, faults.Lossy1pct},
+		Methods:  []methods.Kind{methods.XHRGet, methods.FlashGet, methods.JavaTCP},
+		Runs:     8,
+		BaseSeed: 11,
+		Workers:  2,
+	}
+	a, err := RunFaultImpact(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaultImpact(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report() != b.Report() {
+		t.Errorf("reports differ:\n%s\nvs\n%s", a.Report(), b.Report())
+	}
+}

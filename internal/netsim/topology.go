@@ -34,6 +34,32 @@ type Device interface {
 	Receive(port *Port, frame []byte)
 }
 
+// Verdict is an Impairer's decision for one frame: whether it survives,
+// how much extra delay it picks up on top of serialization + propagation,
+// and whether a duplicate copy is delivered as well.
+type Verdict struct {
+	// Drop discards the frame (it occupies the wire, then evaporates).
+	Drop bool
+	// Delay is added to the frame's delivery time. A delay large enough to
+	// let later frames arrive first is how reordering reaches receivers.
+	Delay time.Duration
+	// Dup delivers a second copy of the frame, Delay+DupDelay after the
+	// unimpaired delivery time. Frames are immutable once sent, so both
+	// copies may share the same buffer.
+	Dup      bool
+	DupDelay time.Duration
+}
+
+// Impairer judges every frame entering a link direction. side identifies
+// the transmitting end (0 or 1), size is the frame length in bytes, now is
+// the virtual send time and deliverAt the unimpaired delivery time (after
+// serialization and propagation). Implementations must be deterministic
+// functions of their own seeded state: the simulator calls Judge in a
+// reproducible order, which is what keeps impaired runs bit-stable.
+type Impairer interface {
+	Judge(side, size int, now, deliverAt time.Duration) Verdict
+}
+
 // Link is a full-duplex point-to-point wire with finite bandwidth and
 // propagation delay, e.g. a 100 Mbps Ethernet cable. Each direction has an
 // independent transmit queue.
@@ -53,7 +79,12 @@ type Link struct {
 	// Metrics, when non-nil, counts frames and bytes crossing the link
 	// (wire_frames, wire_bytes, wire_frames_dropped).
 	Metrics *obs.Metrics
-	ports   [2]*Port
+	// Impair, when non-nil, judges every frame after the serialization
+	// point: loss, extra delay (jitter, queueing, reorder holds) and
+	// duplication. Nil means the pristine wire the paper's testbed used —
+	// the hot path then takes exactly the pre-impairment code path.
+	Impair Impairer
+	ports  [2]*Port
 }
 
 // NewLink creates a link; attach both ends with Attach before use.
@@ -119,7 +150,20 @@ func (p *Port) Send(frame []byte) {
 		l.Metrics.Add("wire_frames_dropped", 1)
 		return // the frame occupies the wire, then evaporates
 	}
-	l.sim.ScheduleBytes(done+l.Propagation-now, other.deliver, frame)
+	delay := done + l.Propagation - now
+	if l.Impair != nil {
+		v := l.Impair.Judge(p.side, len(frame), now, now+delay)
+		if v.Drop {
+			l.Dropped++
+			l.Metrics.Add("wire_frames_dropped", 1)
+			return
+		}
+		if v.Dup {
+			l.sim.ScheduleBytes(delay+v.Delay+v.DupDelay, other.deliver, frame)
+		}
+		delay += v.Delay
+	}
+	l.sim.ScheduleBytes(delay, other.deliver, frame)
 }
 
 // NIC is a host network interface: it has a MAC and IPv4 address, delivers

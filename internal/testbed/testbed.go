@@ -17,6 +17,7 @@ import (
 
 	"github.com/browsermetric/browsermetric/internal/capture"
 	"github.com/browsermetric/browsermetric/internal/eventsim"
+	"github.com/browsermetric/browsermetric/internal/faults"
 	"github.com/browsermetric/browsermetric/internal/httpsim"
 	"github.com/browsermetric/browsermetric/internal/netsim"
 	"github.com/browsermetric/browsermetric/internal/obs"
@@ -60,6 +61,12 @@ type Config struct {
 	// server-side overhead the paper's conclusion names as the next
 	// thing to investigate.
 	ServerParseCost time.Duration
+	// Faults selects a network-impairment profile for the server link
+	// (loss, reordering, duplication, jitter, bottleneck queueing). The
+	// zero value and faults.Clean install nothing: the link then runs the
+	// exact pre-impairment code path. Unknown profiles panic in New, like
+	// every other unusable-testbed configuration error.
+	Faults faults.Profile
 	// Seed seeds the deterministic simulation.
 	Seed int64
 	// Tracer, when non-nil, records virtual-time spans across the whole
@@ -102,6 +109,9 @@ type Testbed struct {
 	// ServerLink is the switch↔server wire; its loss counters expose how
 	// many frames the LossRate knob discarded.
 	ServerLink *netsim.Link
+	// Impair is the impairment layer installed on ServerLink when
+	// Config.Faults selects an enabled profile; nil on the clean path.
+	Impair *faults.Impairment
 	// Trace and Metrics mirror Config.Tracer/Config.Metrics (nil when
 	// observability is off; all recording methods no-op on nil).
 	Trace   *obs.Tracer
@@ -135,6 +145,18 @@ func New(cfg Config) *Testbed {
 	clientLink := netsim.NewLink(sim, cfg.LinkRate, cfg.Propagation)
 	serverLink := netsim.NewLink(sim, cfg.LinkRate, cfg.Propagation)
 	serverLink.LossRate = cfg.LossRate
+	var impair *faults.Impairment
+	if cfg.Faults.Enabled() {
+		params, err := cfg.Faults.Params()
+		if err != nil {
+			panic(err)
+		}
+		// Salt the seed so the impairment stream is independent of the
+		// simulator's own generator while remaining a pure function of the
+		// testbed seed.
+		impair = faults.New(params, cfg.Seed^0x66a17, cfg.Metrics)
+		serverLink.Impair = impair
+	}
 	clientLink.Metrics = cfg.Metrics
 	serverLink.Metrics = cfg.Metrics
 	clientNIC.Connect(clientLink)
@@ -163,6 +185,7 @@ func New(cfg Config) *Testbed {
 		ServerAddr: serverIP,
 		Cap:        capture.Attach(clientNIC, nil),
 		ServerLink: serverLink,
+		Impair:     impair,
 		Trace:      cfg.Tracer,
 		Metrics:    cfg.Metrics,
 		cfg:        cfg,
