@@ -9,11 +9,12 @@
 #   make bench-json  run committed benchmarks, write $(BENCH_JSON) trajectory
 #   make bench-diff  compare $(BENCH_OLD) vs $(BENCH_NEW), fail on allocs/op regression
 #   make fuzz-smoke  run every fuzz target briefly (native Go fuzzing)
-#   make cover       whole-repo coverage.out + enforce the faults floor
+#   make cover       whole-repo coverage.out + enforce the faults/sweep floors
+#   make sweep-smoke kill a sweep with SIGKILL, resume it, diff vs uninterrupted
 
 GO ?= go
 
-.PHONY: all build vet test lint race race-core race-live tier1 ci bench bench-json bench-diff fuzz-smoke cover
+.PHONY: all build vet test lint race race-core race-live tier1 ci bench bench-json bench-diff fuzz-smoke cover sweep-smoke
 
 all: tier1
 
@@ -89,16 +90,20 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_OLD) -new $(BENCH_NEW)
 
 # fuzz-smoke runs each native fuzz target briefly. Go allows one -fuzz
-# target per invocation, so the ~30 s budget is split across the three.
+# target per invocation, so the ~50 s budget is split across the five.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -fuzz '^FuzzPacketParse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/netsim/
 	$(GO) test -fuzz '^FuzzParseRequest$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/httpsim/
 	$(GO) test -fuzz '^FuzzParseResponse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/httpsim/
+	$(GO) test -fuzz '^FuzzManifestParse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/sweep/
+	$(GO) test -fuzz '^FuzzCellDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/sweep/
 
 # cover writes the whole-repo profile to coverage.out (the CI artifact)
-# and enforces the statement-coverage floor on the fault-injection layer.
+# and enforces the statement-coverage floors on the fault-injection layer
+# and the sweep cache (whose correctness claims rest on its tests).
 FAULTS_COVER_MIN ?= 85
+SWEEP_COVER_MIN ?= 85
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) test -coverprofile=coverage_faults.out ./internal/faults/
@@ -107,3 +112,33 @@ cover:
 	awk -v t="$$total" -v min="$(FAULTS_COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
 		{ echo "internal/faults coverage below floor"; exit 1; }
 	@rm -f coverage_faults.out
+	$(GO) test -coverprofile=coverage_sweep.out ./internal/sweep/
+	@total="$$($(GO) tool cover -func=coverage_sweep.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
+	echo "internal/sweep coverage: $$total% (floor $(SWEEP_COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(SWEEP_COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
+		{ echo "internal/sweep coverage below floor"; exit 1; }
+	@rm -f coverage_sweep.out
+
+# sweep-smoke proves the kill/resume contract end to end on the real CLI:
+# a cold sweep is SIGKILLed mid-flight (no chance to clean up), resumed
+# from its manifest, and the resumed CSV must be byte-identical to an
+# uninterrupted sweep of the same configuration in a fresh cache. The runs
+# count is sized so the cold sweep takes tens of seconds — long enough
+# that the 2 s SIGKILL reliably lands mid-sweep.
+SWEEP_SMOKE_DIR ?= sweep-smoke.tmp
+SWEEP_SMOKE_RUNS ?= 2500
+SWEEP_SMOKE_FLAGS = -sweep -runs $(SWEEP_SMOKE_RUNS) -seed 42 -faults clean,lossy1pct
+sweep-smoke:
+	rm -rf $(SWEEP_SMOKE_DIR)
+	mkdir -p $(SWEEP_SMOKE_DIR)
+	$(GO) build -o $(SWEEP_SMOKE_DIR)/appraise ./cmd/appraise
+	-timeout -s KILL 2 $(SWEEP_SMOKE_DIR)/appraise $(SWEEP_SMOKE_FLAGS) \
+		-cache-dir $(SWEEP_SMOKE_DIR)/killed >/dev/null 2>&1
+	test -f $(SWEEP_SMOKE_DIR)/killed/manifest.jsonl
+	$(SWEEP_SMOKE_DIR)/appraise $(SWEEP_SMOKE_FLAGS) -resume \
+		-cache-dir $(SWEEP_SMOKE_DIR)/killed -csv $(SWEEP_SMOKE_DIR)/resumed.csv >/dev/null
+	$(SWEEP_SMOKE_DIR)/appraise $(SWEEP_SMOKE_FLAGS) \
+		-cache-dir $(SWEEP_SMOKE_DIR)/cold -csv $(SWEEP_SMOKE_DIR)/cold.csv >/dev/null
+	cmp $(SWEEP_SMOKE_DIR)/resumed.csv $(SWEEP_SMOKE_DIR)/cold.csv
+	@echo "sweep-smoke: resumed export is byte-identical to an uninterrupted sweep"
+	@rm -rf $(SWEEP_SMOKE_DIR)

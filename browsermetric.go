@@ -47,6 +47,7 @@ import (
 	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/server"
 	"github.com/browsermetric/browsermetric/internal/stats"
+	"github.com/browsermetric/browsermetric/internal/sweep"
 	"github.com/browsermetric/browsermetric/internal/testbed"
 )
 
@@ -283,6 +284,52 @@ type MethodFaultImpact = core.MethodFaultImpact
 // recovery happens below both the browser and the capture clocks.
 func RunFaultImpact(ctx context.Context, opts FaultImpactOptions) (*FaultImpact, error) {
 	return core.RunFaultImpact(ctx, opts)
+}
+
+// --- Sweep engine: content-addressed cache & resumable manifests ---
+
+// CellCache caches completed study cells keyed by their full config; set
+// StudyOptions.Cache to one to make repeated studies warm. The contract:
+// a cached replay exports byte-identically to recomputation.
+type CellCache = core.CellCache
+
+// SweepCache is the content-addressed disk implementation of CellCache:
+// one checksummed file per cell under <dir>/cells, addressed by the
+// SHA-256 of the cell's canonical config plus a code-version salt.
+// Corrupt entries are detected, logged and recomputed, never served.
+type SweepCache = sweep.Cache
+
+// SweepCacheStats snapshots a cache's hit/miss/corruption counters.
+type SweepCacheStats = sweep.CacheStats
+
+// OpenSweepCache opens (creating if needed) a cell cache rooted at dir.
+// An empty salt selects SweepSalt.
+func OpenSweepCache(dir, salt string) (*SweepCache, error) { return sweep.OpenCache(dir, salt) }
+
+// SweepSalt is the current code-version salt; cells cached under another
+// salt miss and are recomputed.
+const SweepSalt = sweep.DefaultSalt
+
+// SweepOptions configures RunSweep: the methods × browsers × fault-
+// profiles matrix, the cache directory, and resume behaviour.
+type SweepOptions = sweep.Options
+
+// SweepResult is a completed sweep (one study per fault profile, the
+// manifest, and warm/cold counters) with WriteCSV and Report exports.
+type SweepResult = sweep.Result
+
+// SweepStats summarizes a sweep (computed vs cached cells, resume count,
+// wall time).
+type SweepStats = sweep.Stats
+
+// RunSweep crosses methods × browser profiles × fault profiles into a
+// single manifest-driven run on the deterministic scheduler. Every
+// completed cell is persisted in the content-addressed cache and recorded
+// in the manifest, so a killed sweep resumed with SweepOptions.Resume
+// finishes only the missing cells — and still exports byte-identically to
+// an uninterrupted run.
+func RunSweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
+	return sweep.Run(ctx, opts)
 }
 
 // --- Observability ---

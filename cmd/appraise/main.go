@@ -16,6 +16,9 @@
 //	appraise -progress           # structured per-cell progress on stderr
 //	appraise -faults lossy1pct   # appraise under a network-impairment profile
 //	appraise -faultimpact        # Δd degradation study across fault profiles
+//	appraise -cache-dir d ...    # content-addressed cell cache: warm reruns replay from disk
+//	appraise -sweep -cache-dir d # methods x browsers x fault profiles, manifest-driven
+//	appraise -sweep -resume ...  # finish a killed sweep from its manifest
 //
 // All progress and statistics lines go to stderr; stdout carries only the
 // regenerated artifacts, so reports can be piped or redirected cleanly.
@@ -52,6 +55,10 @@ var (
 // (-faults flag; FaultClean keeps the paper's pristine wire).
 var faultProfile bm.FaultProfile
 
+// studyCache, when non-nil (-cache-dir), replays unchanged study cells
+// from the content-addressed disk cache instead of recomputing them.
+var studyCache *bm.SweepCache
+
 // runStudy executes the full matrix with progress on stderr. Everything
 // it prints goes to stderr — stdout is reserved for artifacts — and any
 // partial carriage-return counter line is terminated before returning,
@@ -70,6 +77,9 @@ func runStudy(runs int) (*bm.Study, error) {
 	if faultProfile.Enabled() {
 		fmt.Fprintf(os.Stderr, "fault profile: %s\n", faultProfile)
 	}
+	if studyCache != nil {
+		opts.Cache = studyCache
+	}
 	partialLine := false // an unterminated \r counter line is on stderr
 	if progressMode {
 		// Structured per-cell lines: one complete line per cell, safe to
@@ -81,6 +91,8 @@ func runStudy(runs int) (*bm.Study, error) {
 				status = "skip"
 			case cs.Err != nil:
 				status = "fail"
+			case cs.Cached:
+				status = "hit"
 			}
 			fmt.Fprintf(os.Stderr, "cell %3d/%d %-4s method=%q browser=%q wall=%v\n",
 				cs.Done, cs.Total, status, cs.Method.String(), cs.Profile.Label(), cs.Wall.Round(10*time.Microsecond))
@@ -104,9 +116,81 @@ func runStudy(runs int) (*bm.Study, error) {
 		return nil, err
 	}
 	s := study.Stats
-	fmt.Fprintf(os.Stderr, "matrix done in %v (%d workers, %d cells, %d skipped)\n",
-		s.Wall.Round(time.Millisecond), s.Workers, s.CellsFinished, s.CellsSkipped)
+	fmt.Fprintf(os.Stderr, "matrix done in %v (%d workers, %d cells, %d skipped, %d cached)\n",
+		s.Wall.Round(time.Millisecond), s.Workers, s.CellsFinished, s.CellsSkipped, s.CellsCached)
 	return study, nil
+}
+
+// runSweep executes the -sweep mode: methods x browser profiles x fault
+// profiles as one manifest-driven run against the content-addressed
+// cache, with warm/cold accounting on stderr and the summary table (plus
+// optional full CSV) as the stdout artifact.
+func runSweep(runs int, cacheDir string, resume bool, sweepFaults []bm.FaultProfile, csvPath string) error {
+	opts := bm.SweepOptions{
+		Faults:   sweepFaults,
+		Runs:     runs,
+		BaseSeed: baseSeed,
+		Workers:  workers,
+		Dir:      cacheDir,
+		Resume:   resume,
+		Log:      func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	}
+	nFaults := len(sweepFaults)
+	if nFaults == 0 {
+		nFaults = len(bm.FaultProfiles())
+	}
+	fmt.Fprintf(os.Stderr, "sweeping %d methods x %d combos x %d fault profiles (%d runs/cell, cache %s)...\n",
+		len(bm.ComparedMethods()), len(bm.Profiles()), nFaults, runs, cacheDir)
+	done := 0
+	partialLine := false
+	if progressMode {
+		opts.OnCell = func(fp bm.FaultProfile, cs bm.CellStatus) {
+			status := "ok"
+			switch {
+			case cs.Skipped:
+				status = "skip"
+			case cs.Err != nil:
+				status = "fail"
+			case cs.Cached:
+				status = "hit"
+			}
+			done++
+			fmt.Fprintf(os.Stderr, "cell %4d %-4s faults=%q method=%q browser=%q wall=%v\n",
+				done, status, fp.String(), cs.Method.String(), cs.Profile.Label(), cs.Wall.Round(10*time.Microsecond))
+		}
+	} else {
+		opts.OnCell = func(fp bm.FaultProfile, cs bm.CellStatus) {
+			done++
+			fmt.Fprintf(os.Stderr, "\r  %d cells (%s)", done, fp)
+			partialLine = true
+		}
+	}
+	res, err := bm.RunSweep(context.Background(), opts)
+	if partialLine {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Fprintf(os.Stderr, "sweep done in %v: %d cells (%d computed, %d cached, %d skipped; %d resumed from manifest, %d corrupt entries recomputed)\n",
+		st.Wall.Round(time.Millisecond), st.Cells, st.Computed, st.CachedHits, st.Skipped, st.Resumed, st.Corrupt)
+	fmt.Println(res.Report())
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote sweep samples to %s\n", csvPath)
+	}
+	return nil
 }
 
 func main() {
@@ -127,8 +211,11 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write a metrics snapshot to this file (.json extension = JSON, otherwise text)")
 		cellstats   = flag.Bool("cellstats", false, "print the slowest study cells by host wall time")
 		progressFl  = flag.Bool("progress", false, "structured per-cell progress lines on stderr (instead of the counter)")
-		faultsFl    = flag.String("faults", "", "network-impairment profile for every study cell (clean, lossy1pct, burstywifi, congested)")
+		faultsFl    = flag.String("faults", "", "network-impairment profile for every study cell (clean, lossy1pct, burstywifi, congested); with -sweep, a comma-separated list")
 		faultimpact = flag.Bool("faultimpact", false, "Δd degradation study: every method under every fault profile")
+		cacheDirFl  = flag.String("cache-dir", "", "content-addressed cell cache directory (unchanged cells replay from disk byte-identically)")
+		sweepFl     = flag.Bool("sweep", false, "run methods x browsers x fault profiles as one manifest-driven sweep (requires -cache-dir)")
+		resumeFl    = flag.Bool("resume", false, "with -sweep: resume a killed sweep from its manifest instead of starting fresh")
 	)
 	flag.Parse()
 	baseSeed = *seed
@@ -138,11 +225,45 @@ func main() {
 		metricsReg = bm.NewMetrics()
 	}
 	progressMode = *progressFl
+
+	if *sweepFl {
+		// Sweep mode: -faults may list several profiles, comma-separated
+		// (empty = every built-in profile).
+		if *cacheDirFl == "" {
+			fmt.Fprintln(os.Stderr, "appraise: -sweep requires -cache-dir")
+			os.Exit(2)
+		}
+		var sweepFaults []bm.FaultProfile
+		if *faultsFl != "" {
+			for _, name := range strings.Split(*faultsFl, ",") {
+				fp, err := bm.ParseFaultProfile(name)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "appraise:", err)
+					os.Exit(2)
+				}
+				sweepFaults = append(sweepFaults, fp)
+			}
+		}
+		if err := runSweep(*runs, *cacheDirFl, *resumeFl, sweepFaults, *csvPath); err != nil {
+			fmt.Fprintln(os.Stderr, "appraise:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var err error
 	faultProfile, err = bm.ParseFaultProfile(*faultsFl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "appraise:", err)
 		os.Exit(2)
+	}
+	if *cacheDirFl != "" {
+		studyCache, err = bm.OpenSweepCache(*cacheDirFl, "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "appraise:", err)
+			os.Exit(2)
+		}
+		studyCache.SetLog(func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) })
 	}
 
 	if !*all && *table == 0 && *fig == 0 && !*recommend && !*attribution && !*impact && *csvPath == "" && *mdPath == "" &&

@@ -278,6 +278,12 @@ type Profile struct {
 	flashPostPolicy ConnPolicy
 }
 
+// Load returns the background system-load factor the profile models
+// (0 = the paper's idle testbed). It is part of a cell's measurement
+// identity: cache keys must include it so a WithLoad variant never
+// collides with its idle base profile.
+func (p *Profile) Load() float64 { return p.load }
+
 // WithLoad returns a copy of the profile running under the given
 // background load factor (clamped to [0, 1]).
 func (p *Profile) WithLoad(load float64) *Profile {

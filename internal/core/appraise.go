@@ -56,6 +56,12 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// Normalize applies the same defaults RunContext applies before executing
+// (Runs, Gap). Cache implementations key and reconstruct configs from the
+// normalized form so a zero field and its explicit paper-default value
+// name the same cell.
+func (c *Config) Normalize() { c.fillDefaults() }
+
 // Sample is one round of one run: the browser-reported RTT, the wire RTT
 // from the capture, and their difference (the delay overhead).
 type Sample struct {

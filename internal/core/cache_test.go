@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memCache is an in-memory CellCache for exercising the scheduler's cache
+// wiring without the disk implementation (which lives in internal/sweep
+// and has its own tests).
+type memCache struct {
+	mu       sync.Mutex
+	m        map[string]*Experiment
+	loads    int
+	stores   int
+	storeErr error
+}
+
+func newMemCache() *memCache { return &memCache{m: map[string]*Experiment{}} }
+
+func (c *memCache) key(cfg Config) string {
+	return fmt.Sprintf("%v|%s|%v|%d|%d", cfg.Method, cfg.Profile.Label(), cfg.Timing, cfg.Runs, cfg.Testbed.Seed)
+}
+
+func (c *memCache) Load(cfg Config) (*Experiment, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.loads++
+	exp, ok := c.m[c.key(cfg)]
+	return exp, ok
+}
+
+func (c *memCache) Store(cfg Config, exp *Experiment) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.storeErr != nil {
+		return c.storeErr
+	}
+	c.stores++
+	c.m[c.key(cfg)] = exp
+	return nil
+}
+
+// TestStudyCacheWiring: with a cache installed, the first study populates
+// it, the second study short-circuits every non-skipped cell through it,
+// both export byte-identically, and the Cached flags/counters line up.
+func TestStudyCacheWiring(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	mc := newMemCache()
+	opts := StudyOptions{Runs: 2, Gap: time.Second, BaseSeed: 7, Workers: 4, Cache: mc}
+
+	st1, err := RunStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := st1.Stats.CellsFinished - st1.Stats.CellsSkipped
+	if st1.Stats.CellsCached != 0 {
+		t.Errorf("first run CellsCached = %d, want 0", st1.Stats.CellsCached)
+	}
+	if mc.stores != executed {
+		t.Errorf("first run stored %d cells, want %d", mc.stores, executed)
+	}
+	want := exportBytes(t, st1)
+
+	var cachedSeen int
+	opts.OnCellDone = func(cs CellStatus) {
+		if cs.Cached {
+			cachedSeen++
+		}
+	}
+	st2, err := RunStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Stats.CellsCached != executed {
+		t.Errorf("second run CellsCached = %d, want %d", st2.Stats.CellsCached, executed)
+	}
+	if cachedSeen != executed {
+		t.Errorf("OnCellDone saw %d cached cells, want %d", cachedSeen, executed)
+	}
+	for i := range st2.Cells {
+		c := &st2.Cells[i]
+		if c.Skipped {
+			if c.Cached {
+				t.Errorf("cell %d: skipped cell marked cached", i)
+			}
+			continue
+		}
+		if !c.Cached {
+			t.Errorf("cell %d: executed on a warm cache, want cached", i)
+		}
+	}
+	if got := exportBytes(t, st2); !bytes.Equal(got, want) {
+		t.Errorf("cached study exports differ from computed study (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestStudyCacheStoreErrorAborts: a failing Store must abort the study —
+// a resumable sweep that silently dropped cells would resume incomplete.
+func TestStudyCacheStoreErrorAborts(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	sentinel := errors.New("disk full")
+	mc := newMemCache()
+	mc.storeErr = sentinel
+	_, err := RunStudy(StudyOptions{Runs: 1, Gap: time.Second, Workers: 2, Cache: mc})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the store failure", err)
+	}
+	if !strings.Contains(err.Error(), "cache store") {
+		t.Errorf("err = %q, want it to name the cache store path", err)
+	}
+}
+
+// TestStudyCacheConfigStripped: the config handed to Store must not carry
+// the per-cell Tracer/Metrics — cached entries are keyed and reconstructed
+// from the measurement-relevant config alone.
+func TestStudyCacheConfigStripped(t *testing.T) {
+	checkNoGoroutineLeak(t)
+	var mu sync.Mutex
+	var seen []Config
+	mc := newMemCache()
+	stored := &storeSpy{inner: mc, onStore: func(cfg Config) {
+		mu.Lock()
+		seen = append(seen, cfg)
+		mu.Unlock()
+	}}
+	opts := StudyOptions{Runs: 1, Gap: time.Second, Workers: 2, Cache: stored, Tracing: true, Metrics: nil}
+	if _, err := RunStudy(opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("Store never called")
+	}
+	for _, cfg := range seen {
+		if cfg.Tracer != nil || cfg.Metrics != nil {
+			t.Fatalf("Store received a config with observability attached")
+		}
+	}
+}
+
+type storeSpy struct {
+	inner   CellCache
+	onStore func(Config)
+}
+
+func (s *storeSpy) Load(cfg Config) (*Experiment, bool) { return s.inner.Load(cfg) }
+func (s *storeSpy) Store(cfg Config, exp *Experiment) error {
+	s.onStore(cfg)
+	return s.inner.Store(cfg, exp)
+}

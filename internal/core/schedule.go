@@ -130,6 +130,9 @@ func RunStudyContext(ctx context.Context, opts StudyOptions) (*Study, error) {
 				if cell.Skipped {
 					st.Stats.CellsSkipped++
 				}
+				if cell.Cached {
+					st.Stats.CellsCached++
+				}
 				if err != nil {
 					st.Stats.CellsFailed++
 					if idx < firstErrIdx {
@@ -142,6 +145,7 @@ func RunStudyContext(ctx context.Context, opts StudyOptions) (*Study, error) {
 						Method:  opts.Methods[mi],
 						Profile: opts.Profiles[pi],
 						Skipped: cell.Skipped,
+						Cached:  cell.Cached,
 						Err:     err,
 						Wall:    wall,
 						Done:    st.Stats.CellsFinished,
@@ -190,6 +194,7 @@ func mergeStudyMetrics(st *Study, m *obs.Metrics) {
 	m.Add("study_cells_finished", int64(st.Stats.CellsFinished))
 	m.Add("study_cells_skipped", int64(st.Stats.CellsSkipped))
 	m.Add("study_cells_failed", int64(st.Stats.CellsFailed))
+	m.Add("study_cells_cached", int64(st.Stats.CellsCached))
 	m.Set("study_workers", float64(st.Stats.Workers))
 	m.Set("study_wall_ms", float64(st.Stats.Wall)/float64(time.Millisecond))
 }
@@ -213,6 +218,17 @@ func runCell(ctx context.Context, opts *StudyOptions, mi, pi int) (Cell, error) 
 		Testbed: opts.Testbed,
 	}
 	cfg.Testbed.Seed = CellSeed(opts.BaseSeed, mi, pi)
+	// The cache is consulted before the tracer/registry are attached:
+	// a hit replays the experiment without observability (the key does
+	// not — and must not — depend on Tracer/Metrics, which cannot change
+	// any simulated outcome).
+	if opts.Cache != nil {
+		if exp, ok := opts.Cache.Load(cfg); ok {
+			cell.Exp = exp
+			cell.Cached = true
+			return cell, nil
+		}
+	}
 	// Each cell gets its own tracer/registry (a Tracer is single-
 	// goroutine); the scheduler merges registries in matrix order after
 	// the workers drain.
@@ -232,5 +248,15 @@ func runCell(ctx context.Context, opts *StudyOptions, mi, pi int) (Cell, error) 
 		return cell, fmt.Errorf("core: cell %s / %s: %w", spec.Name, prof.Label(), err)
 	}
 	cell.Exp = exp
+	if opts.Cache != nil {
+		// Persist with the observability fields stripped so the stored
+		// entry is keyed and reconstructed from the measurement-relevant
+		// config alone.
+		stored := cfg
+		stored.Tracer, stored.Metrics = nil, nil
+		if serr := opts.Cache.Store(stored, exp); serr != nil {
+			return cell, fmt.Errorf("core: cell %s / %s: cache store: %w", spec.Name, prof.Label(), serr)
+		}
+	}
 	return cell, nil
 }

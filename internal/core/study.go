@@ -51,6 +51,27 @@ type StudyOptions struct {
 	// the scheduler's own counters (study_cells_*, study_cell_wall_ms).
 	// Cells are merged in matrix order regardless of completion order.
 	Metrics *obs.Metrics
+	// Cache, when non-nil, short-circuits cells whose full configuration
+	// (method, profile, timing, runs, seed, testbed knobs, fault profile)
+	// has a cached result, and persists freshly computed cells. The
+	// determinism contract extends through it: a cached replay exports
+	// byte-identically to recomputation. Cached cells carry no Trace or
+	// Metrics — caching trades the observability stream for wall time.
+	Cache CellCache
+}
+
+// CellCache caches completed cell experiments, keyed by the cell's full
+// configuration. The content-addressed disk implementation lives in
+// internal/sweep. Load and Store are called concurrently from study
+// workers and must be safe for that.
+type CellCache interface {
+	// Load returns the cached experiment for cfg, or ok=false. Unreadable
+	// or corrupt entries must be reported as misses (never errors): the
+	// scheduler recomputes on a miss, which is always sound.
+	Load(cfg Config) (exp *Experiment, ok bool)
+	// Store persists a completed cell. A Store error aborts the study —
+	// silently dropping a cell from a resumable sweep would be worse.
+	Store(cfg Config, exp *Experiment) error
 }
 
 // CellStatus describes one completed cell for progress reporting.
@@ -60,6 +81,8 @@ type CellStatus struct {
 	Method  methods.Kind
 	Profile *browser.Profile
 	Skipped bool
+	// Cached reports the cell was served from StudyOptions.Cache.
+	Cached bool
 	// Err is the cell's failure, nil for completed and skipped cells.
 	Err error
 	// Wall is host (not virtual) time spent executing the cell.
@@ -79,6 +102,9 @@ type StudyStats struct {
 	CellsFinished int
 	CellsSkipped  int
 	CellsFailed   int
+	// CellsCached counts cells served from StudyOptions.Cache instead of
+	// being recomputed (a subset of CellsFinished).
+	CellsCached int
 	// Wall is total host wall time; CellWall is per-cell host wall time
 	// indexed like Study.Cells (zero for cells never started).
 	Wall     time.Duration
@@ -94,6 +120,10 @@ type Cell struct {
 	// WebSocket on IE 9) — such cells are absent from the paper's figures
 	// rather than failures.
 	Skipped bool
+	// Cached is set when the cell was replayed from StudyOptions.Cache;
+	// its Exp is then byte-equivalent to a recomputation but carries no
+	// Trace or Metrics.
+	Cached bool
 	// Trace holds the cell's span tracer when StudyOptions.Tracing was
 	// set (nil otherwise, and for skipped cells).
 	Trace *obs.Tracer

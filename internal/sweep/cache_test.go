@@ -1,0 +1,258 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/core"
+	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/testbed"
+)
+
+func cellConfig(seed int64) core.Config {
+	return core.Config{
+		Method:  methods.XHRGet,
+		Profile: browser.Lookup(browser.Chrome, browser.Windows),
+		Runs:    2,
+		Gap:     time.Second,
+		Testbed: testbed.Config{Seed: seed},
+	}
+}
+
+// syncLog collects log lines; Cache may log from concurrent workers.
+type syncLog struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *syncLog) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(&l.b, format+"\n", args...)
+}
+
+func (l *syncLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestCacheStoreLoadRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cellConfig(42)
+	exp, err := core.RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(cfg, exp); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Load(cfg)
+	if !ok {
+		t.Fatal("Load after Store missed")
+	}
+	if !reflect.DeepEqual(got.Samples, exp.Samples) {
+		t.Errorf("replayed samples differ from stored samples")
+	}
+	// The replayed config is the normalized one RunContext would have used.
+	if got.Config.Runs != 2 || got.Config.Gap != time.Second {
+		t.Errorf("replayed config not normalized: Runs=%d Gap=%v", got.Config.Runs, got.Config.Gap)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 0 || s.Corrupt != 0 || s.Stores != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 0 misses, 0 corrupt, 1 store", s)
+	}
+}
+
+func TestCacheMissOnAbsentEntry(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(cellConfig(7)); ok {
+		t.Fatal("Load on empty cache hit")
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Errorf("stats = %+v, want 1 miss", s)
+	}
+}
+
+// TestCacheCorruptionDetected is the byte-flip robustness test: a single
+// flipped bit anywhere in a cached cell file must be detected by the
+// trailing checksum, logged, counted, and reported as a miss (so the
+// scheduler recomputes), and the poisoned file must be removed.
+func TestCacheCorruptionDetected(t *testing.T) {
+	cfg := cellConfig(42)
+	exp, err := core.RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte at several structurally distinct offsets: inside a
+	// sample line, inside the key line, and inside the checksum itself.
+	for _, pick := range []struct {
+		name string
+		at   func(n int) int
+	}{
+		{"mid-file", func(n int) int { return n / 2 }},
+		{"key-line", func(n int) int { return len(cellMagic) + 1 + 8 }},
+		{"checksum", func(n int) int { return n - 2 }},
+	} {
+		t.Run(pick.name, func(t *testing.T) {
+			c, err := OpenCache(t.TempDir(), "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			lg := &syncLog{}
+			c.SetLog(lg.logf)
+			if err := c.Store(cfg, exp); err != nil {
+				t.Fatal(err)
+			}
+			path := c.cellPath(c.Key(cfg).Hash())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := pick.at(len(data))
+			data[i] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, ok := c.Load(cfg); ok {
+				t.Fatal("Load served a corrupt entry as a hit")
+			}
+			if s := c.Stats(); s.Corrupt != 1 || s.Misses != 1 {
+				t.Errorf("stats = %+v, want corrupt=1 miss=1", s)
+			}
+			if log := lg.String(); log == "" {
+				t.Errorf("corruption was not logged")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt entry was not removed (stat err = %v)", err)
+			}
+
+			// Recompute-and-restore yields a working entry again.
+			if err := c.Store(cfg, exp); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := c.Load(cfg)
+			if !ok || !reflect.DeepEqual(got.Samples, exp.Samples) {
+				t.Fatal("cache did not recover after recompute + store")
+			}
+		})
+	}
+}
+
+// TestCacheTruncationDetected: a torn write (file cut mid-entry) fails the
+// checksum the same way a flip does.
+func TestCacheTruncationDetected(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cellConfig(42)
+	exp, err := core.RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(cfg, exp); err != nil {
+		t.Fatal(err)
+	}
+	path := c.cellPath(c.Key(cfg).Hash())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(cfg); ok {
+		t.Fatal("Load served a truncated entry as a hit")
+	}
+	if s := c.Stats(); s.Corrupt != 1 {
+		t.Errorf("stats = %+v, want corrupt=1", s)
+	}
+}
+
+// TestCacheKeyMismatchRejected: a well-formed cell file sitting at the
+// wrong address (e.g. a botched manual copy) is rejected — the stored key
+// must match the address it was loaded from.
+func TestCacheKeyMismatchRejected(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA, cfgB := cellConfig(1), cellConfig(2)
+	exp, err := core.RunContext(context.Background(), cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(cfgA, exp); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.cellPath(c.Key(cfgA).Hash()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant A's (internally consistent) file at B's address.
+	if err := os.WriteFile(c.cellPath(c.Key(cfgB).Hash()), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(cfgB); ok {
+		t.Fatal("Load served a mis-addressed entry")
+	}
+	if s := c.Stats(); s.Corrupt != 1 {
+		t.Errorf("stats = %+v, want corrupt=1", s)
+	}
+}
+
+func TestOpenCacheRequiresDir(t *testing.T) {
+	if _, err := OpenCache("", ""); err == nil {
+		t.Fatal("OpenCache(\"\") succeeded, want error")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cellConfig(42)
+	exp, err := core.RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := c.Store(cfg, exp); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := c.Load(cfg); ok && !reflect.DeepEqual(got.Samples, exp.Samples) {
+					t.Error("concurrent Load returned wrong samples")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, err := os.Stat(filepath.Join(c.Dir(), "cells")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/core"
+)
+
+// Cell file format v1 — a deterministic, self-checking text encoding of
+// one cell's samples:
+//
+//	bmcell v1
+//	key <64 hex>
+//	n <sample count>
+//	s <run> <round> <browser_ns> <wire_ns> <handshake 0|1>   (n lines)
+//	sum <64 hex>                                             (SHA-256 of everything above)
+//
+// Overhead is not stored: it is rederived as BrowserRTT − WireRTT, the
+// exact integer arithmetic RunContext performs, so the file cannot even
+// express an inconsistent triple. The trailing checksum covers every
+// preceding byte; a flipped bit or truncation anywhere fails decodeCell,
+// which the cache treats as a miss (detect, log, recompute).
+
+const cellMagic = "bmcell v1"
+
+// encodeCell renders samples under their content-address key.
+func encodeCell(key string, samples []core.Sample) []byte {
+	var b bytes.Buffer
+	b.WriteString(cellMagic)
+	b.WriteByte('\n')
+	b.WriteString("key ")
+	b.WriteString(key)
+	b.WriteByte('\n')
+	b.WriteString("n ")
+	b.WriteString(strconv.Itoa(len(samples)))
+	b.WriteByte('\n')
+	for _, s := range samples {
+		h := byte('0')
+		if s.Handshake {
+			h = '1'
+		}
+		fmt.Fprintf(&b, "s %d %d %d %d %c\n", s.Run, s.Round, int64(s.BrowserRTT), int64(s.WireRTT), h)
+	}
+	sum := sha256.Sum256(b.Bytes())
+	b.WriteString("sum ")
+	b.WriteString(hex.EncodeToString(sum[:]))
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+// decodeCell parses and verifies a cell file, returning the stored key
+// and samples. Any framing violation, count mismatch, malformed field, or
+// checksum failure is an error; the function never panics on arbitrary
+// input (FuzzCellDecode enforces this).
+func decodeCell(data []byte) (key string, samples []core.Sample, err error) {
+	// Split off the trailing "sum <hex>\n" line and verify it first: the
+	// checksum covers everything, so nothing else need be trusted before.
+	trimmed := data
+	if len(trimmed) == 0 || trimmed[len(trimmed)-1] != '\n' {
+		return "", nil, fmt.Errorf("sweep: cell file: missing trailing newline")
+	}
+	trimmed = trimmed[:len(trimmed)-1]
+	nl := bytes.LastIndexByte(trimmed, '\n')
+	sumLine := trimmed[nl+1:] // nl == -1 leaves the whole (single) line
+	body := data[:nl+1]
+	if nl < 0 {
+		return "", nil, fmt.Errorf("sweep: cell file: no body before checksum")
+	}
+	sumHex, ok := bytes.CutPrefix(sumLine, []byte("sum "))
+	if !ok {
+		return "", nil, fmt.Errorf("sweep: cell file: last line is not a checksum")
+	}
+	want, err := hex.DecodeString(string(sumHex))
+	if err != nil || len(want) != sha256.Size {
+		return "", nil, fmt.Errorf("sweep: cell file: malformed checksum")
+	}
+	got := sha256.Sum256(body)
+	if !bytes.Equal(got[:], want) {
+		return "", nil, fmt.Errorf("sweep: cell file: checksum mismatch (corrupt entry)")
+	}
+
+	lines := bytes.Split(bytes.TrimSuffix(body, []byte("\n")), []byte("\n"))
+	if len(lines) < 3 || string(lines[0]) != cellMagic {
+		return "", nil, fmt.Errorf("sweep: cell file: bad header")
+	}
+	keyHex, ok := bytes.CutPrefix(lines[1], []byte("key "))
+	if !ok || len(keyHex) != 64 || !isLowerHex(keyHex) {
+		return "", nil, fmt.Errorf("sweep: cell file: bad key line")
+	}
+	nStr, ok := bytes.CutPrefix(lines[2], []byte("n "))
+	if !ok {
+		return "", nil, fmt.Errorf("sweep: cell file: bad count line")
+	}
+	n, err := strconv.Atoi(string(nStr))
+	if err != nil || n < 0 || n != len(lines)-3 {
+		return "", nil, fmt.Errorf("sweep: cell file: sample count %q does not match %d lines", nStr, len(lines)-3)
+	}
+
+	samples = make([]core.Sample, 0, n)
+	for _, ln := range lines[3:] {
+		f := bytes.Split(ln, []byte(" "))
+		if len(f) != 6 || string(f[0]) != "s" {
+			return "", nil, fmt.Errorf("sweep: cell file: bad sample line %q", ln)
+		}
+		run, err1 := strconv.Atoi(string(f[1]))
+		round, err2 := strconv.Atoi(string(f[2]))
+		browserNs, err3 := strconv.ParseInt(string(f[3]), 10, 64)
+		wireNs, err4 := strconv.ParseInt(string(f[4]), 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || run < 0 || round < 1 {
+			return "", nil, fmt.Errorf("sweep: cell file: bad sample fields %q", ln)
+		}
+		var handshake bool
+		switch string(f[5]) {
+		case "0":
+		case "1":
+			handshake = true
+		default:
+			return "", nil, fmt.Errorf("sweep: cell file: bad handshake flag %q", ln)
+		}
+		samples = append(samples, core.Sample{
+			Run:        run,
+			Round:      round,
+			BrowserRTT: durNs(browserNs),
+			WireRTT:    durNs(wireNs),
+			Overhead:   durNs(browserNs - wireNs),
+			Handshake:  handshake,
+		})
+	}
+	return string(keyHex), samples, nil
+}
+
+func durNs(ns int64) time.Duration { return time.Duration(ns) }
+
+func isLowerHex(b []byte) bool {
+	for _, c := range b {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

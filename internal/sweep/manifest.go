@@ -1,0 +1,244 @@
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The manifest is an append-only JSONL file: a header line identifying
+// the sweep configuration, then one line per completed (non-skipped)
+// cell, each carrying its own truncated-SHA-256 self-check. Lines are
+// appended with a single O_APPEND write as each cell finishes, so a
+// killed sweep leaves at worst one torn final line — which the self-check
+// rejects on resume, costing one recomputed cell instead of a corrupt
+// sweep.
+
+// manifestVersion is bumped with any incompatible format change.
+const manifestVersion = 1
+
+// ManifestEntry records one completed cell.
+type ManifestEntry struct {
+	// Faults, Method, Profile identify the cell for humans; Key is the
+	// authoritative content address (the cache file name).
+	Faults  string `json:"faults"`
+	Method  string `json:"method"`
+	Profile string `json:"profile"`
+	Key     string `json:"key"`
+	// Cached reports the cell was already warm when this sweep first
+	// completed it.
+	Cached bool `json:"cached"`
+	// Sum is the first 16 hex digits of the SHA-256 over the other
+	// fields; a line whose Sum does not verify is dropped on parse.
+	Sum string `json:"sum"`
+}
+
+func (e *ManifestEntry) sum() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%s|%t", e.Faults, e.Method, e.Profile, e.Key, e.Cached)))
+	return hex.EncodeToString(h[:8])
+}
+
+type manifestHeader struct {
+	V     int    `json:"v"`
+	Sweep string `json:"sweep"`
+	Sum   string `json:"sum"`
+}
+
+func (h *manifestHeader) sum() string {
+	s := sha256.Sum256([]byte(fmt.Sprintf("%d|%s", h.V, h.Sweep)))
+	return hex.EncodeToString(s[:8])
+}
+
+// Manifest tracks which cells of a sweep have completed, durably.
+// Append is safe for concurrent use by study workers.
+type Manifest struct {
+	path    string
+	sweepID string
+
+	mu      sync.Mutex
+	f       *os.File
+	done    map[string]bool
+	entries []ManifestEntry
+	dropped int
+}
+
+// CreateManifest starts a fresh manifest at path for the given sweep
+// identity, truncating any previous one.
+func CreateManifest(path, sweepID string) (*Manifest, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: create manifest: %w", err)
+	}
+	h := manifestHeader{V: manifestVersion, Sweep: sweepID}
+	h.Sum = h.sum()
+	line, err := json.Marshal(h)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: create manifest: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: create manifest: %w", err)
+	}
+	return &Manifest{path: path, sweepID: sweepID, f: f, done: map[string]bool{}}, nil
+}
+
+// ResumeManifest reopens an existing manifest, tolerating a torn or
+// corrupted tail (such lines are dropped and their cells recomputed). A
+// missing file starts fresh. A manifest written by a sweep with a
+// different configuration is an error: resuming it would silently change
+// what the sweep measures.
+func ResumeManifest(path, sweepID string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return CreateManifest(path, sweepID)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: resume manifest: %w", err)
+	}
+	gotID, entries, dropped, perr := ParseManifest(data)
+	if perr != nil {
+		return nil, fmt.Errorf("sweep: resume manifest: %w", perr)
+	}
+	if gotID != sweepID {
+		return nil, fmt.Errorf("sweep: manifest %s belongs to a different sweep configuration (%s != %s); rerun without -resume or point -cache-dir elsewhere",
+			path, short(gotID), short(sweepID))
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: resume manifest: %w", err)
+	}
+	// A SIGKILLed sweep can leave a torn final line with no newline;
+	// terminate it now so the next Append starts a fresh line instead of
+	// concatenating onto the fragment (which would corrupt both).
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		if _, werr := f.Write([]byte("\n")); werr != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: resume manifest: %w", werr)
+		}
+	}
+	m := &Manifest{path: path, sweepID: sweepID, f: f, done: map[string]bool{}, entries: entries, dropped: dropped}
+	for _, e := range entries {
+		m.done[e.Key] = true
+	}
+	return m, nil
+}
+
+func short(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+// ParseManifest decodes manifest bytes: the header line, then entries.
+// Lines that fail to parse or self-check are counted in dropped and
+// skipped (a torn tail after SIGKILL is the expected case); duplicate
+// keys keep the first occurrence. Only a missing or invalid header is an
+// error — without a trustworthy sweep identity nothing can be resumed.
+func ParseManifest(data []byte) (sweepID string, entries []ManifestEntry, dropped int, err error) {
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) == 0 {
+		return "", nil, 0, fmt.Errorf("sweep: manifest: empty")
+	}
+	var h manifestHeader
+	if jerr := json.Unmarshal(lines[0], &h); jerr != nil {
+		return "", nil, 0, fmt.Errorf("sweep: manifest: bad header: %w", jerr)
+	}
+	if h.V != manifestVersion {
+		return "", nil, 0, fmt.Errorf("sweep: manifest: unsupported version %d", h.V)
+	}
+	if h.Sum != h.sum() {
+		return "", nil, 0, fmt.Errorf("sweep: manifest: header checksum mismatch")
+	}
+	seen := map[string]bool{}
+	for _, ln := range lines[1:] {
+		if len(ln) == 0 {
+			continue
+		}
+		var e ManifestEntry
+		if jerr := json.Unmarshal(ln, &e); jerr != nil {
+			dropped++
+			continue
+		}
+		if e.Sum != e.sum() || len(e.Key) != 64 || !isLowerHex([]byte(e.Key)) {
+			dropped++
+			continue
+		}
+		if seen[e.Key] {
+			continue
+		}
+		seen[e.Key] = true
+		entries = append(entries, e)
+	}
+	return h.Sweep, entries, dropped, nil
+}
+
+// Has reports whether a cell key is already recorded.
+func (m *Manifest) Has(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.done[key]
+}
+
+// Len returns the number of recorded cells.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Entries returns a copy of the recorded cells, in completion order.
+func (m *Manifest) Entries() []ManifestEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]ManifestEntry(nil), m.entries...)
+}
+
+// Dropped returns how many torn or corrupt lines the resume parse threw
+// away.
+func (m *Manifest) Dropped() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// Append durably records one completed cell: the entry (self-check
+// filled in) is written as a single appended line. Recording an
+// already-present key is a no-op, so revalidated warm cells never
+// duplicate their entries.
+func (m *Manifest) Append(e ManifestEntry) error {
+	e.Sum = e.sum()
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("sweep: manifest append: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done[e.Key] {
+		return nil
+	}
+	if _, err := m.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sweep: manifest append: %w", err)
+	}
+	m.done[e.Key] = true
+	m.entries = append(m.entries, e)
+	return nil
+}
+
+// Close releases the append handle. The manifest remains readable for
+// stats after Close.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Close()
+	m.f = nil
+	return err
+}

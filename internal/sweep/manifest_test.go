@@ -1,0 +1,233 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testEntry(i int) ManifestEntry {
+	return ManifestEntry{
+		Faults:  "clean",
+		Method:  fmt.Sprintf("method-%d", i),
+		Profile: "C (W)",
+		Key:     fmt.Sprintf("%064x", i+1),
+	}
+}
+
+// manifestBytes renders a syntactically valid manifest the way the writer
+// would, for tests and fuzz seeds.
+func manifestBytes(t testing.TB, sweepID string, entries []ManifestEntry) []byte {
+	t.Helper()
+	h := manifestHeader{V: manifestVersion, Sweep: sweepID}
+	h.Sum = h.sum()
+	line, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append(line, '\n')
+	for _, e := range entries {
+		e.Sum = e.sum()
+		el, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(append(out, el...), '\n')
+	}
+	return out
+}
+
+func TestManifestCreateAppendResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	m, err := CreateManifest(path, "sweep-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := testEntry(1), testEntry(2)
+	for _, e := range []ManifestEntry{e1, e2, e1 /* duplicate: no-op */} {
+		if err := m.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (duplicate must dedup)", m.Len())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := ResumeManifest(path, "sweep-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != 2 || m2.Dropped() != 0 {
+		t.Fatalf("resumed Len=%d Dropped=%d, want 2/0", m2.Len(), m2.Dropped())
+	}
+	if !m2.Has(e1.Key) || !m2.Has(e2.Key) {
+		t.Errorf("resumed manifest lost keys")
+	}
+	if err := m2.Append(testEntry(3)); err != nil {
+		t.Fatal(err)
+	}
+	ents := m2.Entries()
+	if len(ents) != 3 || ents[0].Key != e1.Key || ents[2].Key != testEntry(3).Key {
+		t.Errorf("entries out of completion order: %+v", ents)
+	}
+}
+
+func TestManifestResumeMissingFileStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	m, err := ResumeManifest(path, "sweep-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("fresh manifest not created: %v", err)
+	}
+}
+
+// TestManifestResumeWrongSweepRejected: a manifest written under a
+// different sweep configuration must refuse to resume — silently finishing
+// someone else's sweep would change what the output measures.
+func TestManifestResumeWrongSweepRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	m, err := CreateManifest(path, "sweep-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if _, err := ResumeManifest(path, "sweep-b"); err == nil ||
+		!strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("err = %v, want a different-sweep rejection", err)
+	}
+}
+
+// TestManifestTornTailDropped is the SIGKILL scenario: the file ends in a
+// half-written entry line. Resume must keep every complete entry, drop
+// exactly the torn one, and keep appending.
+func TestManifestTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	data := manifestBytes(t, "sweep-a", []ManifestEntry{testEntry(1), testEntry(2), testEntry(3)})
+	// Cut mid-way through the final entry line.
+	if err := os.WriteFile(path, data[:len(data)-15], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ResumeManifest(path, "sweep-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 2 || m.Dropped() != 1 {
+		t.Fatalf("Len=%d Dropped=%d, want 2 kept / 1 torn line dropped", m.Len(), m.Dropped())
+	}
+	if m.Has(testEntry(3).Key) {
+		t.Errorf("torn entry's key reported as done — its cell would never be re-recorded")
+	}
+	// The recovered cell re-appends cleanly and a further resume sees it.
+	if err := m.Append(testEntry(3)); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m2, err := ResumeManifest(path, "sweep-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != 3 {
+		t.Fatalf("after recovery Len = %d, want 3", m2.Len())
+	}
+	// The torn fragment is still in the file (append-only), still dropped.
+	if m2.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want the torn fragment still counted once", m2.Dropped())
+	}
+}
+
+// TestManifestCorruptEntryDropped: an entry whose bytes were altered fails
+// its self-check and is dropped rather than trusted.
+func TestManifestCorruptEntryDropped(t *testing.T) {
+	data := manifestBytes(t, "sweep-a", []ManifestEntry{testEntry(1), testEntry(2)})
+	// Flip the final hex digit of the second entry's key: still valid JSON
+	// and valid hex, but the self-check no longer matches.
+	i := bytes.Index(data, []byte(testEntry(2).Key))
+	if i < 0 {
+		t.Fatal("key not found in manifest bytes")
+	}
+	i += len(testEntry(2).Key) - 1
+	if data[i] == '0' {
+		data[i] = '1'
+	} else {
+		data[i] = '0'
+	}
+	id, entries, dropped, err := ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "sweep-a" || len(entries) != 1 || dropped != 1 {
+		t.Fatalf("id=%q entries=%d dropped=%d, want sweep-a/1/1", id, len(entries), dropped)
+	}
+	if entries[0].Key != testEntry(1).Key {
+		t.Errorf("wrong surviving entry: %+v", entries[0])
+	}
+}
+
+// TestManifestHeaderCorruptionFatal: the header is the sweep's identity;
+// if it cannot be trusted, nothing can be resumed.
+func TestManifestHeaderCorruptionFatal(t *testing.T) {
+	data := manifestBytes(t, "sweep-a", []ManifestEntry{testEntry(1)})
+	data[10] ^= 0x01
+	if _, _, _, err := ParseManifest(data); err == nil {
+		t.Fatal("corrupt header parsed without error")
+	}
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeManifest(path, "sweep-a"); err == nil {
+		t.Fatal("ResumeManifest accepted a corrupt header")
+	}
+}
+
+func TestManifestUnsupportedVersion(t *testing.T) {
+	h := manifestHeader{V: manifestVersion + 1, Sweep: "sweep-a"}
+	h.Sum = h.sum()
+	line, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ParseManifest(append(line, '\n')); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want an unsupported-version error", err)
+	}
+}
+
+func TestManifestEmptyAndGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, []byte("\n"), []byte("not json\n"), []byte(`{"v":1}` + "\n")} {
+		if _, _, _, err := ParseManifest(data); err == nil {
+			t.Errorf("ParseManifest(%q) succeeded, want error", data)
+		}
+	}
+}
+
+// TestManifestEntryKeyValidated: entries with malformed keys are dropped
+// even if their checksum is internally consistent (defense in depth — the
+// key becomes a file path downstream).
+func TestManifestEntryKeyValidated(t *testing.T) {
+	bad := ManifestEntry{Faults: "clean", Method: "m", Profile: "p", Key: "../../etc/passwd"}
+	data := manifestBytes(t, "sweep-a", []ManifestEntry{bad})
+	_, entries, dropped, err := ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 || dropped != 1 {
+		t.Fatalf("entries=%d dropped=%d, want the malformed key dropped", len(entries), dropped)
+	}
+}

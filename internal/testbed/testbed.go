@@ -92,6 +92,11 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// Normalize applies the paper-default values to zero fields — the same
+// mapping New applies to its own copy — so cache keys built from a
+// normalized config treat "zero" and "explicit default" as the same cell.
+func (c *Config) Normalize() { c.fillDefaults() }
+
 // Testbed is an assembled Figure 2 network.
 type Testbed struct {
 	Sim        *eventsim.Simulator
