@@ -9,12 +9,13 @@
 #   make bench-json  run committed benchmarks, write $(BENCH_JSON) trajectory
 #   make bench-diff  compare $(BENCH_OLD) vs $(BENCH_NEW), fail on allocs/op regression
 #   make fuzz-smoke  run every fuzz target briefly (native Go fuzzing)
-#   make cover       whole-repo coverage.out + enforce the faults/sweep floors
+#   make cover       whole-repo coverage.out + enforce the faults/sweep/fleet floors
 #   make sweep-smoke kill a sweep with SIGKILL, resume it, diff vs uninterrupted
+#   make fleet-load  10k-session loadgen under -race with a heap ceiling
 
 GO ?= go
 
-.PHONY: all build vet test lint race race-core race-live tier1 ci bench bench-json bench-diff fuzz-smoke cover sweep-smoke
+.PHONY: all build vet test lint race race-core race-live tier1 ci bench bench-json bench-diff fuzz-smoke cover sweep-smoke fleet-load
 
 all: tier1
 
@@ -100,10 +101,12 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzCellDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/sweep/
 
 # cover writes the whole-repo profile to coverage.out (the CI artifact)
-# and enforces the statement-coverage floors on the fault-injection layer
-# and the sweep cache (whose correctness claims rest on its tests).
+# and enforces the statement-coverage floors on the fault-injection
+# layer, the sweep cache, and the fleet aggregation plane (whose
+# correctness claims rest on their tests).
 FAULTS_COVER_MIN ?= 85
 SWEEP_COVER_MIN ?= 85
+FLEET_COVER_MIN ?= 85
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) test -coverprofile=coverage_faults.out ./internal/faults/
@@ -118,6 +121,12 @@ cover:
 	awk -v t="$$total" -v min="$(SWEEP_COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
 		{ echo "internal/sweep coverage below floor"; exit 1; }
 	@rm -f coverage_sweep.out
+	$(GO) test -coverprofile=coverage_fleet.out ./internal/fleet/
+	@total="$$($(GO) tool cover -func=coverage_fleet.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
+	echo "internal/fleet coverage: $$total% (floor $(FLEET_COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(FLEET_COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
+		{ echo "internal/fleet coverage below floor"; exit 1; }
+	@rm -f coverage_fleet.out
 
 # sweep-smoke proves the kill/resume contract end to end on the real CLI:
 # a cold sweep is SIGKILLed mid-flight (no chance to clean up), resumed
@@ -142,3 +151,15 @@ sweep-smoke:
 	cmp $(SWEEP_SMOKE_DIR)/resumed.csv $(SWEEP_SMOKE_DIR)/cold.csv
 	@echo "sweep-smoke: resumed export is byte-identical to an uninterrupted sweep"
 	@rm -rf $(SWEEP_SMOKE_DIR)
+
+# fleet-load is the CI-sized live-observability load proof: 10k concurrent
+# synthetic sessions ingested under the race detector, with loadgen's own
+# assertions (session floor, sample conservation, /metrics byte-stability)
+# plus a live-heap ceiling. The full 100k-session shape documented in
+# EXPERIMENTS.md is the same binary without -race and with the defaults.
+FLEET_SESSIONS ?= 10000
+FLEET_ROUNDS ?= 3
+FLEET_HEAP_MB ?= 192
+fleet-load:
+	$(GO) run -race ./cmd/loadgen -sessions $(FLEET_SESSIONS) -rounds $(FLEET_ROUNDS) \
+		-assert-heap-mb $(FLEET_HEAP_MB)

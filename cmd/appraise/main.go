@@ -121,6 +121,33 @@ func runStudy(runs int) (*bm.Study, error) {
 	return study, nil
 }
 
+// writeMetricsSnapshot dumps the shared registry to path (JSON when the
+// extension is .json, text otherwise); empty path is a no-op.
+func writeMetricsSnapshot(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := error(nil)
+	if strings.HasSuffix(path, ".json") {
+		werr = metricsReg.WriteJSON(f)
+	} else {
+		werr = metricsReg.WriteText(f)
+	}
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", path)
+	return nil
+}
+
 // runSweep executes the -sweep mode: methods x browser profiles x fault
 // profiles as one manifest-driven run against the content-addressed
 // cache, with warm/cold accounting on stderr and the summary table (plus
@@ -134,6 +161,7 @@ func runSweep(runs int, cacheDir string, resume bool, sweepFaults []bm.FaultProf
 		Dir:      cacheDir,
 		Resume:   resume,
 		Log:      func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		Metrics:  metricsReg,
 	}
 	nFaults := len(sweepFaults)
 	if nFaults == 0 {
@@ -245,6 +273,10 @@ func main() {
 			}
 		}
 		if err := runSweep(*runs, *cacheDirFl, *resumeFl, sweepFaults, *csvPath); err != nil {
+			fmt.Fprintln(os.Stderr, "appraise:", err)
+			os.Exit(1)
+		}
+		if err := writeMetricsSnapshot(*metricsPath); err != nil {
 			fmt.Fprintln(os.Stderr, "appraise:", err)
 			os.Exit(1)
 		}
@@ -415,25 +447,8 @@ func run(table, fig, runs int, all, recommend, ascii, attribution, impact bool, 
 		}
 		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", tracePath)
 	}
-	if metricsPath != "" {
-		f, err := os.Create(metricsPath)
-		if err != nil {
-			return err
-		}
-		werr := error(nil)
-		if strings.HasSuffix(metricsPath, ".json") {
-			werr = metricsReg.WriteJSON(f)
-		} else {
-			werr = metricsReg.WriteText(f)
-		}
-		if werr != nil {
-			f.Close()
-			return werr
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", metricsPath)
+	if err := writeMetricsSnapshot(metricsPath); err != nil {
+		return err
 	}
 	if all || impact {
 		report, err := bm.ImpactReport(bm.Firefox, bm.Windows, bm.NanoTime)

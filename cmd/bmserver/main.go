@@ -10,6 +10,7 @@
 //	bmserver -delay 50ms            # emulate the paper's testbed delay
 //	bmserver -duration 10s          # exit after a fixed time (0 = run forever)
 //	bmserver -metrics-addr :9091    # serve /metrics, /healthz, /debug/pprof/*
+//	bmserver -metrics-addr :9091 -live  # + fleet plane and /live dashboard
 //	bmserver -log-level debug       # JSON request logs on stderr
 //
 // With -metrics-addr set, /metrics exposes the Prometheus text format:
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	bm "github.com/browsermetric/browsermetric"
+	"github.com/browsermetric/browsermetric/internal/fleet"
 	"github.com/browsermetric/browsermetric/internal/obs"
 )
 
@@ -41,6 +43,8 @@ func main() {
 		delay       = flag.Duration("delay", 0, "artificial response delay")
 		duration    = flag.Duration("duration", 0, "exit after this long (0 = until interrupted)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/* on this address (empty = disabled)")
+		live        = flag.Bool("live", false, "with -metrics-addr: run the fleet aggregation plane and serve the /live streaming dashboard")
+		fanin       = flag.Duration("fanin", time.Second, "fleet fan-in period (with -live)")
 		drainWait   = flag.Duration("drain-timeout", 5*time.Second, "how long a graceful drain waits for in-flight exchanges")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
@@ -61,7 +65,15 @@ func main() {
 		reg = obs.NewMetrics()
 	}
 
-	srv, err := bm.StartServer(bm.ServerConfig{Host: *host, Delay: *delay, Metrics: reg, Logger: logger})
+	// The fleet plane aggregates self-identified probe sessions and
+	// streams per-(method, browser, region) delay aggregates on /live.
+	var fl *fleet.Registry
+	if *live && *metricsAddr != "" {
+		fl = fleet.New(fleet.Config{Metrics: reg, Interval: *fanin})
+		fl.Start()
+	}
+
+	srv, err := bm.StartServer(bm.ServerConfig{Host: *host, Delay: *delay, Metrics: reg, Logger: logger, Fleet: fl})
 	if err != nil {
 		logger.Error("start failed", "err", err)
 		os.Exit(1)
@@ -69,13 +81,17 @@ func main() {
 
 	var ops *obs.OpsServer
 	if *metricsAddr != "" {
-		ops, err = obs.StartOps(*metricsAddr, reg)
+		var extra []obs.Route
+		if fl != nil {
+			extra = append(extra, obs.Route{Pattern: "/live", Handler: fl.LiveHandler()})
+		}
+		ops, err = obs.StartOps(*metricsAddr, reg, extra...)
 		if err != nil {
 			logger.Error("metrics endpoint failed", "err", err)
 			srv.Close()
 			os.Exit(1)
 		}
-		logger.Info("metrics endpoint up", "addr", ops.Addr())
+		logger.Info("metrics endpoint up", "addr", ops.Addr(), "live", fl != nil)
 	}
 
 	a := srv.Addrs()
@@ -86,6 +102,9 @@ func main() {
 	fmt.Printf("  UDP echo    : %s\n", a.UDPEcho)
 	if ops != nil {
 		fmt.Printf("  metrics     : http://%s/metrics\n", ops.Addr())
+		if fl != nil {
+			fmt.Printf("  dashboard   : http://%s/live\n", ops.Addr())
+		}
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -111,6 +130,9 @@ func main() {
 	cancel()
 	h, w, t, u := srv.Stats()
 	fmt.Printf("served: %d http, %d ws, %d tcp, %d udp exchanges\n", h, w, t, u)
+	if fl != nil {
+		fl.Stop()
+	}
 	if ops != nil {
 		_ = ops.Close()
 	}

@@ -1,0 +1,333 @@
+// Command loadgen is the fleet-scale load proof: it drives the fleet
+// aggregation plane with very many concurrent synthetic probe sessions
+// and verifies the observability pipeline holds up — bounded heap,
+// live fan-in, a streaming dashboard that keeps delivering, and a
+// byte-stable /metrics exposition.
+//
+// Each synthetic session is one (method, browser, region) client whose
+// delay samples come from the calibrated internal/browser timestamp
+// models: a per-region base RTT plus the profile's send- and
+// receive-path cost draws, so the aggregate distributions have the
+// paper's browser-dependent shapes rather than white noise.
+//
+// Usage:
+//
+//	loadgen                        # 100k sessions, 5 samples each
+//	loadgen -sessions 10000        # scaled-down CI shape
+//	loadgen -assert-heap-mb 256    # fail if live heap exceeds the ceiling
+//	loadgen -metrics-addr :9091    # scrape /metrics, watch /live while it runs
+//
+// Exit status is non-zero when an assertion fails: the heap ceiling,
+// the concurrent-session floor, sample conservation, or /metrics
+// byte-stability.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/fleet"
+	"github.com/browsermetric/browsermetric/internal/obs"
+)
+
+// region is one synthetic client population: a base RTT and a loss
+// probability, the network-side half of each sample.
+type region struct {
+	name string
+	base float64 // ms
+	loss float64
+}
+
+var regions = []region{
+	{name: "us", base: 20, loss: 0.002},
+	{name: "eu", base: 35, loss: 0.003},
+	{name: "ap", base: 70, loss: 0.008},
+	{name: "sa", base: 95, loss: 0.012},
+}
+
+// method maps a fleet method label to the browser API whose cost model
+// shapes the client-side overhead.
+type method struct {
+	label string
+	api   browser.API
+	post  bool
+}
+
+var methods = []method{
+	{label: "http-get", api: browser.APIXHR},
+	{label: "http-post", api: browser.APIXHR, post: true},
+	{label: "websocket", api: browser.APIWebSocket},
+	{label: "tcp", api: browser.APIJavaSocket},
+	{label: "udp", api: browser.APIJavaUDP},
+}
+
+// client is one synthetic session's fixed identity. Per-session state
+// beyond this (the jitter anchor) lives inside the fleet registry — that
+// is the memory the load proof bounds.
+type client struct {
+	id      uint64
+	key     fleet.Key
+	profile *browser.Profile
+	api     browser.API
+	post    bool
+	lossP   float64
+	baseMs  float64
+}
+
+// buildClients deals sessions across the method × profile × region
+// populations. Profiles that lack an API (IE/Safari WebSocket) fall back
+// to XHR, mirroring how real tools degrade.
+func buildClients(n int) []client {
+	profiles := browser.Profiles()
+	clients := make([]client, n)
+	for i := range clients {
+		m := methods[i%len(methods)]
+		p := profiles[(i/len(methods))%len(profiles)]
+		reg := regions[(i/(len(methods)*len(profiles)))%len(regions)]
+		api := m.api
+		if !p.Supports(api) {
+			api = browser.APIXHR
+		}
+		clients[i] = client{
+			id:      uint64(i + 1),
+			key:     fleet.Key{Method: m.label, Browser: p.Label(), Region: reg.name},
+			profile: p,
+			api:     api,
+			post:    m.post,
+			lossP:   reg.loss,
+			baseMs:  reg.base,
+		}
+	}
+	return clients
+}
+
+// sample draws one probe for a client: base RTT plus the browser
+// model's send and receive path costs. round is 1-based, so first-use
+// penalties land on each session's first probe exactly as in the paper.
+func (c *client) sample(round int, rng *rand.Rand) (delayMs float64, lost bool) {
+	if rng.Float64() < c.lossP {
+		return 0, true
+	}
+	send := c.profile.SendCost(c.api, round, c.post, rng)
+	recv := c.profile.RecvCost(c.api, rng)
+	return c.baseMs + float64(send+recv)/float64(time.Millisecond), false
+}
+
+func main() {
+	var (
+		sessions    = flag.Int("sessions", 100000, "concurrent synthetic probe sessions")
+		rounds      = flag.Int("rounds", 5, "probe samples per session")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "ingest worker goroutines")
+		shards      = flag.Int("shards", 64, "fleet registry shards")
+		fanin       = flag.Duration("fanin", 250*time.Millisecond, "fan-in period while loading")
+		subscribers = flag.Int("subscribers", 2, "live SSE dashboard subscribers during the run")
+		metricsAddr = flag.String("metrics-addr", "127.0.0.1:0", "ops endpoint address (/metrics, /live)")
+		heapCeil    = flag.Int("assert-heap-mb", 0, "fail when live heap exceeds this many MiB (0 = report only)")
+		seed        = flag.Int64("seed", 1, "deterministic workload seed")
+	)
+	flag.Parse()
+	if err := run(*sessions, *rounds, *workers, *shards, *fanin, *subscribers, *metricsAddr, *heapCeil, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// streamStats is what one SSE subscriber saw.
+type streamStats struct {
+	events int
+	bytes  int64
+}
+
+// subscribe attaches one SSE reader to /live and consumes frames until
+// the connection closes.
+func subscribe(url string, stats *streamStats, ready, done *sync.WaitGroup) {
+	defer done.Done()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		ready.Done()
+		return
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	ready.Done()
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		stats.bytes += int64(len(line))
+		if strings.HasPrefix(line, "event: ") {
+			stats.events++
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func run(sessions, rounds, workers, shards int, fanin time.Duration, subscribers int, metricsAddr string, heapCeil int, seed int64) error {
+	reg := obs.NewMetrics()
+	fl := fleet.New(fleet.Config{
+		Shards:      shards,
+		MaxSessions: sessions + 1,
+		Interval:    fanin,
+		Metrics:     reg,
+	})
+	ops, err := obs.StartOps(metricsAddr, reg, obs.Route{Pattern: "/live", Handler: fl.LiveHandler()})
+	if err != nil {
+		return err
+	}
+	defer ops.Close()
+	fmt.Printf("loadgen: %d sessions x %d rounds, %d workers, %d shards, fan-in %v\n",
+		sessions, rounds, workers, shards, fanin)
+	fmt.Printf("  metrics   : http://%s/metrics\n", ops.Addr())
+	fmt.Printf("  dashboard : http://%s/live\n", ops.Addr())
+
+	clients := buildClients(sessions)
+	fl.Start()
+
+	subStats := make([]streamStats, subscribers)
+	var subReady, subDone sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		subReady.Add(1)
+		subDone.Add(1)
+		go subscribe("http://"+ops.Addr()+"/live?stream=1", &subStats[i], &subReady, &subDone)
+	}
+	subReady.Wait()
+
+	// Ingest: workers own contiguous session ranges, so no two goroutines
+	// share a session; shard locks are the only coordination.
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := (sessions + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > sessions {
+			hi = sessions
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for round := 1; round <= rounds; round++ {
+				for i := lo; i < hi; i++ {
+					c := &clients[i]
+					delay, lost := c.sample(round, rng)
+					fl.Observe(c.id, c.key, delay, lost)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	ingestTook := time.Since(start)
+
+	// The concurrency claim: every session is live in the registry at
+	// once, with the ingest plane still serving fan-ins and streams.
+	live := fl.Sessions()
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	heapMB := float64(ms.HeapAlloc) / (1 << 20)
+
+	fl.Stop() // final fan-in: every sample reaches the snapshot
+
+	snap := fl.Snapshot()
+	var total, lost uint64
+	for _, k := range snap.Keys {
+		total += k.Count
+		lost += k.Lost
+	}
+
+	samples := uint64(sessions) * uint64(rounds)
+	rate := float64(samples) / ingestTook.Seconds()
+	fmt.Printf("ingest    : %d samples in %v (%.0f samples/s)\n", samples, ingestTook.Round(time.Millisecond), rate)
+	fmt.Printf("sessions  : %d live at peak (cap %d)\n", live, sessions+1)
+	fmt.Printf("heap      : %.1f MiB live after GC\n", heapMB)
+	fmt.Printf("keys      : %d aggregate series\n", len(snap.Keys))
+	fmt.Printf("fan-in    : %d passes, p50 %.2f ms, p99 %.2f ms\n",
+		reg.Counter("fleet_fanin_total"),
+		reg.SketchQuantile("fleet_fanin_ms", 0.5),
+		reg.SketchQuantile("fleet_fanin_ms", 0.99))
+	fmt.Printf("stream    : %d events, %d bytes delivered, %d dropped\n",
+		reg.Counter("fleet_stream_events_total"),
+		reg.Counter("fleet_stream_bytes_total"),
+		reg.Counter("fleet_stream_dropped_total"))
+
+	// Read-off for EXPERIMENTS.md: the slowest and fastest aggregate keys.
+	if len(snap.Keys) > 0 {
+		lo, hi := snap.Keys[0], snap.Keys[0]
+		for _, k := range snap.Keys {
+			if k.P50 < lo.P50 {
+				lo = k
+			}
+			if k.P50 > hi.P50 {
+				hi = k
+			}
+		}
+		fmt.Printf("fastest   : %s/%s/%s p50 %.2f ms p99 %.2f ms jitter %.2f ms\n",
+			lo.Method, lo.Browser, lo.Region, lo.P50, lo.P99, lo.JitterMs)
+		fmt.Printf("slowest   : %s/%s/%s p50 %.2f ms p99 %.2f ms jitter %.2f ms\n",
+			hi.Method, hi.Browser, hi.Region, hi.P50, hi.P99, hi.JitterMs)
+	}
+
+	// Assertions.
+	if live != sessions {
+		return fmt.Errorf("concurrent sessions = %d, want %d", live, sessions)
+	}
+	if total != samples || uint64(reg.Counter("fleet_samples_total")) != samples {
+		return fmt.Errorf("sample conservation: snapshot %d, counter %d, want %d",
+			total, reg.Counter("fleet_samples_total"), samples)
+	}
+	if lost == 0 {
+		return fmt.Errorf("loss model produced no lost probes across %d samples", samples)
+	}
+	if heapCeil > 0 && heapMB > float64(heapCeil) {
+		return fmt.Errorf("heap %.1f MiB exceeds ceiling %d MiB", heapMB, heapCeil)
+	}
+
+	// The exposition must be byte-stable: two scrapes of the now-quiet
+	// registry must be identical, or dashboards see phantom motion.
+	scrape := func() ([]byte, error) {
+		resp, err := http.Get("http://" + ops.Addr() + "/metrics")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		return io.ReadAll(resp.Body)
+	}
+	first, err := scrape()
+	if err != nil {
+		return err
+	}
+	second, err := scrape()
+	if err != nil {
+		return err
+	}
+	if string(first) != string(second) {
+		return fmt.Errorf("/metrics not byte-stable across scrapes (%d vs %d bytes)", len(first), len(second))
+	}
+	fmt.Printf("scrape    : /metrics byte-stable (%d bytes)\n", len(first))
+
+	ops.Close()
+	subDone.Wait()
+	for i := range subStats {
+		fmt.Printf("subscriber %d: %d events, %d bytes\n", i, subStats[i].events, subStats[i].bytes)
+	}
+	fmt.Println("loadgen: PASS")
+	return nil
+}

@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchKeys is a realistic key population: 5 methods × 6 browsers × 4
+// regions.
+func benchKeys() []Key {
+	methods := []string{"http-get", "http-post", "websocket", "tcp", "udp"}
+	browsers := []string{"chrome", "firefox", "ie", "opera", "safari", "modern"}
+	regions := []string{"us", "eu", "ap", "sa"}
+	var keys []Key
+	for _, m := range methods {
+		for _, b := range browsers {
+			for _, r := range regions {
+				keys = append(keys, Key{Method: m, Browser: b, Region: r})
+			}
+		}
+	}
+	return keys
+}
+
+// BenchmarkObserve measures the ingest hot path: one sample folded into
+// a shard aggregate under the shard lock.
+func BenchmarkObserve(b *testing.B) {
+	r := New(Config{Shards: 64})
+	keys := benchKeys()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		r.Observe(uint64(i%10000), k, 10+rng.Float64()*5, false)
+	}
+}
+
+// BenchmarkFanIn measures one collector pass over 64 shards carrying one
+// tick's worth of samples across the full key population.
+func BenchmarkFanIn(b *testing.B) {
+	r := New(Config{Shards: 64})
+	keys := benchKeys()
+	rng := rand.New(rand.NewSource(2))
+	fill := func() {
+		for i := 0; i < 20000; i++ {
+			r.Observe(uint64(i%10000), keys[i%len(keys)], 10+rng.Float64()*5, false)
+		}
+	}
+	fill()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.FanIn()
+		b.StopTimer()
+		fill()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,462 @@
+// Package fleet is the fleet-scale aggregation plane: it folds delay
+// samples from very many concurrent client sessions into bounded
+// per-(method, browser, region) state and periodically fans the shards
+// into a global snapshot that the streaming dashboard and the Prometheus
+// exposition read.
+//
+// The design follows the scaling constraints the ROADMAP's live-platform
+// item imposes:
+//
+//   - ingest is sharded: sessions hash to one of a power-of-two number of
+//     shards, each with its own lock, so 100k concurrent writers contend
+//     only within a shard;
+//   - per-session state is bounded (16 bytes: the previous delay, for
+//     jitter) and the session population is capped — over-cap sessions
+//     are rejected and counted, never queued;
+//   - per-shard aggregates are *delta* sketches: the fan-in pass swaps
+//     each one for a reset spare and merges the taken sketch into the
+//     collector-owned cumulative summary, so shard sketches never grow
+//     past one tick's worth of compressed tuples;
+//   - self-metering follows Mizrahi et al.'s observer-effect rule: the
+//     per-sample hot path touches no metrics registry at all. Shard-local
+//     counters are folded into obs.Metrics only at fan-in ticks, and the
+//     fan-in pass times itself (fleet_fanin_ms).
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/obs"
+)
+
+// Key identifies one aggregate series: the measurement method, the
+// client browser model, and the client region.
+type Key struct {
+	Method  string
+	Browser string
+	Region  string
+}
+
+func keyLess(a, b Key) bool {
+	if a.Method != b.Method {
+		return a.Method < b.Method
+	}
+	if a.Browser != b.Browser {
+		return a.Browser < b.Browser
+	}
+	return a.Region < b.Region
+}
+
+// Config tunes a Registry.
+type Config struct {
+	// Shards is the shard count, rounded up to a power of two
+	// (default 16). More shards mean less ingest contention and a
+	// slightly longer fan-in pass.
+	Shards int
+	// MaxSessions caps the live session population (default 262144).
+	// Observe calls for new sessions beyond the cap are rejected and
+	// counted in fleet_sessions_rejected_total.
+	MaxSessions int
+	// Interval is the fan-in period for Start (default 1s). FanIn can
+	// always be called manually, ticker or not.
+	Interval time.Duration
+	// Targets are the sketch quantile targets for the per-key delay
+	// summaries (default obs.DefaultSketchTargets).
+	Targets []obs.SketchTarget
+	// Metrics receives the fleet_* self-metering series at each fan-in
+	// tick. nil disables metering at zero cost.
+	Metrics *obs.Metrics
+}
+
+// session is the bounded per-client state: just enough to turn the next
+// delay sample into a jitter increment.
+type session struct {
+	last    float64
+	hasLast bool
+}
+
+// agg is one shard's delta aggregate for one key since the last fan-in.
+type agg struct {
+	sketch    *obs.Sketch
+	count     uint64
+	lost      uint64
+	jitterSum float64
+	jitterN   uint64
+}
+
+// shard holds one lock's worth of sessions and delta aggregates.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[uint64]session
+	aggs     map[Key]*agg
+
+	// Tick-local event counters, drained at fan-in.
+	started  uint64
+	ended    uint64
+	rejected uint64
+	samples  uint64
+	lost     uint64
+}
+
+// global is the collector-owned cumulative aggregate for one key.
+type global struct {
+	sketch    *obs.Sketch
+	count     uint64
+	lost      uint64
+	jitterSum float64
+	jitterN   uint64
+}
+
+// Registry is the fleet aggregation plane. Observe/End are safe for
+// arbitrary concurrent use; FanIn may run concurrently with ingest but
+// serializes against itself.
+type Registry struct {
+	cfg    Config
+	mask   uint64
+	shards []*shard
+	active atomic.Int64
+
+	fanMu   sync.Mutex
+	globals map[Key]*global
+	spare   []*obs.Sketch // reset delta sketches, reused across ticks
+	seq     uint64
+	// prevCounts lets FanIn compute which keys changed since the last
+	// snapshot — the delta the stream pushes.
+	prevCounts map[Key]uint64
+
+	snapMu sync.RWMutex
+	snap   Snapshot
+
+	hub *hub
+
+	tickMu sync.Mutex
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// New builds a Registry and registers the fleet_* metric help text.
+func New(cfg Config) *Registry {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 262144
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	r := &Registry{
+		cfg:        cfg,
+		mask:       uint64(n - 1),
+		shards:     make([]*shard, n),
+		globals:    make(map[Key]*global),
+		prevCounts: make(map[Key]uint64),
+		hub:        newHub(),
+	}
+	for i := range r.shards {
+		r.shards[i] = &shard{
+			sessions: make(map[uint64]session),
+			aggs:     make(map[Key]*agg),
+		}
+	}
+	registerFleetHelp(cfg.Metrics)
+	return r
+}
+
+func registerFleetHelp(m *obs.Metrics) {
+	if !m.Enabled() {
+		return
+	}
+	m.SetHelp("fleet_sessions_active", "Live probe sessions currently tracked by the fleet registry.")
+	m.SetHelp("fleet_sessions_started_total", "Probe sessions admitted since start.")
+	m.SetHelp("fleet_sessions_ended_total", "Probe sessions ended since start.")
+	m.SetHelp("fleet_sessions_rejected_total", "Probe sessions rejected because the session cap was reached.")
+	m.SetHelp("fleet_samples_total", "Delay samples folded into shard aggregates.")
+	m.SetHelp("fleet_samples_lost_total", "Samples reported as lost probes.")
+	m.SetHelp("fleet_keys", "Distinct (method, browser, region) aggregate keys.")
+	m.SetHelp("fleet_fanin_total", "Fan-in passes completed.")
+	m.SetHelp("fleet_fanin_ms", "Wall-clock duration of one fan-in pass in milliseconds (streaming quantile sketch).")
+	m.SetHelp("fleet_stream_subscribers", "Live SSE dashboard subscribers.")
+	m.SetHelp("fleet_stream_events_total", "SSE events delivered to subscribers.")
+	m.SetHelp("fleet_stream_dropped_total", "SSE events dropped because a subscriber buffer was full.")
+	m.SetHelp("fleet_stream_bytes_total", "Bytes of SSE event payload delivered to subscribers.")
+}
+
+func (r *Registry) shardFor(id uint64) *shard {
+	// Fibonacci hash spreads sequential session ids across shards.
+	return r.shards[(id*0x9e3779b97f4a7c15)>>32&r.mask]
+}
+
+// Observe folds one sample from a session into its shard: the delay (ms)
+// into the key's delta sketch, the |Δdelay| jitter increment against the
+// session's previous delay, and the loss flag. Unknown sessions are
+// admitted on first sight; it reports false (and counts a rejection)
+// when the session cap is reached. Lost probes carry no delay: only the
+// loss counter moves.
+func (r *Registry) Observe(id uint64, key Key, delayMs float64, lost bool) bool {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if !ok {
+		if r.active.Load() >= int64(r.cfg.MaxSessions) {
+			sh.rejected++
+			sh.mu.Unlock()
+			return false
+		}
+		r.active.Add(1)
+		sh.started++
+	}
+	a := sh.aggs[key]
+	if a == nil {
+		a = &agg{sketch: obs.NewSketch(r.cfg.Targets...)}
+		sh.aggs[key] = a
+	}
+	sh.samples++
+	a.count++
+	if lost {
+		sh.lost++
+		a.lost++
+	} else {
+		a.sketch.Observe(delayMs)
+		if s.hasLast {
+			d := delayMs - s.last
+			if d < 0 {
+				d = -d
+			}
+			a.jitterSum += d
+			a.jitterN++
+		}
+		s.last = delayMs
+		s.hasLast = true
+	}
+	sh.sessions[id] = s
+	sh.mu.Unlock()
+	return true
+}
+
+// End removes a session, freeing its slot under the cap. Ending an
+// unknown session is a no-op.
+func (r *Registry) End(id uint64) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	if _, ok := sh.sessions[id]; ok {
+		delete(sh.sessions, id)
+		sh.ended++
+		r.active.Add(-1)
+	}
+	sh.mu.Unlock()
+}
+
+// Sessions returns the live session count.
+func (r *Registry) Sessions() int { return int(r.active.Load()) }
+
+// KeyStats is one key's cumulative aggregate in a snapshot.
+type KeyStats struct {
+	Method   string  `json:"method"`
+	Browser  string  `json:"browser"`
+	Region   string  `json:"region"`
+	Count    uint64  `json:"count"`
+	Lost     uint64  `json:"lost"`
+	P50      float64 `json:"p50_ms"`
+	P95      float64 `json:"p95_ms"`
+	P99      float64 `json:"p99_ms"`
+	JitterMs float64 `json:"jitter_ms"`
+	LossRate float64 `json:"loss_rate"`
+}
+
+// Snapshot is the global state after a fan-in pass. Keys are sorted by
+// (method, browser, region), so equal states render identically.
+type Snapshot struct {
+	Seq      uint64     `json:"seq"`
+	Sessions int        `json:"sessions"`
+	Keys     []KeyStats `json:"keys"`
+}
+
+// takeSpare hands the fan-in pass a reset sketch without allocating when
+// one from a previous tick can be reused.
+func (r *Registry) takeSpare() *obs.Sketch {
+	if n := len(r.spare); n > 0 {
+		s := r.spare[n-1]
+		r.spare = r.spare[:n-1]
+		return s
+	}
+	return obs.NewSketch(r.cfg.Targets...)
+}
+
+// FanIn runs one collector pass: every shard's delta aggregates are
+// swapped out under the shard lock (ingest blocks only for the swap, not
+// the merge), merged into the cumulative per-key summaries, and
+// published as a new snapshot plus a changed-keys delta on the live
+// stream. Shard event counters and the pass's own duration are folded
+// into the metrics registry here — the only place the fleet plane
+// touches obs.Metrics.
+func (r *Registry) FanIn() Snapshot {
+	r.fanMu.Lock()
+	defer r.fanMu.Unlock()
+	start := time.Now()
+
+	var started, ended, rejected, samples, lost uint64
+	type taken struct {
+		key Key
+		agg agg
+	}
+	var takenAggs []taken
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for k, a := range sh.aggs {
+			if a.count == 0 {
+				continue
+			}
+			takenAggs = append(takenAggs, taken{key: k, agg: *a})
+			a.sketch = r.takeSpare()
+			a.count, a.lost, a.jitterSum, a.jitterN = 0, 0, 0, 0
+		}
+		started += sh.started
+		ended += sh.ended
+		rejected += sh.rejected
+		samples += sh.samples
+		lost += sh.lost
+		sh.started, sh.ended, sh.rejected, sh.samples, sh.lost = 0, 0, 0, 0, 0
+		sh.mu.Unlock()
+	}
+
+	// Merge outside every shard lock. Fold order is fixed (sorted keys,
+	// shard order within a key) so equal ingest histories produce
+	// identical cumulative sketches.
+	sort.SliceStable(takenAggs, func(i, j int) bool { return keyLess(takenAggs[i].key, takenAggs[j].key) })
+	for _, t := range takenAggs {
+		g := r.globals[t.key]
+		if g == nil {
+			g = &global{sketch: obs.NewSketch(r.cfg.Targets...)}
+			r.globals[t.key] = g
+		}
+		g.sketch.Merge(t.agg.sketch)
+		g.count += t.agg.count
+		g.lost += t.agg.lost
+		g.jitterSum += t.agg.jitterSum
+		g.jitterN += t.agg.jitterN
+		t.agg.sketch.Reset()
+		r.spare = append(r.spare, t.agg.sketch)
+	}
+
+	r.seq++
+	snap := Snapshot{Seq: r.seq, Sessions: r.Sessions()}
+	snap.Keys = make([]KeyStats, 0, len(r.globals))
+	for k, g := range r.globals {
+		snap.Keys = append(snap.Keys, g.stats(k))
+	}
+	sort.Slice(snap.Keys, func(i, j int) bool {
+		a, b := snap.Keys[i], snap.Keys[j]
+		return keyLess(Key{a.Method, a.Browser, a.Region}, Key{b.Method, b.Browser, b.Region})
+	})
+
+	delta := Snapshot{Seq: snap.Seq, Sessions: snap.Sessions}
+	for _, ks := range snap.Keys {
+		k := Key{ks.Method, ks.Browser, ks.Region}
+		if r.prevCounts[k] != ks.Count {
+			delta.Keys = append(delta.Keys, ks)
+			r.prevCounts[k] = ks.Count
+		}
+	}
+
+	r.snapMu.Lock()
+	r.snap = snap
+	r.snapMu.Unlock()
+	if len(delta.Keys) > 0 {
+		r.hub.publish(renderEvent("delta", delta))
+	}
+
+	took := time.Since(start)
+	if m := r.cfg.Metrics; m.Enabled() {
+		m.Set("fleet_sessions_active", float64(snap.Sessions))
+		m.Set("fleet_keys", float64(len(r.globals)))
+		m.Add("fleet_sessions_started_total", int64(started))
+		m.Add("fleet_sessions_ended_total", int64(ended))
+		m.Add("fleet_sessions_rejected_total", int64(rejected))
+		m.Add("fleet_samples_total", int64(samples))
+		m.Add("fleet_samples_lost_total", int64(lost))
+		m.Add("fleet_fanin_total", 1)
+		m.SketchDur("fleet_fanin_ms", took)
+		m.Set("fleet_stream_subscribers", float64(r.hub.count()))
+		m.Add("fleet_stream_events_total", r.hub.events.Swap(0))
+		m.Add("fleet_stream_dropped_total", r.hub.dropped.Swap(0))
+		m.Add("fleet_stream_bytes_total", r.hub.bytes.Swap(0))
+	}
+	return snap
+}
+
+func (g *global) stats(k Key) KeyStats {
+	ks := KeyStats{
+		Method:  k.Method,
+		Browser: k.Browser,
+		Region:  k.Region,
+		Count:   g.count,
+		Lost:    g.lost,
+	}
+	if g.sketch.Count() > 0 {
+		ks.P50 = g.sketch.Quantile(0.5)
+		ks.P95 = g.sketch.Quantile(0.95)
+		ks.P99 = g.sketch.Quantile(0.99)
+	}
+	if g.jitterN > 0 {
+		ks.JitterMs = g.jitterSum / float64(g.jitterN)
+	}
+	if g.count > 0 {
+		ks.LossRate = float64(g.lost) / float64(g.count)
+	}
+	return ks
+}
+
+// Snapshot returns the most recently published snapshot (zero before the
+// first fan-in).
+func (r *Registry) Snapshot() Snapshot {
+	r.snapMu.RLock()
+	defer r.snapMu.RUnlock()
+	return r.snap
+}
+
+// Start launches the periodic fan-in ticker. Stop (or a second Start)
+// must not be called concurrently with it.
+func (r *Registry) Start() {
+	r.tickMu.Lock()
+	defer r.tickMu.Unlock()
+	if r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(r.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.FanIn()
+			}
+		}
+	}(r.stop, r.done)
+}
+
+// Stop halts the ticker and waits for the in-flight pass, then runs one
+// final fan-in so every ingested sample reaches the snapshot.
+func (r *Registry) Stop() {
+	r.tickMu.Lock()
+	defer r.tickMu.Unlock()
+	if r.stop == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+	r.stop, r.done = nil, nil
+	r.FanIn()
+}

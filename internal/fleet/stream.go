@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// hub fans rendered SSE frames out to subscribers. Delivery is
+// non-blocking: a subscriber that cannot keep up loses frames (counted,
+// never buffered unboundedly) and resyncs from the next full snapshot —
+// the dashboard is a monitor, not a durable feed.
+type hub struct {
+	mu   sync.Mutex
+	subs map[chan []byte]struct{}
+
+	// Tick-local stream counters, drained into obs.Metrics at fan-in.
+	events  atomic.Int64
+	dropped atomic.Int64
+	bytes   atomic.Int64
+}
+
+// subBuffer is each subscriber's frame buffer: enough to ride out a slow
+// write without letting a dead client pin memory.
+const subBuffer = 16
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan []byte]struct{})}
+}
+
+func (h *hub) subscribe() chan []byte {
+	ch := make(chan []byte, subBuffer)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *hub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+}
+
+func (h *hub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+func (h *hub) publish(frame []byte) {
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- frame:
+			h.events.Add(1)
+			h.bytes.Add(int64(len(frame)))
+		default:
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// renderEvent renders one SSE frame: "event: <name>\ndata: <json>\n\n".
+// Struct marshalling has a fixed field order, so equal values render to
+// identical bytes.
+func renderEvent(name string, v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Snapshots are plain numbers and strings; this cannot fail.
+		data = []byte("{}")
+	}
+	frame := make([]byte, 0, len(name)+len(data)+16)
+	frame = append(frame, "event: "...)
+	frame = append(frame, name...)
+	frame = append(frame, "\ndata: "...)
+	frame = append(frame, data...)
+	frame = append(frame, "\n\n"...)
+	return frame
+}
+
+// LiveHandler serves the streaming dashboard. A request that accepts
+// text/event-stream (or sets ?stream=1) gets the SSE feed: one full
+// "snapshot" event immediately, then a "delta" event with the changed
+// keys after every fan-in pass. Anything else gets the embedded HTML
+// view, which opens the SSE feed itself.
+func (r *Registry) LiveHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "text/event-stream") ||
+			req.URL.Query().Get("stream") != "" {
+			r.serveSSE(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashboardHTML))
+	})
+}
+
+func (r *Registry) serveSSE(w http.ResponseWriter, req *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch := r.hub.subscribe()
+	defer r.hub.unsubscribe(ch)
+
+	frame := renderEvent("snapshot", r.Snapshot())
+	if _, err := w.Write(frame); err != nil {
+		return
+	}
+	r.hub.events.Add(1)
+	r.hub.bytes.Add(int64(len(frame)))
+	fl.Flush()
+
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case frame := <-ch:
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// dashboardHTML is the minimal embedded view: a table of per-key
+// aggregates kept current by the SSE feed. No external assets.
+const dashboardHTML = `<!doctype html>
+<html><head><meta charset="utf-8"><title>fleet live</title>
+<style>
+body{font:14px/1.4 system-ui,sans-serif;margin:2em;background:#111;color:#ddd}
+h1{font-size:1.2em}
+table{border-collapse:collapse;margin-top:1em}
+th,td{padding:.3em .8em;border-bottom:1px solid #333;text-align:right}
+th{color:#9cf}
+td:first-child,td:nth-child(2),td:nth-child(3),th:first-child,th:nth-child(2),th:nth-child(3){text-align:left}
+#meta{color:#888}
+</style></head><body>
+<h1>fleet live delay aggregates</h1>
+<div id="meta">connecting&hellip;</div>
+<table><thead><tr>
+<th>method</th><th>browser</th><th>region</th><th>count</th><th>lost</th>
+<th>p50 ms</th><th>p95 ms</th><th>p99 ms</th><th>jitter ms</th><th>loss</th>
+</tr></thead><tbody id="rows"></tbody></table>
+<script>
+var rows = {};
+function keyOf(k){ return k.method+"|"+k.browser+"|"+k.region; }
+function fmt(x){ return (Math.round(x*1000)/1000).toString(); }
+function render(){
+  var ks = Object.keys(rows).sort();
+  var html = "";
+  for (var i = 0; i < ks.length; i++) {
+    var k = rows[ks[i]];
+    html += "<tr><td>"+k.method+"</td><td>"+k.browser+"</td><td>"+k.region+
+      "</td><td>"+k.count+"</td><td>"+k.lost+"</td><td>"+fmt(k.p50_ms)+
+      "</td><td>"+fmt(k.p95_ms)+"</td><td>"+fmt(k.p99_ms)+
+      "</td><td>"+fmt(k.jitter_ms)+"</td><td>"+fmt(k.loss_rate)+"</td></tr>";
+  }
+  document.getElementById("rows").innerHTML = html;
+}
+function apply(ev, reset){
+  var s = JSON.parse(ev.data);
+  if (reset) rows = {};
+  for (var i = 0; i < (s.keys||[]).length; i++) rows[keyOf(s.keys[i])] = s.keys[i];
+  document.getElementById("meta").textContent =
+    "seq "+s.seq+" · "+s.sessions+" live sessions";
+  render();
+}
+var es = new EventSource("live?stream=1");
+es.addEventListener("snapshot", function(ev){ apply(ev, true); });
+es.addEventListener("delta", function(ev){ apply(ev, false); });
+</script>
+</body></html>
+`

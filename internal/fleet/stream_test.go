@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/obs"
+)
+
+func TestLiveHandlerServesHTMLByDefault(t *testing.T) {
+	r := New(Config{})
+	srv := httptest.NewServer(r.LiveHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("content type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{"EventSource", "snapshot", "delta", "p99"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard HTML missing %q", want)
+		}
+	}
+}
+
+// readEvent reads one SSE frame (up to the blank line) and returns its
+// event name and data payload.
+func readEvent(t *testing.T, br *bufio.Reader) (name, data string) {
+	t.Helper()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if name != "" || data != "" {
+				return name, data
+			}
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+}
+
+func TestSSESnapshotThenDelta(t *testing.T) {
+	m := obs.NewMetrics()
+	r := New(Config{Metrics: m})
+	k := Key{Method: "http-get", Browser: "chrome", Region: "us"}
+	r.Observe(1, k, 12, false)
+	r.FanIn()
+
+	srv := httptest.NewServer(r.LiveHandler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	name, data := readEvent(t, br)
+	if name != "snapshot" {
+		t.Fatalf("first event = %q", name)
+	}
+	if !strings.Contains(data, `"method":"http-get"`) || !strings.Contains(data, `"seq":1`) {
+		t.Fatalf("snapshot payload = %q", data)
+	}
+
+	// Wait for the subscriber to register before producing the delta.
+	deadline := time.Now().Add(2 * time.Second)
+	for r.hub.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r.Observe(1, k, 14, false)
+	r.FanIn()
+
+	name, data = readEvent(t, br)
+	if name != "delta" {
+		t.Fatalf("second event = %q", name)
+	}
+	if !strings.Contains(data, `"count":2`) {
+		t.Fatalf("delta payload = %q", data)
+	}
+
+	// The next fan-in folds the stream counters into the registry.
+	r.Observe(1, k, 15, false)
+	r.FanIn()
+	if got := m.Counter("fleet_stream_events_total"); got < 2 {
+		t.Fatalf("stream events counter = %d", got)
+	}
+	if got := m.Counter("fleet_stream_bytes_total"); got <= 0 {
+		t.Fatalf("stream bytes counter = %d", got)
+	}
+}
+
+func TestQueryParamSelectsStream(t *testing.T) {
+	r := New(Config{})
+	r.FanIn()
+	srv := httptest.NewServer(r.LiveHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "?stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if name, _ := readEvent(t, bufio.NewReader(resp.Body)); name != "snapshot" {
+		t.Fatalf("first event = %q", name)
+	}
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	r := New(Config{Metrics: obs.NewMetrics()})
+	ch := r.hub.subscribe()
+	defer r.hub.unsubscribe(ch)
+	// Never drain ch: publishes beyond the buffer must drop, not block.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < subBuffer+50; i++ {
+			r.hub.publish([]byte("event: delta\ndata: {}\n\n"))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a slow subscriber")
+	}
+	if got := r.hub.dropped.Load(); got != 50 {
+		t.Fatalf("dropped = %d, want 50", got)
+	}
+	if got := r.hub.events.Load(); got != subBuffer {
+		t.Fatalf("delivered = %d, want %d", got, subBuffer)
+	}
+}
+
+func TestRenderEventDeterministic(t *testing.T) {
+	snap := Snapshot{Seq: 3, Sessions: 2, Keys: []KeyStats{{
+		Method: "udp", Browser: "chrome", Region: "us", Count: 5, P50: 1.5,
+	}}}
+	a := string(renderEvent("snapshot", snap))
+	b := string(renderEvent("snapshot", snap))
+	if a != b {
+		t.Fatalf("render not deterministic:\n%q\n%q", a, b)
+	}
+	if !strings.HasPrefix(a, "event: snapshot\ndata: {") || !strings.HasSuffix(a, "\n\n") {
+		t.Fatalf("frame shape: %q", a)
+	}
+}

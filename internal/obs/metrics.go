@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -404,13 +405,48 @@ func (m *Metrics) Merge(o *Metrics) {
 			s = NewSketch(os.targets...)
 			m.sketches[k] = s
 		}
-		s.mergeFrom(os)
+		s.Merge(os)
 	}
 	for k, v := range o.help {
 		if _, ok := m.help[k]; !ok {
 			m.help[k] = v
 		}
 	}
+}
+
+// FamiliesMissingHelp returns the sorted metric family names present in
+// the registry (counters, gauges, histograms and sketches, with label
+// sets stripped) that have no SetHelp text. Package test suites assert
+// this is empty, so WritePrometheus output never ships HELP-less series.
+func (m *Metrics) FamiliesMissingHelp() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	missing := map[string]struct{}{}
+	check := func(key string) {
+		fam := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			fam = key[:i]
+		}
+		if _, ok := m.help[fam]; !ok {
+			missing[fam] = struct{}{}
+		}
+	}
+	for k := range m.counters {
+		check(k)
+	}
+	for k := range m.gauges {
+		check(k)
+	}
+	for k := range m.hists {
+		check(k)
+	}
+	for k := range m.sketches {
+		check(k)
+	}
+	return sortedKeys(missing)
 }
 
 // snapshot is the export form of a registry; maps marshal with sorted

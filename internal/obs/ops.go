@@ -12,16 +12,27 @@ import (
 // format the ops handler serves.
 const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// Route is an extra endpoint mounted on the ops handler — how a service
+// hangs its own surfaces (the fleet dashboard's /live, say) off the same
+// listener as /metrics.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // NewOpsHandler builds the operational HTTP surface of a live service:
 //
 //	/metrics        Prometheus text exposition of the registry
 //	/healthz        liveness probe ("ok")
 //	/debug/pprof/*  runtime profiling (CPU, heap, goroutine, trace, ...)
 //
-// The handler is safe to serve concurrently with writers to the
-// registry; a nil registry serves an empty exposition.
-func NewOpsHandler(m *Metrics) http.Handler {
+// plus any extra routes. The handler is safe to serve concurrently with
+// writers to the registry; a nil registry serves an empty exposition.
+func NewOpsHandler(m *Metrics, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", PromContentType)
 		_ = m.WritePrometheus(w)
@@ -48,12 +59,12 @@ type OpsServer struct {
 
 // StartOps binds addr (host:port; port 0 picks a free one) and serves
 // the ops handler on it until Close or Shutdown.
-func StartOps(addr string, m *Metrics) (*OpsServer, error) {
+func StartOps(addr string, m *Metrics, extra ...Route) (*OpsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
 	}
-	o := &OpsServer{ln: ln, srv: &http.Server{Handler: NewOpsHandler(m)}}
+	o := &OpsServer{ln: ln, srv: &http.Server{Handler: NewOpsHandler(m, extra...)}}
 	go func() { _ = o.srv.Serve(ln) }()
 	return o, nil
 }

@@ -76,3 +76,26 @@ func TestStartOpsServesAndCloses(t *testing.T) {
 		t.Fatal("ops endpoint still reachable after Close")
 	}
 }
+
+func TestOpsHandlerExtraRoutes(t *testing.T) {
+	m := NewMetrics()
+	h := NewOpsHandler(m, Route{
+		Pattern: "/live",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("live-ok"))
+		}),
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for path, want := range map[string]string{"/live": "live-ok", "/healthz": "ok\n"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != want {
+			t.Fatalf("%s body = %q, want %q", path, body, want)
+		}
+	}
+}

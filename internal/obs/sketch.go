@@ -128,8 +128,14 @@ func (s *Sketch) Max() float64 { return s.max }
 func (s *Sketch) Len() int { return len(s.samples) + len(s.buf) }
 
 // Quantile returns a value whose rank is within the configured error of
-// q·n. Querying a quantile between targets degrades gracefully (the
-// invariant interpolates); querying an empty sketch returns NaN.
+// q·n. Each stored tuple carries an honest rank interval
+// [rmin, rmin+delta] (rmin = prefix width sum); the query returns the
+// tuple whose interval midpoint lies closest to the requested rank.
+// Unlike the classic biased CKMS rule this stays correct when deltas
+// exceed the maintenance envelope — which merged summaries legitimately
+// do, since Merge's COMBINE rule widens deltas to carry the other
+// summary's gap uncertainty. Querying a quantile between targets
+// degrades gracefully; querying an empty sketch returns NaN.
 func (s *Sketch) Quantile(q float64) float64 {
 	s.flush()
 	if len(s.samples) == 0 {
@@ -141,25 +147,28 @@ func (s *Sketch) Quantile(q float64) float64 {
 	if q >= 1 {
 		return s.samples[len(s.samples)-1].value
 	}
-	t := math.Ceil(q * s.n)
-	t += math.Ceil(s.invariant(t) / 2)
-	prev := s.samples[0]
+	t := q * s.n
 	var r float64
-	for _, c := range s.samples[1:] {
-		r += prev.width
-		if r+c.width+c.delta > t {
-			return prev.value
+	best := s.samples[0].value
+	bestDist := math.Inf(1)
+	for _, c := range s.samples {
+		r += c.width
+		if d := math.Abs(r + c.delta/2 - t); d < bestDist {
+			bestDist = d
+			best = c.value
 		}
-		prev = c
 	}
-	return prev.value
+	return best
 }
 
-// sketchSafety under-fills the invariant: tuples are kept twice as tight
-// as each target's epsilon demands. Batched inserts and greedy
-// compression consume part of the theoretical error budget, so enforcing
-// ε/2 internally is what makes the *configured* ε hold in practice (the
-// property test asserts the configured bound against exact quantiles).
+// sketchSafety under-fills the invariant: tuples are kept twice as
+// tight as each target's epsilon demands. Batched inserts, greedy
+// compression AND shard merges all consume part of the theoretical error
+// budget — COMBINE sums the gap uncertainties of every merged summary at
+// a given rank — so enforcing ε/2 internally is what makes the
+// *configured* ε hold in practice even after N-way fan-in (the property
+// tests assert the configured bound against exact quantiles for single
+// streams, shard merges and repeated collector folds).
 const sketchSafety = 0.5
 
 // invariant is the CKMS targeted-quantiles error function f(r, n): the
@@ -202,7 +211,14 @@ func (s *Sketch) flush() {
 		}
 		var delta float64
 		if len(merged) > 0 && i < len(s.samples) {
-			delta = math.Floor(s.invariant(r)) - 1
+			// A fresh observation's honest rank uncertainty is the local
+			// gap: only observations covered by the next summary tuple can
+			// still precede it. Cap at the invariant envelope — tighter
+			// intervals mean tighter merged summaries and queries.
+			delta = s.samples[i].width + s.samples[i].delta - 1
+			if env := math.Floor(s.invariant(r)) - 1; delta > env {
+				delta = env
+			}
 			if delta < 0 {
 				delta = 0
 			}
@@ -241,15 +257,54 @@ func (s *Sketch) compress() {
 	s.samples = s.samples[ki:]
 }
 
-// mergeFrom folds another sketch (same intent: same targets) into this
-// one by re-inserting its stored tuples with their widths. The result's
-// rank error is bounded by the sum of the two sketches' epsilons — fine
-// for registry merges, which happen once at export time.
-func (s *Sketch) mergeFrom(o *Sketch) {
-	o.flush()
-	for _, t := range o.samples {
-		s.insertWeighted(t.value, t.width)
+// Merge folds another sketch into this one, preserving the configured
+// rank-error bounds. Both tuple lists are flushed and merged by value
+// with the Greenwald–Khanna COMBINE delta rule: a tuple drawn from one
+// summary inherits the rank uncertainty of the other summary's gap at
+// that position (delta += width+delta−1 of the other list's next tuple).
+// Absolute rank errors add under this merge — ε/2·n₁ + ε/2·n₂ = ε/2·n
+// with each input maintained at the internal ε/2 safety envelope — and
+// because the widened deltas now honestly carry the combined
+// uncertainty, the trailing compress cannot over-merge past the
+// invariant, so the *configured* ε survives arbitrarily deep fan-in
+// (the property tests assert it against exact quantiles after N-way
+// shard merges and hundreds of repeated collector ticks).
+//
+// Ties order by (value, width, delta), so a.Merge(b) and b.Merge(a)
+// answer every quantile identically. The receiver is mutated; o is
+// flushed but otherwise unchanged. Both sketches should track the same
+// targets (the receiver's targets govern the merged summary).
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.Count() == 0 {
+		return
 	}
+	s.flush()
+	o.flush()
+	a, b := s.samples, o.samples
+	merged := make([]sketchSample, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var t sketchSample
+		var other []sketchSample
+		var oi int
+		if j >= len(b) || (i < len(a) && !tupleLess(b[j], a[i])) {
+			t = a[i]
+			i++
+			other, oi = b, j
+		} else {
+			t = b[j]
+			j++
+			other, oi = a, i
+		}
+		if oi < len(other) {
+			// COMBINE: the other summary's next tuple bounds how many of
+			// its observations may still precede t.
+			t.delta += other[oi].width + other[oi].delta - 1
+		}
+		merged = append(merged, t)
+	}
+	s.samples = merged
+	s.n += o.n
 	s.count += o.count
 	s.sum += o.sum
 	if o.min < s.min {
@@ -261,23 +316,70 @@ func (s *Sketch) mergeFrom(o *Sketch) {
 	s.compress()
 }
 
-// insertWeighted inserts one value standing for w observations.
-func (s *Sketch) insertWeighted(v, w float64) {
-	s.flush()
-	i := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].value > v })
-	var r float64
-	for _, t := range s.samples[:i] {
-		r += t.width
+// MergeSketches builds one summary over N shard sketches: inputs are
+// folded pairwise in a canonical order (lexicographic over their tuple
+// lists), so the result is exactly order-invariant — any permutation of
+// sketches yields a summary that answers every quantile identically —
+// which is what makes the fleet fan-in's global snapshot independent of
+// shard walk order. Inputs are flushed but otherwise unchanged; targets
+// come from the first non-nil input (DefaultSketchTargets when there are
+// none).
+func MergeSketches(sketches ...*Sketch) *Sketch {
+	var out *Sketch
+	srcs := make([]*Sketch, 0, len(sketches))
+	for _, sk := range sketches {
+		if sk == nil {
+			continue
+		}
+		if out == nil {
+			out = NewSketch(sk.targets...)
+		}
+		sk.flush()
+		srcs = append(srcs, sk)
 	}
-	var delta float64
-	if i > 0 && i < len(s.samples) {
-		delta = math.Floor(s.invariant(r)) - 1
-		if delta < 0 {
-			delta = 0
+	if out == nil {
+		return NewSketch()
+	}
+	sort.SliceStable(srcs, func(i, j int) bool { return tuplesLess(srcs[i].samples, srcs[j].samples) })
+	for _, sk := range srcs {
+		out.Merge(sk)
+	}
+	return out
+}
+
+// tuplesLess orders whole tuple lists lexicographically — the canonical
+// fold order behind MergeSketches' order invariance.
+func tuplesLess(a, b []sketchSample) bool {
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return tupleLess(a[k], b[k])
 		}
 	}
-	s.samples = append(s.samples, sketchSample{})
-	copy(s.samples[i+1:], s.samples[i:])
-	s.samples[i] = sketchSample{value: v, width: w, delta: delta}
-	s.n += w
+	return len(a) < len(b)
+}
+
+// Reset empties the sketch in place, keeping its targets and capacity —
+// the fan-in loop drains per-shard delta sketches this way instead of
+// reallocating them every tick.
+func (s *Sketch) Reset() {
+	s.samples = s.samples[:0]
+	s.buf = s.buf[:0]
+	s.n = 0
+	s.count = 0
+	s.sum = 0
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+}
+
+// tupleLess is the deterministic merge order: by value, with width and
+// delta breaking ties so equal-valued tuples from different shards always
+// interleave the same way regardless of argument order.
+func tupleLess(a, b sketchSample) bool {
+	if a.value != b.value {
+		return a.value < b.value
+	}
+	if a.width != b.width {
+		return a.width < b.width
+	}
+	return a.delta < b.delta
 }

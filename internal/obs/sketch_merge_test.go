@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkMergedBound asserts that a merged sketch's estimate for every
+// configured target has true rank within q·n ± ε·n against the exact
+// sorted data — the *configured* bound, not a summed one: Merge has to
+// preserve what NewSketch promised.
+func checkMergedBound(t *testing.T, name string, sk *Sketch, sorted []float64) {
+	t.Helper()
+	n := float64(len(sorted))
+	if sk.Count() != uint64(len(sorted)) {
+		t.Fatalf("%s: merged count = %d, want %d", name, sk.Count(), len(sorted))
+	}
+	for _, target := range sk.Targets() {
+		est := sk.Quantile(target.Quantile)
+		lo, hi := exactRankBand(sorted, est)
+		wantLo := (target.Quantile-target.Epsilon)*n - 1
+		wantHi := (target.Quantile+target.Epsilon)*n + 1
+		if float64(hi) < wantLo || float64(lo) > wantHi {
+			t.Errorf("%s: q=%g est=%g rank band [%d,%d] outside [%.0f,%.0f] (ε=%g)",
+				name, target.Quantile, est, lo, hi, wantLo, wantHi, target.Epsilon)
+		}
+	}
+}
+
+// shardData deals one data set across k sketches round-robin, the way
+// fleet sessions land in shards.
+func shardData(data []float64, k int) []*Sketch {
+	shards := make([]*Sketch, k)
+	for i := range shards {
+		shards[i] = NewSketch()
+	}
+	for i, v := range data {
+		shards[i%k].Observe(v)
+	}
+	return shards
+}
+
+// TestSketchMergePreservesBoundNShards is the fan-in property test: the
+// merge of N shard sketches obeys each per-target rank-error bound
+// against exact quantiles, for several distribution shapes including the
+// bimodal Java-timer shape, several shard counts, and both fold styles
+// (pairwise Merge and k-way MergeSketches).
+func TestSketchMergePreservesBoundNShards(t *testing.T) {
+	shapes := []struct {
+		name string
+		gen  func(rng *rand.Rand, n int) []float64
+	}{
+		{"uniform", func(rng *rand.Rand, n int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = rng.Float64() * 100
+			}
+			return d
+		}},
+		{"exponential", func(rng *rand.Rand, n int) []float64 {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = rng.ExpFloat64() * 10
+			}
+			return d
+		}},
+		{"bimodal-java-timer", func(rng *rand.Rand, n int) []float64 {
+			return javaTimerBimodal(n, rng.Int63())
+		}},
+	}
+	for _, shape := range shapes {
+		for _, k := range []int{2, 8, 32} {
+			rng := rand.New(rand.NewSource(int64(1000 + k)))
+			data := shape.gen(rng, 60000)
+			sorted := append([]float64(nil), data...)
+			sort.Float64s(sorted)
+
+			shards := shardData(data, k)
+			folded := NewSketch()
+			for _, sh := range shards {
+				folded.Merge(sh)
+			}
+			checkMergedBound(t, shape.name+"/pairwise", folded, sorted)
+
+			shards = shardData(data, k)
+			kway := MergeSketches(shards...)
+			checkMergedBound(t, shape.name+"/kway", kway, sorted)
+		}
+	}
+}
+
+// TestSketchMergeBimodalValley pins the dashboard-facing property on the
+// paper's hardest shape: after a shard merge of the Windows Java-timer
+// distribution, the median still sits in a mode, never in the empty
+// valley between them.
+func TestSketchMergeBimodalValley(t *testing.T) {
+	data := javaTimerBimodal(80000, 99)
+	merged := MergeSketches(shardData(data, 16)...)
+	if p50 := merged.Quantile(0.5); p50 > 1 && p50 < 15 {
+		t.Fatalf("merged p50 = %g ms sits in the empty valley between the modes", p50)
+	}
+}
+
+// TestSketchMergeOrderInvariance: MergeSketches answers every target
+// quantile identically for any permutation of its inputs, and pairwise
+// Merge is symmetric (a into b ≡ b into a).
+func TestSketchMergeOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]float64, 40000)
+	for i := range data {
+		data[i] = rng.ExpFloat64() * 5
+	}
+	const k = 8
+	queries := []float64{0.25, 0.5, 0.9, 0.95, 0.99}
+
+	answers := func(sk *Sketch) []float64 {
+		out := make([]float64, len(queries))
+		for i, q := range queries {
+			out[i] = sk.Quantile(q)
+		}
+		return out
+	}
+
+	base := answers(MergeSketches(shardData(data, k)...))
+	for trial := 0; trial < 5; trial++ {
+		shards := shardData(data, k)
+		rng.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+		got := answers(MergeSketches(shards...))
+		for i := range queries {
+			if got[i] != base[i] {
+				t.Fatalf("k-way merge order changed q=%g: %g vs %g (trial %d)",
+					queries[i], got[i], base[i], trial)
+			}
+		}
+	}
+
+	ab := shardData(data, 2)
+	ba := shardData(data, 2)
+	ab[0].Merge(ab[1])
+	ba[1].Merge(ba[0])
+	for _, q := range queries {
+		if av, bv := ab[0].Quantile(q), ba[1].Quantile(q); av != bv {
+			t.Fatalf("pairwise merge not symmetric at q=%g: %g vs %g", q, av, bv)
+		}
+	}
+}
+
+// TestSketchMergeRepeatedFanIn models the fleet collector: a cumulative
+// global sketch absorbs many small delta sketches over many ticks, and
+// the configured bound must still hold at the end — repeated merging
+// must not compound error past ε.
+func TestSketchMergeRepeatedFanIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	global := NewSketch()
+	var all []float64
+	for tick := 0; tick < 200; tick++ {
+		delta := NewSketch()
+		for i := 0; i < 300; i++ {
+			v := rng.ExpFloat64() * 10
+			all = append(all, v)
+			delta.Observe(v)
+		}
+		global.Merge(delta)
+	}
+	sort.Float64s(all)
+	checkMergedBound(t, "repeated-fanin", global, all)
+}
+
+// TestSketchMergeStatsAndEdges: moment bookkeeping merges exactly, empty
+// and nil inputs are no-ops, and Reset returns a sketch to its empty
+// state without touching targets.
+func TestSketchMergeStatsAndEdges(t *testing.T) {
+	a, b := NewSketch(), NewSketch()
+	for i := 1; i <= 100; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 200 || a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("merged stats: count=%d min=%g max=%g", a.Count(), a.Min(), a.Max())
+	}
+	if want := 200.0 * 201 / 2; a.Sum() != want {
+		t.Fatalf("merged sum = %g, want %g", a.Sum(), want)
+	}
+
+	before := a.Count()
+	a.Merge(nil)
+	a.Merge(NewSketch())
+	if a.Count() != before {
+		t.Fatalf("merging nil/empty changed count: %d -> %d", before, a.Count())
+	}
+
+	empty := NewSketch()
+	empty.Merge(a)
+	if empty.Count() != 200 {
+		t.Fatalf("merge into empty: count=%d", empty.Count())
+	}
+	if p50 := empty.Quantile(0.5); p50 < 90 || p50 > 110 {
+		t.Fatalf("merge into empty: p50=%g", p50)
+	}
+
+	a.Reset()
+	if a.Count() != 0 || a.Len() != 0 || a.Sum() != 0 {
+		t.Fatalf("after Reset: count=%d len=%d sum=%g", a.Count(), a.Len(), a.Sum())
+	}
+	if !math.IsInf(a.Min(), 1) || !math.IsInf(a.Max(), -1) {
+		t.Fatalf("after Reset: min=%g max=%g", a.Min(), a.Max())
+	}
+	if !math.IsNaN(a.Quantile(0.5)) {
+		t.Fatal("after Reset: quantile should be NaN")
+	}
+	if len(a.Targets()) != len(DefaultSketchTargets) {
+		t.Fatalf("Reset dropped targets: %d", len(a.Targets()))
+	}
+	// A reset sketch is reusable: observe again and query.
+	for i := 0; i < 1000; i++ {
+		a.Observe(float64(i))
+	}
+	if p50 := a.Quantile(0.5); p50 < 480 || p50 > 520 {
+		t.Fatalf("reused sketch p50=%g", p50)
+	}
+
+	if got := MergeSketches(); got.Count() != 0 {
+		t.Fatalf("MergeSketches() of nothing: count=%d", got.Count())
+	}
+	if got := MergeSketches(nil, nil); got.Count() != 0 {
+		t.Fatalf("MergeSketches(nil,nil): count=%d", got.Count())
+	}
+}
+
+// TestSketchMergeStaysCompressed pins the memory side of fan-in: merging
+// 32 shards of 1e5 total observations must still compress to a bounded
+// summary, not the concatenation of the inputs.
+func TestSketchMergeStaysCompressed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float64, 100000)
+	for i := range data {
+		data[i] = rng.NormFloat64()*3 + 20
+	}
+	merged := MergeSketches(shardData(data, 32)...)
+	if merged.Len() > 2000 {
+		t.Fatalf("merged sketch holds %d tuples, want <= 2000", merged.Len())
+	}
+}
+
+// BenchmarkSketchMerge measures one pairwise fan-in fold: a cumulative
+// sketch absorbing a 512-observation delta sketch (the per-tick shard
+// cost in the fleet collector).
+func BenchmarkSketchMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	global := NewSketch()
+	for i := 0; i < 100000; i++ {
+		global.Observe(rng.ExpFloat64() * 10)
+	}
+	deltas := make([]*Sketch, 64)
+	for i := range deltas {
+		deltas[i] = NewSketch()
+		for j := 0; j < 512; j++ {
+			deltas[i].Observe(rng.ExpFloat64() * 10)
+		}
+		deltas[i].flush()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		global.Merge(deltas[i%len(deltas)])
+	}
+}
+
+// BenchmarkSketchMergeKWay measures the snapshot-building fold: 32 shard
+// sketches merged into one fresh summary.
+func BenchmarkSketchMergeKWay(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	shards := make([]*Sketch, 32)
+	for i := range shards {
+		shards[i] = NewSketch()
+		for j := 0; j < 4096; j++ {
+			shards[i].Observe(rng.ExpFloat64() * 10)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MergeSketches(shards...)
+	}
+}

@@ -165,7 +165,7 @@ func TestSketchMergeStaysBounded(t *testing.T) {
 			b.Observe(v)
 		}
 	}
-	a.mergeFrom(b)
+	a.Merge(b)
 	if a.Count() != 50000 {
 		t.Fatalf("merged count = %d", a.Count())
 	}

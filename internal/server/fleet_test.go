@@ -1,0 +1,108 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/fleet"
+	"github.com/browsermetric/browsermetric/internal/obs"
+)
+
+func TestProbeFoldsIntoFleet(t *testing.T) {
+	fl := fleet.New(fleet.Config{})
+	s, err := Start(Config{Fleet: fl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addrs().HTTP + "/probe"
+
+	get := func(url string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	for i := 0; i < 3; i++ {
+		get(base + "?sid=7&browser=chrome&region=us")
+	}
+	resp, err := http.Post(base+"?sid=8&browser=firefox&region=eu",
+		"application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	// No sid → served but not folded.
+	get(base)
+	// Bad sid → served but not folded.
+	get(base + "?sid=nope&browser=chrome&region=us")
+
+	snap := fl.FanIn()
+	if snap.Sessions != 2 {
+		t.Fatalf("sessions = %d, want 2", snap.Sessions)
+	}
+	if len(snap.Keys) != 2 {
+		t.Fatalf("keys = %d, want 2: %+v", len(snap.Keys), snap.Keys)
+	}
+	a, b := snap.Keys[0], snap.Keys[1]
+	if a.Method != "http-get" || a.Browser != "chrome" || a.Region != "us" || a.Count != 3 {
+		t.Fatalf("GET aggregate = %+v", a)
+	}
+	if b.Method != "http-post" || b.Browser != "firefox" || b.Region != "eu" || b.Count != 1 {
+		t.Fatalf("POST aggregate = %+v", b)
+	}
+	if a.P50 <= 0 {
+		t.Fatalf("service time sample missing: p50=%g", a.P50)
+	}
+}
+
+func TestProbeFleetDefaultsUnknownLabels(t *testing.T) {
+	fl := fleet.New(fleet.Config{})
+	s, err := Start(Config{Fleet: fl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addrs().HTTP + "/probe?sid=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	snap := fl.FanIn()
+	if len(snap.Keys) != 1 || snap.Keys[0].Browser != "unknown" || snap.Keys[0].Region != "unknown" {
+		t.Fatalf("keys = %+v", snap.Keys)
+	}
+}
+
+// TestServerMetricsAllHaveHelp is the registry-wide HELP guard for the
+// server plane: exercise every endpoint, then assert no family the
+// server (or a wired fleet plane) registered lacks SetHelp text.
+func TestServerMetricsAllHaveHelp(t *testing.T) {
+	m := obs.NewMetrics()
+	fl := fleet.New(fleet.Config{Metrics: m})
+	s, err := Start(Config{Metrics: m, Delay: time.Millisecond, Fleet: fl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, path := range []string{"/", "/probe", "/probe?sid=1&browser=chrome&region=us"} {
+		resp, err := http.Get("http://" + s.Addrs().HTTP + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	fl.FanIn()
+	if missing := m.FamiliesMissingHelp(); len(missing) != 0 {
+		t.Fatalf("server metric families missing HELP text: %v", missing)
+	}
+}

@@ -17,9 +17,11 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"github.com/browsermetric/browsermetric/internal/fleet"
 	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/wssim"
 )
@@ -41,6 +43,12 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs (requests at
 	// Debug, lifecycle at Info). nil disables logging.
 	Logger *slog.Logger
+	// Fleet, when non-nil, folds probe exchanges from self-identifying
+	// clients into the fleet aggregation plane: a /probe request carrying
+	// ?sid=<session>&browser=<model>&region=<region> contributes its
+	// service time as a delay sample under the (method, browser, region)
+	// key. Requests without a sid are served normally and not folded.
+	Fleet *fleet.Registry
 }
 
 // series holds the precomputed registry keys for one endpoint, so the
@@ -315,13 +323,39 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.pause()
 	s.count(&s.httpRequests)
+	method := "http-get"
 	if r.Method == http.MethodPost {
+		method = "http-post"
 		_, _ = io.Copy(io.Discard, r.Body)
 		_, _ = io.WriteString(w, "post-ok")
 	} else {
 		_, _ = io.WriteString(w, "pong")
 	}
 	s.observe(s.serProbe, start)
+	s.foldFleet(r, method, time.Since(start))
+}
+
+// foldFleet contributes one self-identified probe exchange to the fleet
+// plane. The query is only parsed when a fleet registry is wired, so the
+// plain probe path stays allocation-lean.
+func (s *Server) foldFleet(r *http.Request, method string, took time.Duration) {
+	if s.cfg.Fleet == nil {
+		return
+	}
+	q := r.URL.Query()
+	sid, err := strconv.ParseUint(q.Get("sid"), 10, 64)
+	if err != nil {
+		return
+	}
+	browser, region := q.Get("browser"), q.Get("region")
+	if browser == "" {
+		browser = "unknown"
+	}
+	if region == "" {
+		region = "unknown"
+	}
+	s.cfg.Fleet.Observe(sid, fleet.Key{Method: method, Browser: browser, Region: region},
+		float64(took)/float64(time.Millisecond), false)
 }
 
 func (s *Server) count(field *int64) {

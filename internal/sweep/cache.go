@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/browsermetric/browsermetric/internal/core"
+	"github.com/browsermetric/browsermetric/internal/obs"
 )
 
 // Cache is the content-addressed cell store: one file per cell under
@@ -17,9 +18,10 @@ import (
 // cells touch distinct files, and identical cells write identical bytes
 // (last rename wins harmlessly).
 type Cache struct {
-	dir  string
-	salt string
-	logf func(format string, args ...any)
+	dir     string
+	salt    string
+	logf    func(format string, args ...any)
+	metrics *obs.Metrics
 
 	hits    atomic.Int64
 	misses  atomic.Int64
@@ -63,6 +65,22 @@ func (c *Cache) SetLog(fn func(format string, args ...any)) {
 	c.logf = fn
 }
 
+// SetMetrics exports the cache's counters through a wall-clock metrics
+// registry as sweep_cache_* series, so sweep health is scrapeable like
+// everything else. nil (the default) disables the export at zero cost.
+// Call before the sweep starts; the Load/Store paths read the registry
+// without synchronization.
+func (c *Cache) SetMetrics(m *obs.Metrics) {
+	c.metrics = m
+	if !m.Enabled() {
+		return
+	}
+	m.SetHelp("sweep_cache_hits_total", "Cells replayed from the content-addressed cache.")
+	m.SetHelp("sweep_cache_misses_total", "Cache lookups that required recomputation (absent or corrupt entries).")
+	m.SetHelp("sweep_cache_corrupt_total", "Cache entries that failed verification and were discarded (each also counts as a miss).")
+	m.SetHelp("sweep_cache_stores_total", "Cells persisted to the cache.")
+}
+
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
 
@@ -95,6 +113,7 @@ func (c *Cache) Load(cfg core.Config) (*core.Experiment, bool) {
 	data, err := os.ReadFile(c.cellPath(hash))
 	if err != nil {
 		c.misses.Add(1)
+		c.metrics.Add("sweep_cache_misses_total", 1)
 		return nil, false
 	}
 	storedKey, samples, derr := decodeCell(data)
@@ -104,11 +123,14 @@ func (c *Cache) Load(cfg core.Config) (*core.Experiment, bool) {
 	if derr != nil {
 		c.corrupt.Add(1)
 		c.misses.Add(1)
+		c.metrics.Add("sweep_cache_corrupt_total", 1)
+		c.metrics.Add("sweep_cache_misses_total", 1)
 		c.logf("sweep: corrupt cache entry for %s: %v; recomputing", key, derr)
 		os.Remove(c.cellPath(hash))
 		return nil, false
 	}
 	c.hits.Add(1)
+	c.metrics.Add("sweep_cache_hits_total", 1)
 	// Reconstruct the experiment exactly as RunContext would have left
 	// it: the normalized config plus the stored samples. Every derived
 	// statistic and export is a pure function of these, so the replay is
@@ -141,5 +163,6 @@ func (c *Cache) Store(cfg core.Config, exp *core.Experiment) error {
 		return fmt.Errorf("sweep: store cell: %w", err)
 	}
 	c.stores.Add(1)
+	c.metrics.Add("sweep_cache_stores_total", 1)
 	return nil
 }

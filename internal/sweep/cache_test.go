@@ -13,7 +13,9 @@ import (
 
 	"github.com/browsermetric/browsermetric/internal/browser"
 	"github.com/browsermetric/browsermetric/internal/core"
+	"github.com/browsermetric/browsermetric/internal/faults"
 	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/testbed"
 )
 
@@ -254,5 +256,101 @@ func TestCacheConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if _, err := os.Stat(filepath.Join(c.Dir(), "cells")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCacheMetricsExported pins the sweep_cache_* observability export:
+// hits, misses, corruption and stores all surface as registry counters
+// with HELP text, and a nil registry costs nothing.
+func TestCacheMetricsExported(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMetrics()
+	c.SetMetrics(m)
+
+	cfg := cellConfig(1)
+	if _, ok := c.Load(cfg); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	exp, err := core.RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(cfg, exp); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(cfg); !ok {
+		t.Fatal("miss after store")
+	}
+	// Corrupt the entry: the next load counts corrupt + miss.
+	path := c.cellPath(c.Key(cfg).Hash())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(cfg); ok {
+		t.Fatal("corrupt entry served")
+	}
+
+	want := map[string]int64{
+		"sweep_cache_hits_total":    1,
+		"sweep_cache_misses_total":  2,
+		"sweep_cache_corrupt_total": 1,
+		"sweep_cache_stores_total":  1,
+	}
+	for name, v := range want {
+		if got := m.Counter(name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	if missing := m.FamiliesMissingHelp(); len(missing) != 0 {
+		t.Fatalf("sweep cache families missing HELP text: %v", missing)
+	}
+	// The registry counters agree with the in-process Stats snapshot.
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Corrupt != 1 || st.Stores != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSweepRunExportsCacheMetrics wires Options.Metrics end to end: a
+// cold run stores every cell, a warm rerun replays them, and both show
+// up on the same registry.
+func TestSweepRunExportsCacheMetrics(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewMetrics()
+	opts := Options{
+		Methods:  []methods.Kind{methods.XHRGet},
+		Profiles: []*browser.Profile{browser.Lookup(browser.Chrome, browser.Windows)},
+		Faults:   []faults.Profile{faults.Clean},
+		Runs:     2,
+		Gap:      time.Second,
+		Dir:      dir,
+		Metrics:  m,
+	}
+	if _, err := Run(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("sweep_cache_stores_total"); got != 1 {
+		t.Fatalf("cold stores = %d, want 1", got)
+	}
+	if got := m.Counter("sweep_cache_hits_total"); got != 0 {
+		t.Fatalf("cold hits = %d, want 0", got)
+	}
+	if _, err := Run(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("sweep_cache_hits_total"); got != 1 {
+		t.Fatalf("warm hits = %d, want 1", got)
+	}
+	if got := m.Counter("sweep_cache_misses_total"); got != 1 {
+		t.Fatalf("misses = %d, want 1 (cold lookup only)", got)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"github.com/browsermetric/browsermetric/internal/core"
 	"github.com/browsermetric/browsermetric/internal/faults"
 	"github.com/browsermetric/browsermetric/internal/methods"
+	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/stats"
 )
 
@@ -53,6 +54,10 @@ type Options struct {
 	Salt string
 	// Log, when non-nil, receives progress and corruption notices.
 	Log func(format string, args ...any)
+	// Metrics, when non-nil, receives the cache's hit/miss/corruption/
+	// store counters as sweep_cache_* series. Excluded from the sweep
+	// identity: observability never changes what is computed.
+	Metrics *obs.Metrics
 	// OnCell, when non-nil, fires per completed cell with the fault
 	// profile it belongs to (see core.StudyOptions.OnCellDone caveats).
 	OnCell func(fp faults.Profile, cs core.CellStatus)
@@ -155,6 +160,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		return nil, err
 	}
 	cache.SetLog(opts.Log)
+	cache.SetMetrics(opts.Metrics)
 
 	sweepID := opts.ID()
 	var m *Manifest
