@@ -12,10 +12,11 @@
 #   make cover       whole-repo coverage.out + enforce the faults/sweep/fleet floors
 #   make sweep-smoke kill a sweep with SIGKILL, resume it, diff vs uninterrupted
 #   make fleet-load  10k-session loadgen under -race with a heap ceiling
+#   make fleet-cluster  root + 3 collectors over the wire, SIGKILL one mid-run
 
 GO ?= go
 
-.PHONY: all build vet test lint race race-core race-live tier1 ci bench bench-json bench-diff fuzz-smoke cover sweep-smoke fleet-load
+.PHONY: all build vet test lint race race-core race-live tier1 ci bench bench-json bench-diff fuzz-smoke cover sweep-smoke fleet-load fleet-cluster
 
 all: tier1
 
@@ -91,7 +92,7 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_OLD) -new $(BENCH_NEW)
 
 # fuzz-smoke runs each native fuzz target briefly. Go allows one -fuzz
-# target per invocation, so the ~50 s budget is split across the five.
+# target per invocation, so the ~60 s budget is split across the six.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -fuzz '^FuzzPacketParse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/netsim/
@@ -99,6 +100,7 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzParseResponse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/httpsim/
 	$(GO) test -fuzz '^FuzzManifestParse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/sweep/
 	$(GO) test -fuzz '^FuzzCellDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/sweep/
+	$(GO) test -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/fleetwire/
 
 # cover writes the whole-repo profile to coverage.out (the CI artifact)
 # and enforces the statement-coverage floors on the fault-injection
@@ -163,3 +165,64 @@ FLEET_HEAP_MB ?= 192
 fleet-load:
 	$(GO) run -race ./cmd/loadgen -sessions $(FLEET_SESSIONS) -rounds $(FLEET_ROUNDS) \
 		-assert-heap-mb $(FLEET_HEAP_MB)
+
+# fleet-cluster proves the multi-node observability plane end to end on
+# real binaries: a bmagg root plus three loadgen collectors shipping
+# delta-sketch frames over HTTP, all built with -race. One collector is
+# SIGKILLed mid-run; the root must keep serving /readyz, /metrics (byte-
+# stable double scrape) and /live/history with the survivors' frames
+# still merging. The in-process proofs run first under -race: cluster
+# rows exactly equal to each collector's local snapshot regardless of
+# frame arrival order, duplicate/gap/version fault paths, and the
+# never-block uplink contract.
+FLEET_CLUSTER_DIR ?= fleet-cluster.tmp
+FLEET_CLUSTER_PORT ?= 19410
+fleet-cluster:
+	$(GO) test -race -count=1 -run 'TestCluster|TestAggregator|TestUplink|TestFourNode' \
+		./internal/fleet/ ./internal/fleetwire/
+	rm -rf $(FLEET_CLUSTER_DIR)
+	mkdir -p $(FLEET_CLUSTER_DIR)
+	$(GO) build -race -o $(FLEET_CLUSTER_DIR)/bmagg ./cmd/bmagg
+	$(GO) build -race -o $(FLEET_CLUSTER_DIR)/loadgen ./cmd/loadgen
+	@set -e; \
+	root=http://127.0.0.1:$(FLEET_CLUSTER_PORT); \
+	$(FLEET_CLUSTER_DIR)/bmagg -addr 127.0.0.1:$(FLEET_CLUSTER_PORT) -interval 300ms \
+		>$(FLEET_CLUSTER_DIR)/root.log 2>&1 & AGG=$$!; \
+	trap 'kill $$AGG 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	code=$$(curl -s -m 5 -o /dev/null -w '%{http_code}' $$root/readyz); \
+	[ "$$code" = 503 ] || { echo "fleet-cluster: /readyz before any frame = $$code, want 503"; exit 1; }; \
+	for n in c1 c2 c3; do \
+		$(FLEET_CLUSTER_DIR)/loadgen -sessions 1500 -rounds 6 -fanin 150ms -round-delay 500ms \
+			-uplink $$root/ingest -node $$n >$(FLEET_CLUSTER_DIR)/$$n.log 2>&1 & \
+		eval "$$n=$$!"; \
+	done; \
+	sleep 2; kill -9 $$c3 2>/dev/null || true; \
+	wait $$c1; wait $$c2; wait $$c3 2>/dev/null || true; \
+	sleep 1; \
+	code=$$(curl -s -m 5 -o /dev/null -w '%{http_code}' $$root/readyz); \
+	[ "$$code" = 200 ] || { echo "fleet-cluster: /readyz after the kill = $$code, want 200"; exit 1; }; \
+	stable=; i=0; \
+	while [ $$i -lt 5 ]; do \
+		curl -s -m 5 $$root/metrics >$(FLEET_CLUSTER_DIR)/m1.prom; \
+		curl -s -m 5 $$root/metrics >$(FLEET_CLUSTER_DIR)/m2.prom; \
+		if cmp -s $(FLEET_CLUSTER_DIR)/m1.prom $(FLEET_CLUSTER_DIR)/m2.prom; then stable=1; break; fi; \
+		i=$$((i+1)); \
+	done; \
+	[ -n "$$stable" ] || { echo "fleet-cluster: root /metrics never byte-stable across a double scrape"; exit 1; }; \
+	grep -q '^fleet_agg_nodes 3$$' $(FLEET_CLUSTER_DIR)/m1.prom || \
+		{ echo "fleet-cluster: root did not see 3 nodes"; grep '^fleet_agg' $(FLEET_CLUSTER_DIR)/m1.prom; exit 1; }; \
+	grep -q '^fleet_agg_frames_rejected_total{reason="corrupt"} 0$$' $(FLEET_CLUSTER_DIR)/m1.prom || \
+		{ echo "fleet-cluster: root rejected frames from healthy collectors"; exit 1; }; \
+	curl -s -m 5 "$$root/live/history?since=0" >$(FLEET_CLUSTER_DIR)/history.json; \
+	grep -q '"node":"c1"' $(FLEET_CLUSTER_DIR)/history.json || \
+		{ echo "fleet-cluster: history has no rows for surviving node c1"; exit 1; }; \
+	grep -q '"node":"c2"' $(FLEET_CLUSTER_DIR)/history.json || \
+		{ echo "fleet-cluster: history has no rows for surviving node c2"; exit 1; }; \
+	grep -q '^loadgen: PASS$$' $(FLEET_CLUSTER_DIR)/c1.log || \
+		{ echo "fleet-cluster: collector c1 failed"; tail -20 $(FLEET_CLUSTER_DIR)/c1.log; exit 1; }; \
+	grep -q '^loadgen: PASS$$' $(FLEET_CLUSTER_DIR)/c2.log || \
+		{ echo "fleet-cluster: collector c2 failed"; tail -20 $(FLEET_CLUSTER_DIR)/c2.log; exit 1; }; \
+	kill $$AGG 2>/dev/null; wait $$AGG 2>/dev/null || true; trap - EXIT; \
+	echo "fleet-cluster: root survived a SIGKILLed collector; cluster view stayed live and byte-stable"
+	@rm -rf $(FLEET_CLUSTER_DIR)

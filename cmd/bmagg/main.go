@@ -1,0 +1,100 @@
+// Command bmagg runs the root aggregator of the multi-node fleet plane:
+// collectors (bmserver -live -uplink, or loadgen -uplink) POST their
+// per-tick delta-sketch frames to /ingest, and bmagg merges them into
+// cluster-wide cumulative aggregates keyed by (node, method, browser,
+// region).
+//
+// Usage:
+//
+//	bmagg                          # listen on 127.0.0.1:9310
+//	bmagg -addr 0.0.0.0:9310       # expose on all interfaces
+//	bmagg -interval 1s             # cluster snapshot publish period
+//	bmagg -stale-after 5s          # node silence before it reports stale
+//	bmagg -history-depth 128       # dashboard history ring size
+//	bmagg -duration 30s            # exit after a fixed time (0 = run forever)
+//
+// The one listener serves everything: /ingest (frame intake), /live
+// (the streaming dashboard over the cluster view), /live/history
+// (snapshot ring), /metrics, /healthz (liveness), /readyz (ready once
+// the first frame is merged) and /debug/pprof/*.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/fleet"
+	"github.com/browsermetric/browsermetric/internal/obs"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9310", "listen address")
+		interval     = flag.Duration("interval", time.Second, "cluster snapshot publish period")
+		staleAfter   = flag.Duration("stale-after", 0, "node silence before it reports stale (default 3x -interval)")
+		historyDepth = flag.Int("history-depth", 64, "snapshots retained for /live/history and reconnect replay")
+		historyEvery = flag.Int("history-every", 1, "record every Nth changed snapshot into history")
+		duration     = flag.Duration("duration", 0, "exit after this long (0 = until interrupted)")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "bmagg: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	reg := obs.NewMetrics()
+	obs.RegisterBuildInfo(reg)
+	agg := fleet.NewAggregator(fleet.AggConfig{
+		Interval:     *interval,
+		StaleAfter:   *staleAfter,
+		Metrics:      reg,
+		HistoryDepth: *historyDepth,
+		HistoryEvery: *historyEvery,
+	})
+	agg.Start()
+
+	ops, err := obs.StartOps(*addr, reg,
+		obs.Route{Pattern: "/ingest", Handler: agg.IngestHandler()},
+		obs.Route{Pattern: "/live", Handler: agg.LiveHandler()},
+		obs.Route{Pattern: "/live/history", Handler: agg.HistoryHandler()},
+		obs.ReadyzRoute(agg.Ready),
+	)
+	if err != nil {
+		logger.Error("listen failed", "err", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bmagg up\n")
+	fmt.Printf("  ingest      : http://%s/ingest\n", ops.Addr())
+	fmt.Printf("  dashboard   : http://%s/live\n", ops.Addr())
+	fmt.Printf("  history     : http://%s/live/history\n", ops.Addr())
+	fmt.Printf("  metrics     : http://%s/metrics\n", ops.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if *duration > 0 {
+		select {
+		case sig := <-stop:
+			logger.Info("signal received", "signal", fmt.Sprint(sig))
+		case <-time.After(*duration):
+			logger.Info("duration elapsed", "duration", duration.String())
+		}
+	} else {
+		sig := <-stop
+		logger.Info("signal received", "signal", fmt.Sprint(sig))
+	}
+
+	agg.Stop()
+	snap := agg.Snapshot()
+	fmt.Printf("cluster: %d nodes, %d series, %d sessions at seq %d\n",
+		len(snap.Nodes), len(snap.Keys), snap.Sessions, snap.Seq)
+	_ = ops.Close()
+}

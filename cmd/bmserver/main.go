@@ -11,6 +11,8 @@
 //	bmserver -duration 10s          # exit after a fixed time (0 = run forever)
 //	bmserver -metrics-addr :9091    # serve /metrics, /healthz, /debug/pprof/*
 //	bmserver -metrics-addr :9091 -live  # + fleet plane and /live dashboard
+//	bmserver -metrics-addr :9091 -live -uplink http://root:9310/ingest -node c1
+//	                                # + ship fan-in deltas to a bmagg root
 //	bmserver -log-level debug       # JSON request logs on stderr
 //
 // With -metrics-addr set, /metrics exposes the Prometheus text format:
@@ -45,6 +47,8 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/* on this address (empty = disabled)")
 		live        = flag.Bool("live", false, "with -metrics-addr: run the fleet aggregation plane and serve the /live streaming dashboard")
 		fanin       = flag.Duration("fanin", time.Second, "fleet fan-in period (with -live)")
+		uplink      = flag.String("uplink", "", "with -live: ship fan-in deltas to this bmagg ingest URL (e.g. http://root:9310/ingest)")
+		node        = flag.String("node", "", "collector name on the wire (required with -uplink)")
 		drainWait   = flag.Duration("drain-timeout", 5*time.Second, "how long a graceful drain waits for in-flight exchanges")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
@@ -63,13 +67,27 @@ func main() {
 	var reg *obs.Metrics
 	if *metricsAddr != "" {
 		reg = obs.NewMetrics()
+		obs.RegisterBuildInfo(reg)
 	}
 
 	// The fleet plane aggregates self-identified probe sessions and
 	// streams per-(method, browser, region) delay aggregates on /live.
+	// With -uplink it is a collector in a multi-node fleet: each fan-in
+	// tick's deltas also ship to the root aggregator.
 	var fl *fleet.Registry
+	var up *fleet.Uplink
 	if *live && *metricsAddr != "" {
-		fl = fleet.New(fleet.Config{Metrics: reg, Interval: *fanin})
+		cfg := fleet.Config{Metrics: reg, Interval: *fanin}
+		if *uplink != "" {
+			var err error
+			up, err = fleet.NewUplink(fleet.UplinkConfig{Node: *node, URL: *uplink, Metrics: reg})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bmserver:", err)
+				os.Exit(2)
+			}
+			cfg.DeltaSink = up.Sink
+		}
+		fl = fleet.New(cfg)
 		fl.Start()
 	}
 
@@ -83,7 +101,20 @@ func main() {
 	if *metricsAddr != "" {
 		var extra []obs.Route
 		if fl != nil {
-			extra = append(extra, obs.Route{Pattern: "/live", Handler: fl.LiveHandler()})
+			extra = append(extra,
+				obs.Route{Pattern: "/live", Handler: fl.LiveHandler()},
+				obs.Route{Pattern: "/live/history", Handler: fl.HistoryHandler()})
+		}
+		// Readiness: a collector is ready once the root has acked a
+		// frame; a standalone live server once the first fan-in ran;
+		// without the fleet plane the server is ready at bind.
+		switch {
+		case up != nil:
+			extra = append(extra, obs.ReadyzRoute(up.Ready))
+		case fl != nil:
+			extra = append(extra, obs.ReadyzRoute(func() bool { return fl.Snapshot().Seq > 0 }))
+		default:
+			extra = append(extra, obs.ReadyzRoute(nil))
 		}
 		ops, err = obs.StartOps(*metricsAddr, reg, extra...)
 		if err != nil {
@@ -132,6 +163,9 @@ func main() {
 	fmt.Printf("served: %d http, %d ws, %d tcp, %d udp exchanges\n", h, w, t, u)
 	if fl != nil {
 		fl.Stop()
+	}
+	if up != nil {
+		up.Stop() // final best-effort flush to the root
 	}
 	if ops != nil {
 		_ = ops.Close()

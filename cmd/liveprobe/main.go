@@ -54,6 +54,7 @@ func main() {
 	var reg *obs.Metrics
 	if *metricsFile != "" {
 		reg = obs.NewMetrics()
+		obs.RegisterBuildInfo(reg)
 	}
 	rows, err := liveclient.RunStudyWithOptions(addrs, liveclient.StudyOptions{Probes: *probes, Metrics: reg})
 	if err != nil {

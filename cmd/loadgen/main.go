@@ -16,6 +16,8 @@
 //	loadgen -sessions 10000        # scaled-down CI shape
 //	loadgen -assert-heap-mb 256    # fail if live heap exceeds the ceiling
 //	loadgen -metrics-addr :9091    # scrape /metrics, watch /live while it runs
+//	loadgen -uplink http://root:9310/ingest -node c1 -round-delay 300ms
+//	                               # act as one collector of a bmagg cluster
 //
 // Exit status is non-zero when an assertion fails: the heap ceiling,
 // the concurrent-session floor, sample conservation, or /metrics
@@ -134,12 +136,32 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "127.0.0.1:0", "ops endpoint address (/metrics, /live)")
 		heapCeil    = flag.Int("assert-heap-mb", 0, "fail when live heap exceeds this many MiB (0 = report only)")
 		seed        = flag.Int64("seed", 1, "deterministic workload seed")
+		uplinkURL   = flag.String("uplink", "", "ship fan-in deltas to this bmagg ingest URL (multi-node mode)")
+		node        = flag.String("node", "", "collector name on the wire (required with -uplink)")
+		roundDelay  = flag.Duration("round-delay", 0, "pause between probe rounds (spreads the load over fan-in ticks)")
 	)
 	flag.Parse()
-	if err := run(*sessions, *rounds, *workers, *shards, *fanin, *subscribers, *metricsAddr, *heapCeil, *seed); err != nil {
+	if err := run(runConfig{
+		sessions: *sessions, rounds: *rounds, workers: *workers, shards: *shards,
+		fanin: *fanin, subscribers: *subscribers, metricsAddr: *metricsAddr,
+		heapCeil: *heapCeil, seed: *seed,
+		uplinkURL: *uplinkURL, node: *node, roundDelay: *roundDelay,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runConfig carries the flag set into run.
+type runConfig struct {
+	sessions, rounds, workers, shards int
+	fanin                             time.Duration
+	subscribers                       int
+	metricsAddr                       string
+	heapCeil                          int
+	seed                              int64
+	uplinkURL, node                   string
+	roundDelay                        time.Duration
 }
 
 // streamStats is what one SSE subscriber saw.
@@ -177,15 +199,37 @@ func subscribe(url string, stats *streamStats, ready, done *sync.WaitGroup) {
 	}
 }
 
-func run(sessions, rounds, workers, shards int, fanin time.Duration, subscribers int, metricsAddr string, heapCeil int, seed int64) error {
+func run(rc runConfig) error {
+	sessions, rounds, workers, shards := rc.sessions, rc.rounds, rc.workers, rc.shards
+	fanin, subscribers, metricsAddr := rc.fanin, rc.subscribers, rc.metricsAddr
+	heapCeil, seed := rc.heapCeil, rc.seed
+
 	reg := obs.NewMetrics()
-	fl := fleet.New(fleet.Config{
+	obs.RegisterBuildInfo(reg)
+	fcfg := fleet.Config{
 		Shards:      shards,
 		MaxSessions: sessions + 1,
 		Interval:    fanin,
 		Metrics:     reg,
-	})
-	ops, err := obs.StartOps(metricsAddr, reg, obs.Route{Pattern: "/live", Handler: fl.LiveHandler()})
+	}
+	var up *fleet.Uplink
+	if rc.uplinkURL != "" {
+		var err error
+		up, err = fleet.NewUplink(fleet.UplinkConfig{Node: rc.node, URL: rc.uplinkURL, Metrics: reg})
+		if err != nil {
+			return err
+		}
+		fcfg.DeltaSink = up.Sink
+	}
+	fl := fleet.New(fcfg)
+	ready := func() bool { return fl.Snapshot().Seq > 0 }
+	if up != nil {
+		ready = up.Ready
+	}
+	ops, err := obs.StartOps(metricsAddr, reg,
+		obs.Route{Pattern: "/live", Handler: fl.LiveHandler()},
+		obs.Route{Pattern: "/live/history", Handler: fl.HistoryHandler()},
+		obs.ReadyzRoute(ready))
 	if err != nil {
 		return err
 	}
@@ -230,6 +274,9 @@ func run(sessions, rounds, workers, shards int, fanin time.Duration, subscribers
 					delay, lost := c.sample(round, rng)
 					fl.Observe(c.id, c.key, delay, lost)
 				}
+				if rc.roundDelay > 0 && round < rounds {
+					time.Sleep(rc.roundDelay)
+				}
 			}
 		}(w, lo, hi)
 	}
@@ -245,6 +292,13 @@ func run(sessions, rounds, workers, shards int, fanin time.Duration, subscribers
 	heapMB := float64(ms.HeapAlloc) / (1 << 20)
 
 	fl.Stop() // final fan-in: every sample reaches the snapshot
+	if up != nil {
+		up.Stop() // flush the final tick to the root before reading stats
+		fmt.Printf("uplink    : %d frames shipped, %d dropped, %d retries\n",
+			reg.Counter("fleet_uplink_shipped_total"),
+			reg.Counter("fleet_uplink_dropped_total"),
+			reg.Counter("fleet_uplink_retries_total"))
+	}
 
 	snap := fl.Snapshot()
 	var total, lost uint64

@@ -69,6 +69,41 @@ type Config struct {
 	// Metrics receives the fleet_* self-metering series at each fan-in
 	// tick. nil disables metering at zero cost.
 	Metrics *obs.Metrics
+	// HistoryDepth bounds the dashboard history ring: how many past
+	// snapshots /live/history retains and Last-Event-ID reconnects can
+	// replay (default 64).
+	HistoryDepth int
+	// HistoryEvery subsamples history recording: every Nth changed
+	// snapshot enters the ring (default 1, i.e. all of them). Raising it
+	// trades scrub resolution for a longer covered window at the same
+	// memory bound.
+	HistoryEvery int
+	// KeepAlive is the idle SSE heartbeat period (default 15s).
+	KeepAlive time.Duration
+	// DeltaSink, when set, receives each fan-in tick's coalesced per-key
+	// deltas synchronously at the end of the pass — the hook the uplink
+	// ships multi-node frames from. The sketches in the TickDelta are
+	// pooled: they are valid only for the duration of the call and must
+	// not be retained (encode them, don't keep them).
+	DeltaSink func(TickDelta)
+}
+
+// DeltaKey is one key's aggregate delta for a single fan-in tick.
+type DeltaKey struct {
+	Key       Key
+	Count     uint64
+	Lost      uint64
+	JitterSum float64
+	JitterN   uint64
+	Sketch    *obs.Sketch // tick-delta sketch; valid only during the sink call
+}
+
+// TickDelta is everything one fan-in tick added: the tick's sequence
+// number, the live session count, and the per-key deltas.
+type TickDelta struct {
+	Seq      uint64
+	Sessions int
+	Keys     []DeltaKey
 }
 
 // session is the bounded per-client state: just enough to turn the next
@@ -112,8 +147,11 @@ type global struct {
 
 // Registry is the fleet aggregation plane. Observe/End are safe for
 // arbitrary concurrent use; FanIn may run concurrently with ingest but
-// serializes against itself.
+// serializes against itself. The embedded liveView provides Snapshot,
+// LiveHandler, HistoryHandler and History.
 type Registry struct {
+	*liveView
+
 	cfg    Config
 	mask   uint64
 	shards []*shard
@@ -126,11 +164,6 @@ type Registry struct {
 	// prevCounts lets FanIn compute which keys changed since the last
 	// snapshot — the delta the stream pushes.
 	prevCounts map[Key]uint64
-
-	snapMu sync.RWMutex
-	snap   Snapshot
-
-	hub *hub
 
 	tickMu sync.Mutex
 	stop   chan struct{}
@@ -153,12 +186,12 @@ func New(cfg Config) *Registry {
 		cfg.Interval = time.Second
 	}
 	r := &Registry{
+		liveView:   newLiveView(cfg.HistoryDepth, cfg.HistoryEvery, cfg.KeepAlive),
 		cfg:        cfg,
 		mask:       uint64(n - 1),
 		shards:     make([]*shard, n),
 		globals:    make(map[Key]*global),
 		prevCounts: make(map[Key]uint64),
-		hub:        newHub(),
 	}
 	for i := range r.shards {
 		r.shards[i] = &shard{
@@ -187,6 +220,8 @@ func registerFleetHelp(m *obs.Metrics) {
 	m.SetHelp("fleet_stream_events_total", "SSE events delivered to subscribers.")
 	m.SetHelp("fleet_stream_dropped_total", "SSE events dropped because a subscriber buffer was full.")
 	m.SetHelp("fleet_stream_bytes_total", "Bytes of SSE event payload delivered to subscribers.")
+	m.SetHelp("fleet_stream_reconnects_total", "SSE subscribers that resumed with Last-Event-ID.")
+	m.SetHelp("fleet_history_snapshots", "Snapshots retained in the dashboard history ring.")
 }
 
 func (r *Registry) shardFor(id uint64) *shard {
@@ -257,8 +292,11 @@ func (r *Registry) End(id uint64) {
 // Sessions returns the live session count.
 func (r *Registry) Sessions() int { return int(r.active.Load()) }
 
-// KeyStats is one key's cumulative aggregate in a snapshot.
+// KeyStats is one key's cumulative aggregate in a snapshot. Node is set
+// only in cluster (Aggregator) snapshots; single-node registries leave
+// it empty.
 type KeyStats struct {
+	Node     string  `json:"node,omitempty"`
 	Method   string  `json:"method"`
 	Browser  string  `json:"browser"`
 	Region   string  `json:"region"`
@@ -272,11 +310,14 @@ type KeyStats struct {
 }
 
 // Snapshot is the global state after a fan-in pass. Keys are sorted by
-// (method, browser, region), so equal states render identically.
+// (method, browser, region) — (node, method, browser, region) in
+// cluster snapshots — so equal states render identically. Nodes is set
+// only by the Aggregator.
 type Snapshot struct {
-	Seq      uint64     `json:"seq"`
-	Sessions int        `json:"sessions"`
-	Keys     []KeyStats `json:"keys"`
+	Seq      uint64       `json:"seq"`
+	Sessions int          `json:"sessions"`
+	Keys     []KeyStats   `json:"keys"`
+	Nodes    []NodeStatus `json:"nodes,omitempty"`
 }
 
 // takeSpare hands the fan-in pass a reset sketch without allocating when
@@ -327,23 +368,43 @@ func (r *Registry) FanIn() Snapshot {
 		sh.mu.Unlock()
 	}
 
-	// Merge outside every shard lock. Fold order is fixed (sorted keys,
-	// shard order within a key) so equal ingest histories produce
-	// identical cumulative sketches.
+	// Merge outside every shard lock. Shard deltas first coalesce into
+	// one tick delta per key (the unit the uplink ships), then the tick
+	// deltas fold into the cumulative summaries. The fold order is fixed
+	// (sorted keys, shard order within a key) so equal ingest histories
+	// produce identical cumulative sketches.
 	sort.SliceStable(takenAggs, func(i, j int) bool { return keyLess(takenAggs[i].key, takenAggs[j].key) })
-	for _, t := range takenAggs {
-		g := r.globals[t.key]
+	var deltas []DeltaKey
+	for i := 0; i < len(takenAggs); {
+		t := takenAggs[i]
+		d := DeltaKey{
+			Key: t.key, Count: t.agg.count, Lost: t.agg.lost,
+			JitterSum: t.agg.jitterSum, JitterN: t.agg.jitterN,
+			Sketch: t.agg.sketch,
+		}
+		for i++; i < len(takenAggs) && takenAggs[i].key == t.key; i++ {
+			n := takenAggs[i]
+			d.Sketch.Merge(n.agg.sketch)
+			d.Count += n.agg.count
+			d.Lost += n.agg.lost
+			d.JitterSum += n.agg.jitterSum
+			d.JitterN += n.agg.jitterN
+			n.agg.sketch.Reset()
+			r.spare = append(r.spare, n.agg.sketch)
+		}
+		deltas = append(deltas, d)
+	}
+	for _, d := range deltas {
+		g := r.globals[d.Key]
 		if g == nil {
 			g = &global{sketch: obs.NewSketch(r.cfg.Targets...)}
-			r.globals[t.key] = g
+			r.globals[d.Key] = g
 		}
-		g.sketch.Merge(t.agg.sketch)
-		g.count += t.agg.count
-		g.lost += t.agg.lost
-		g.jitterSum += t.agg.jitterSum
-		g.jitterN += t.agg.jitterN
-		t.agg.sketch.Reset()
-		r.spare = append(r.spare, t.agg.sketch)
+		g.sketch.Merge(d.Sketch)
+		g.count += d.Count
+		g.lost += d.Lost
+		g.jitterSum += d.JitterSum
+		g.jitterN += d.JitterN
 	}
 
 	r.seq++
@@ -366,11 +427,17 @@ func (r *Registry) FanIn() Snapshot {
 		}
 	}
 
-	r.snapMu.Lock()
-	r.snap = snap
-	r.snapMu.Unlock()
-	if len(delta.Keys) > 0 {
-		r.hub.publish(renderEvent("delta", delta))
+	r.liveView.publish(snap, delta)
+
+	// Hand the tick deltas to the uplink sink (synchronously: the sink
+	// encodes and returns, it must not block on the network), then pool
+	// the delta sketches for the next tick.
+	if r.cfg.DeltaSink != nil && len(deltas) > 0 {
+		r.cfg.DeltaSink(TickDelta{Seq: snap.Seq, Sessions: snap.Sessions, Keys: deltas})
+	}
+	for _, d := range deltas {
+		d.Sketch.Reset()
+		r.spare = append(r.spare, d.Sketch)
 	}
 
 	took := time.Since(start)
@@ -384,12 +451,20 @@ func (r *Registry) FanIn() Snapshot {
 		m.Add("fleet_samples_lost_total", int64(lost))
 		m.Add("fleet_fanin_total", 1)
 		m.SketchDur("fleet_fanin_ms", took)
-		m.Set("fleet_stream_subscribers", float64(r.hub.count()))
-		m.Add("fleet_stream_events_total", r.hub.events.Swap(0))
-		m.Add("fleet_stream_dropped_total", r.hub.dropped.Swap(0))
-		m.Add("fleet_stream_bytes_total", r.hub.bytes.Swap(0))
+		meterStream(m, r.liveView)
 	}
 	return snap
+}
+
+// meterStream folds a liveView's stream and history counters into the
+// metrics registry — shared between Registry and Aggregator fan-in.
+func meterStream(m *obs.Metrics, v *liveView) {
+	m.Set("fleet_stream_subscribers", float64(v.hub.count()))
+	m.Add("fleet_stream_events_total", v.hub.events.Swap(0))
+	m.Add("fleet_stream_dropped_total", v.hub.dropped.Swap(0))
+	m.Add("fleet_stream_bytes_total", v.hub.bytes.Swap(0))
+	m.Add("fleet_stream_reconnects_total", v.reconnects.Swap(0))
+	m.Set("fleet_history_snapshots", float64(v.historyLen()))
 }
 
 func (g *global) stats(k Key) KeyStats {
@@ -412,14 +487,6 @@ func (g *global) stats(k Key) KeyStats {
 		ks.LossRate = float64(g.lost) / float64(g.count)
 	}
 	return ks
-}
-
-// Snapshot returns the most recently published snapshot (zero before the
-// first fan-in).
-func (r *Registry) Snapshot() Snapshot {
-	r.snapMu.RLock()
-	defer r.snapMu.RUnlock()
-	return r.snap
 }
 
 // Start launches the periodic fan-in ticker. Stop (or a second Start)

@@ -1,0 +1,117 @@
+package fleetwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/browsermetric/browsermetric/internal/obs"
+)
+
+// Fuzz target for the frame decoder — the one parser in the repo that
+// eats bytes straight off the network from other nodes. The corpus is
+// checked in as code (the repo's sweep/netsim convention) so `go test`
+// replays it on every CI run even without -fuzz.
+
+// wireSeedCorpus covers the decoder's interesting shapes: a valid
+// frame, an empty frame, torn tails, a flipped payload byte, a future
+// version, a lying length prefix, and plain garbage.
+func wireSeedCorpus(t testing.TB) [][]byte {
+	s := obs.NewSketch()
+	for i := 0; i < 300; i++ {
+		s.Observe(float64(i%37) + 5)
+	}
+	valid, err := AppendFrame(nil, &Frame{
+		Node: "seed-node", Seq: 9, Sessions: 42,
+		Keys: []KeyDelta{
+			{Method: "http-get", Browser: "chrome", Region: "us",
+				Count: 305, Lost: 5, JitterSum: 12.5, JitterN: 299, Sketch: s},
+			{Method: "websocket", Browser: "firefox", Region: "eu",
+				Count: 0, Sketch: obs.NewSketch()},
+		},
+	})
+	if err != nil {
+		t.Fatalf("seed encode: %v", err)
+	}
+	empty, err := AppendFrame(nil, &Frame{Node: "n", Seq: 1})
+	if err != nil {
+		t.Fatalf("seed encode: %v", err)
+	}
+	torn := append([]byte(nil), valid[:len(valid)-7]...)
+	flipped := append([]byte(nil), valid...)
+	flipped[headerLen+3] ^= 0x10
+	futureVer := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(futureVer[4:], Version+3)
+	lyingLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(lyingLen[8:], uint32(len(valid)))
+	double := append(append([]byte(nil), valid...), empty...)
+	return [][]byte{
+		valid,
+		empty,
+		double,
+		torn,
+		flipped,
+		futureVer,
+		lyingLen,
+		nil,
+		magic[:],
+		[]byte("not a frame"),
+		bytes.Repeat([]byte{0xff}, headerLen+crcLen),
+	}
+}
+
+// checkWireDecode holds DecodeFrame's fuzz invariants: it never panics,
+// errors are one of the three sentinels, consumed stays in range, and
+// any accepted frame re-encodes canonically to the exact input bytes.
+func checkWireDecode(t *testing.T, data []byte) {
+	t.Helper()
+	f, n, err := DecodeFrame(data)
+	if err != nil {
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("non-sentinel error: %v", err)
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d on error", n, len(data))
+		}
+		return
+	}
+	if n <= 0 || n > len(data) {
+		t.Fatalf("accepted frame consumed %d of %d", n, len(data))
+	}
+	again, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatalf("accepted frame does not re-encode: %v", err)
+	}
+	if !bytes.Equal(again, data[:n]) {
+		t.Fatal("accepted frame is not canonical: re-encoding differs")
+	}
+}
+
+func FuzzWireDecode(f *testing.F) {
+	for _, seed := range wireSeedCorpus(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) { checkWireDecode(t, data) })
+}
+
+// TestWireFuzzSeedCorpus replays the seed corpus as a plain test so the
+// invariants run under `go test` (and CI) without -fuzz.
+func TestWireFuzzSeedCorpus(t *testing.T) {
+	for _, seed := range wireSeedCorpus(t) {
+		seed := seed
+		t.Run("seed", func(t *testing.T) { checkWireDecode(t, seed) })
+	}
+}
+
+// TestWireSeedCorpusValidSeedDecodes sanity-checks that the valid seeds
+// exercise the accept path.
+func TestWireSeedCorpusValidSeedDecodes(t *testing.T) {
+	seeds := wireSeedCorpus(t)
+	if _, _, err := DecodeFrame(seeds[0]); err != nil {
+		t.Fatalf("canonical seed rejected: %v", err)
+	}
+	if _, _, err := DecodeFrame(seeds[1]); err != nil {
+		t.Fatalf("empty-frame seed rejected: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// RegisterBuildInfo sets the standard bm_build_info gauge on the
+// registry: value 1, labelled with the module version (or VCS revision
+// when built from a checkout) and the Go toolchain version. Every
+// long-running binary registers it so a scrape identifies exactly what
+// is serving.
+func RegisterBuildInfo(m *Metrics) {
+	if !m.Enabled() {
+		return
+	}
+	m.SetHelp("bm_build_info", "Build metadata carried in labels; the value is always 1.")
+	m.Set(L("bm_build_info", "version", buildVersion(), "go_version", runtime.Version()), 1)
+}
+
+// buildVersion digs a human-usable version out of the build info: the
+// module version when released, the VCS revision when built from a
+// checkout, "unknown" otherwise.
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			rev := s.Value[:12]
+			if v == "" || v == "(devel)" {
+				return rev
+			}
+			return v + "+" + rev
+		}
+	}
+	if v == "" {
+		return "unknown"
+	}
+	return v
+}
+
+// Readiness is a latch for the /readyz probe: services mark it once
+// their first useful unit of work (first fan-in, first uplink ack,
+// first aggregator publish) has completed.
+type Readiness struct {
+	ready atomic.Bool
+}
+
+// MarkReady latches the probe to ready; it never goes back.
+func (r *Readiness) MarkReady() { r.ready.Store(true) }
+
+// Ready reports the latch state. A nil Readiness is always ready, so
+// binaries without a warm-up phase can share the wiring.
+func (r *Readiness) Ready() bool { return r == nil || r.ready.Load() }
+
+// ReadyzRoute builds the /readyz ops route: 503 until ready() reports
+// true, 200 "ready" after. Distinct from /healthz (pure liveness, always
+// 200 while the process serves): a load balancer drains on /readyz
+// without the process being restarted for it.
+func ReadyzRoute(ready func() bool) Route {
+	return Route{
+		Pattern: "/readyz",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if ready == nil || ready() {
+				_, _ = w.Write([]byte("ready\n"))
+				return
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("not ready\n"))
+		}),
+	}
+}

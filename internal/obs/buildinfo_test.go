@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	m := NewMetrics()
+	RegisterBuildInfo(m)
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# HELP bm_build_info") || !strings.Contains(out, "# TYPE bm_build_info gauge") {
+		t.Fatalf("exposition missing bm_build_info family:\n%s", out)
+	}
+	if !strings.Contains(out, `go_version="go`) || !strings.Contains(out, `version="`) {
+		t.Fatalf("bm_build_info labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "} 1\n") {
+		t.Fatalf("bm_build_info value is not 1:\n%s", out)
+	}
+	if missing := m.FamiliesMissingHelp(); len(missing) != 0 {
+		t.Fatalf("families missing help: %v", missing)
+	}
+	RegisterBuildInfo(nil) // nil registry is a no-op
+}
+
+func TestReadyzRoute(t *testing.T) {
+	var r Readiness
+	rt := ReadyzRoute(r.Ready)
+	if rt.Pattern != "/readyz" {
+		t.Fatalf("pattern = %q", rt.Pattern)
+	}
+	rec := httptest.NewRecorder()
+	rt.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("before MarkReady: status = %d", rec.Code)
+	}
+	r.MarkReady()
+	rec = httptest.NewRecorder()
+	rt.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ready") {
+		t.Fatalf("after MarkReady: status = %d body = %q", rec.Code, rec.Body.String())
+	}
+	// nil ready func and nil *Readiness both mean "always ready".
+	rec = httptest.NewRecorder()
+	ReadyzRoute(nil).Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil ready fn: status = %d", rec.Code)
+	}
+	var nilR *Readiness
+	if !nilR.Ready() {
+		t.Fatal("nil Readiness not ready")
+	}
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary sketch codec: the exact-state serialization the fleet wire
+// format ships collector delta sketches with. The encoding is canonical
+// and lossless — every stored tuple's (value, width, delta) float64 bits
+// travel verbatim, so a decoded sketch is indistinguishable from the
+// original: Merge folds it with bit-identical results, which is what
+// reduces cross-node fan-in correctness to "the codec round-trips"
+// (the GK COMBINE machinery is already order-invariant and
+// property-tested in-process).
+//
+// Layout (all integers little-endian, floats as IEEE 754 bits):
+//
+//	u8       codec version (sketchBinVersion)
+//	uvarint  target count
+//	         per target: f64 quantile, f64 epsilon
+//	f64      n (observations folded into tuples)
+//	u64      count
+//	f64      sum, min, max
+//	uvarint  tuple count
+//	         per tuple: f64 value, f64 width, f64 delta
+//
+// The encoder flushes first, so the insert buffer never appears on the
+// wire and n == count exactly.
+
+// sketchBinVersion is the codec version byte; decoders reject anything
+// else so a future layout change cannot be misparsed as tuples.
+const sketchBinVersion = 1
+
+// sketchBinMaxTargets bounds the decoded target list; real sketches
+// track a handful of quantiles, so anything larger is corruption.
+const sketchBinMaxTargets = 64
+
+// ErrSketchCorrupt is returned (possibly wrapped) by DecodeSketch for
+// any input that is not a well-formed, self-consistent encoding.
+var ErrSketchCorrupt = errors.New("obs: corrupt sketch encoding")
+
+// AppendBinary appends the canonical binary encoding of the sketch to b
+// and returns the extended slice. The receiver is flushed (buffered
+// observations fold into tuples) but is otherwise unchanged; equal
+// sketch states encode to identical bytes.
+func (s *Sketch) AppendBinary(b []byte) []byte {
+	s.flush()
+	b = append(b, sketchBinVersion)
+	b = binary.AppendUvarint(b, uint64(len(s.targets)))
+	for _, t := range s.targets {
+		b = appendF64(b, t.Quantile)
+		b = appendF64(b, t.Epsilon)
+	}
+	b = appendF64(b, s.n)
+	b = binary.LittleEndian.AppendUint64(b, s.count)
+	b = appendF64(b, s.sum)
+	b = appendF64(b, s.min)
+	b = appendF64(b, s.max)
+	b = binary.AppendUvarint(b, uint64(len(s.samples)))
+	for _, c := range s.samples {
+		b = appendF64(b, c.value)
+		b = appendF64(b, c.width)
+		b = appendF64(b, c.delta)
+	}
+	return b
+}
+
+// DecodeSketch parses one sketch encoding occupying the whole of b. It
+// rejects truncated, oversized, version-mismatched and structurally
+// inconsistent inputs (unsorted targets or tuples, non-positive widths,
+// NaN state, width sum disagreeing with n), so a torn or bit-flipped
+// wire payload surfaces as an error rather than a silently skewed
+// summary.
+func DecodeSketch(b []byte) (*Sketch, error) {
+	d := binReader{buf: b}
+	v, ok := d.u8()
+	if !ok {
+		return nil, fmt.Errorf("%w: empty", ErrSketchCorrupt)
+	}
+	if v != sketchBinVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrSketchCorrupt, v)
+	}
+	nt, ok := d.uvarint()
+	if !ok || nt > sketchBinMaxTargets {
+		return nil, fmt.Errorf("%w: target count", ErrSketchCorrupt)
+	}
+	targets := make([]SketchTarget, 0, nt)
+	for i := uint64(0); i < nt; i++ {
+		q, ok1 := d.f64()
+		eps, ok2 := d.f64()
+		if !ok1 || !ok2 || !(q > 0 && q < 1) || !(eps > 0 && eps <= 1) {
+			return nil, fmt.Errorf("%w: target %d", ErrSketchCorrupt, i)
+		}
+		if len(targets) > 0 && q <= targets[len(targets)-1].Quantile {
+			return nil, fmt.Errorf("%w: targets not ascending", ErrSketchCorrupt)
+		}
+		targets = append(targets, SketchTarget{Quantile: q, Epsilon: eps})
+	}
+	n, okN := d.f64()
+	count, okC := d.u64()
+	sum, okS := d.f64()
+	minV, okMin := d.f64()
+	maxV, okMax := d.f64()
+	if !okN || !okC || !okS || !okMin || !okMax {
+		return nil, fmt.Errorf("%w: truncated state", ErrSketchCorrupt)
+	}
+	if math.IsNaN(n) || math.IsNaN(sum) || math.IsNaN(minV) || math.IsNaN(maxV) {
+		return nil, fmt.Errorf("%w: NaN state", ErrSketchCorrupt)
+	}
+	ns, ok := d.uvarint()
+	// Each tuple is 24 bytes; bounding by the remaining input rejects
+	// absurd counts before allocating.
+	if !ok || ns*24 > uint64(len(d.buf)-d.off) {
+		return nil, fmt.Errorf("%w: tuple count", ErrSketchCorrupt)
+	}
+	samples := make([]sketchSample, 0, ns)
+	var widthSum float64
+	for i := uint64(0); i < ns; i++ {
+		val, ok1 := d.f64()
+		width, ok2 := d.f64()
+		delta, ok3 := d.f64()
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("%w: truncated tuple %d", ErrSketchCorrupt, i)
+		}
+		if math.IsNaN(val) || math.IsNaN(width) || math.IsNaN(delta) || width < 1 || delta < 0 {
+			return nil, fmt.Errorf("%w: tuple %d out of range", ErrSketchCorrupt, i)
+		}
+		if len(samples) > 0 && val < samples[len(samples)-1].value {
+			return nil, fmt.Errorf("%w: tuples not sorted", ErrSketchCorrupt)
+		}
+		widthSum += width
+		samples = append(samples, sketchSample{value: val, width: width, delta: delta})
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSketchCorrupt, len(d.buf)-d.off)
+	}
+	// Cross-field consistency: the encoder writes flushed sketches, where
+	// the tuple widths sum exactly to n and n mirrors count (widths are
+	// integer-valued floats, so the sum is exact).
+	if widthSum != n || float64(count) != n {
+		return nil, fmt.Errorf("%w: width sum %g != n %g (count %d)", ErrSketchCorrupt, widthSum, n, count)
+	}
+	if ns > 0 && (minV > samples[0].value || maxV < samples[len(samples)-1].value || minV > maxV) {
+		return nil, fmt.Errorf("%w: min/max inconsistent", ErrSketchCorrupt)
+	}
+	if ns == 0 && count != 0 {
+		return nil, fmt.Errorf("%w: count without tuples", ErrSketchCorrupt)
+	}
+	s := NewSketch(targets...)
+	if len(s.targets) != len(targets) {
+		// NewSketch filtered something the checks above admitted.
+		return nil, fmt.Errorf("%w: unusable targets", ErrSketchCorrupt)
+	}
+	s.samples = samples
+	s.n = n
+	s.count = count
+	s.sum = sum
+	if ns > 0 {
+		s.min, s.max = minV, maxV
+	}
+	return s, nil
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// binReader is a bounds-checked little-endian cursor; every accessor
+// reports false instead of panicking on truncated input.
+type binReader struct {
+	buf []byte
+	off int
+}
+
+func (d *binReader) u8() (byte, bool) {
+	if d.off+1 > len(d.buf) {
+		return 0, false
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, true
+}
+
+func (d *binReader) u64() (uint64, bool) {
+	if d.off+8 > len(d.buf) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, true
+}
+
+func (d *binReader) f64() (float64, bool) {
+	v, ok := d.u64()
+	return math.Float64frombits(v), ok
+}
+
+func (d *binReader) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	d.off += n
+	return v, true
+}
