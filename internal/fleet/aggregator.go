@@ -47,8 +47,12 @@ func nodeKeyLess(a, b nodeKey) bool {
 	return keyLess(a.key, b.key)
 }
 
-// nodeState is per-collector liveness bookkeeping.
+// nodeState is per-collector liveness bookkeeping. Sequence numbers
+// are tracked per epoch (the collector's boot id): a frame from a newer
+// epoch resets the high-water mark so a restarted collector's frames
+// merge again instead of reading as duplicates of its previous life.
 type nodeState struct {
+	epoch    uint64
 	lastSeq  uint64
 	lastAt   time.Time
 	sessions uint64
@@ -84,6 +88,7 @@ type Aggregator struct {
 	globals map[nodeKey]*global
 	// Tick-local ingest counters, drained into obs.Metrics at publish.
 	frames, dups, gaps uint64
+	restarts           uint64
 	rejCorrupt, rejVer uint64
 
 	pubMu      sync.Mutex
@@ -128,6 +133,7 @@ func registerAggHelp(m *obs.Metrics) {
 	m.SetHelp("fleet_agg_frames_total", "Frames merged into cluster aggregates.")
 	m.SetHelp("fleet_agg_frames_duplicate_total", "Frames acknowledged but skipped as duplicates (retry races).")
 	m.SetHelp("fleet_agg_frames_gap_total", "Sequence numbers skipped by arriving frames (uplink drops).")
+	m.SetHelp("fleet_agg_node_restarts_total", "Collector restarts observed (a frame arrived with a newer epoch).")
 	m.SetHelp("fleet_agg_frames_rejected_total", "Frames rejected at ingest, by reason.")
 	m.SetHelp("fleet_agg_publish_ms", "Wall-clock duration of one cluster publish pass in milliseconds.")
 	m.SetHelp("fleet_agg_sessions", "Live sessions summed over fresh (non-stale) nodes.")
@@ -193,15 +199,31 @@ func (a *Aggregator) countReject(reason string) {
 }
 
 // apply merges one decoded frame into the cluster state. Duplicates
-// (seq at or below the node's high-water mark) are counted and skipped.
+// (same epoch, seq at or below the node's high-water mark) are counted
+// and skipped; a frame from a newer epoch is a collector restart, so
+// the sequence high-water mark resets and its frames merge again. A
+// frame from an older epoch is a straggler from the previous life (an
+// in-flight retry that landed after the restart): it is acknowledged
+// as a duplicate rather than merged, since the new epoch has already
+// taken over the node's row.
 func (a *Aggregator) apply(f *fleetwire.Frame) {
 	now := time.Now()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	ns := a.nodes[f.Node]
 	if ns == nil {
-		ns = &nodeState{}
+		ns = &nodeState{epoch: f.Epoch}
 		a.nodes[f.Node] = ns
+	}
+	switch {
+	case f.Epoch < ns.epoch:
+		a.dups++
+		ns.lastAt = now // stale-epoch straggler; the node itself is alive
+		return
+	case f.Epoch > ns.epoch:
+		ns.epoch = f.Epoch
+		ns.lastSeq = 0
+		a.restarts++
 	}
 	if f.Seq <= ns.lastSeq {
 		a.dups++
@@ -269,9 +291,9 @@ func (a *Aggregator) Publish() Snapshot {
 		}
 		nodes = append(nodes, st)
 	}
-	frames, dups, gaps := a.frames, a.dups, a.gaps
+	frames, dups, gaps, restarts := a.frames, a.dups, a.gaps, a.restarts
 	rejC, rejV := a.rejCorrupt, a.rejVer
-	a.frames, a.dups, a.gaps, a.rejCorrupt, a.rejVer = 0, 0, 0, 0, 0
+	a.frames, a.dups, a.gaps, a.restarts, a.rejCorrupt, a.rejVer = 0, 0, 0, 0, 0, 0
 	nNodes, nKeys := len(a.nodes), len(a.globals)
 	a.mu.Unlock()
 
@@ -302,6 +324,7 @@ func (a *Aggregator) Publish() Snapshot {
 		m.Add("fleet_agg_frames_total", int64(frames))
 		m.Add("fleet_agg_frames_duplicate_total", int64(dups))
 		m.Add("fleet_agg_frames_gap_total", int64(gaps))
+		m.Add("fleet_agg_node_restarts_total", int64(restarts))
 		m.Add(obs.L("fleet_agg_frames_rejected_total", "reason", "corrupt"), int64(rejC))
 		m.Add(obs.L("fleet_agg_frames_rejected_total", "reason", "version"), int64(rejV))
 		m.SketchDur("fleet_agg_publish_ms", took)

@@ -25,12 +25,17 @@ func postFrames(t *testing.T, srv *httptest.Server, body []byte) int {
 
 func encodeTick(t *testing.T, node string, seq uint64, sessions uint64, k Key, vals ...float64) []byte {
 	t.Helper()
+	return encodeTickEpoch(t, node, 0, seq, sessions, k, vals...)
+}
+
+func encodeTickEpoch(t *testing.T, node string, epoch, seq, sessions uint64, k Key, vals ...float64) []byte {
+	t.Helper()
 	s := obs.NewSketch()
 	for _, v := range vals {
 		s.Observe(v)
 	}
 	b, err := fleetwire.AppendFrame(nil, &fleetwire.Frame{
-		Node: node, Seq: seq, Sessions: sessions,
+		Node: node, Epoch: epoch, Seq: seq, Sessions: sessions,
 		Keys: []fleetwire.KeyDelta{{
 			Method: k.Method, Browser: k.Browser, Region: k.Region,
 			Count: uint64(len(vals)), Sketch: s,
@@ -107,6 +112,39 @@ func TestAggregatorDuplicateFrameAckedNotDoubleCounted(t *testing.T) {
 	}
 	if got := m.Counter("fleet_agg_frames_total"); got != 1 {
 		t.Fatalf("merged counter = %d", got)
+	}
+}
+
+// TestAggregatorRestartedCollectorMergesAgain: a collector that crashes
+// and comes back resumes at seq 1 under a new epoch; the root must
+// merge its frames rather than discard them as duplicates of the
+// previous life, while a straggler frame from the old epoch (an
+// in-flight retry that landed after the restart) still dedupes.
+func TestAggregatorRestartedCollectorMergesAgain(t *testing.T) {
+	m := obs.NewMetrics()
+	a := NewAggregator(AggConfig{Metrics: m})
+	srv := httptest.NewServer(a.IngestHandler())
+	defer srv.Close()
+	k := Key{Method: "http-get", Browser: "chrome", Region: "us"}
+
+	postFrames(t, srv, encodeTickEpoch(t, "c1", 100, 5, 2, k, 1, 2))
+	if code := postFrames(t, srv, encodeTickEpoch(t, "c1", 200, 1, 1, k, 3)); code != 200 {
+		t.Fatalf("post-restart frame status = %d", code)
+	}
+	postFrames(t, srv, encodeTickEpoch(t, "c1", 100, 6, 2, k, 9, 9, 9))
+
+	snap := a.Publish()
+	if snap.Keys[0].Count != 3 {
+		t.Fatalf("count = %d, want 3 (2 pre-restart + 1 post-restart, straggler skipped)", snap.Keys[0].Count)
+	}
+	if got := m.Counter("fleet_agg_node_restarts_total"); got != 1 {
+		t.Fatalf("restart counter = %d, want 1", got)
+	}
+	if got := m.Counter("fleet_agg_frames_duplicate_total"); got != 1 {
+		t.Fatalf("duplicate counter = %d, want 1 (the old-epoch straggler)", got)
+	}
+	if got := m.Counter("fleet_agg_frames_gap_total"); got != 0 {
+		t.Fatalf("gap counter = %d, want 0 (a restart is not an uplink drop)", got)
 	}
 }
 

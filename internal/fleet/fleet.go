@@ -80,11 +80,13 @@ type Config struct {
 	HistoryEvery int
 	// KeepAlive is the idle SSE heartbeat period (default 15s).
 	KeepAlive time.Duration
-	// DeltaSink, when set, receives each fan-in tick's coalesced per-key
-	// deltas synchronously at the end of the pass — the hook the uplink
-	// ships multi-node frames from. The sketches in the TickDelta are
-	// pooled: they are valid only for the duration of the call and must
-	// not be retained (encode them, don't keep them).
+	// DeltaSink, when set, receives every fan-in tick's coalesced
+	// per-key deltas synchronously at the end of the pass — the hook
+	// the uplink ships multi-node frames from. Idle ticks arrive with
+	// Keys empty (a heartbeat carrying just the sequence number and
+	// session count). The sketches in the TickDelta are pooled: they
+	// are valid only for the duration of the call and must not be
+	// retained (encode them, don't keep them).
 	DeltaSink func(TickDelta)
 }
 
@@ -431,8 +433,11 @@ func (r *Registry) FanIn() Snapshot {
 
 	// Hand the tick deltas to the uplink sink (synchronously: the sink
 	// encodes and returns, it must not block on the network), then pool
-	// the delta sketches for the next tick.
-	if r.cfg.DeltaSink != nil && len(deltas) > 0 {
+	// the delta sketches for the next tick. Idle ticks ship too — a
+	// keys-empty frame is a few dozen bytes and keeps the uplink
+	// sequence dense (so root-side gap counting means real drops) and
+	// the node's session count fresh while nothing is sampling.
+	if r.cfg.DeltaSink != nil {
 		r.cfg.DeltaSink(TickDelta{Seq: snap.Seq, Sessions: snap.Sessions, Keys: deltas})
 	}
 	for _, d := range deltas {

@@ -218,10 +218,13 @@ func TestDeltaSinkReceivesCoalescedTicks(t *testing.T) {
 	r.Observe(50, kb, 7, false)
 	r.Observe(50, kb, 0, true) // lost
 	r.FanIn()
-	r.FanIn() // no new samples: must not call the sink
+	r.FanIn() // no new samples: ships a keys-empty heartbeat tick
 
-	if len(got) != 1 {
-		t.Fatalf("sink called %d times, want 1 (idle ticks are silent)", len(got))
+	if len(got) != 2 {
+		t.Fatalf("sink called %d times, want 2 (idle ticks ship heartbeats)", len(got))
+	}
+	if hb := got[1]; hb.Seq != 2 || len(hb.Keys) != 0 {
+		t.Fatalf("idle tick = seq %d with %d keys, want seq 2 and no keys", hb.Seq, len(hb.Keys))
 	}
 	d := got[0]
 	if d.Seq != 1 || d.Sessions != 41 {

@@ -338,12 +338,16 @@ td:nth-child(-n+4),th:nth-child(-n+4){text-align:left}
 var lrows = {}, lmeta = null, hist = [], paused = false;
 function keyOf(k){ return (k.node||"")+"|"+k.method+"|"+k.browser+"|"+k.region; }
 function fmt(x){ return (Math.round(x*1000)/1000).toString(); }
+function esc(x){
+  return String(x).replace(/&/g,"&amp;").replace(/</g,"&lt;")
+    .replace(/>/g,"&gt;").replace(/"/g,"&quot;");
+}
 function render(rows){
   var ks = Object.keys(rows).sort();
   var html = "";
   for (var i = 0; i < ks.length; i++) {
     var k = rows[ks[i]];
-    html += "<tr><td>"+(k.node||"")+"</td><td>"+k.method+"</td><td>"+k.browser+"</td><td>"+k.region+
+    html += "<tr><td>"+esc(k.node||"")+"</td><td>"+esc(k.method)+"</td><td>"+esc(k.browser)+"</td><td>"+esc(k.region)+
       "</td><td>"+k.count+"</td><td>"+k.lost+"</td><td>"+fmt(k.p50_ms)+
       "</td><td>"+fmt(k.p95_ms)+"</td><td>"+fmt(k.p99_ms)+
       "</td><td>"+fmt(k.jitter_ms)+"</td><td>"+fmt(k.loss_rate)+"</td></tr>";

@@ -41,7 +41,11 @@ type UplinkConfig struct {
 // path and shard locks are never touched — the uplink only sees the
 // already-coalesced tick deltas the fan-in pass hands it.
 type Uplink struct {
-	cfg   UplinkConfig
+	cfg UplinkConfig
+	// epoch is this process's boot id, stamped into every frame so the
+	// root can tell a restart (new epoch, seq back at 1) from duplicate
+	// delivery (same epoch, repeated seq).
+	epoch uint64
 	ready obs.Readiness
 
 	mu    sync.Mutex
@@ -78,10 +82,11 @@ func NewUplink(cfg UplinkConfig) (*Uplink, error) {
 	}
 	registerUplinkHelp(cfg.Metrics)
 	u := &Uplink{
-		cfg:  cfg,
-		wake: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:   cfg,
+		epoch: uint64(time.Now().UnixNano()),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
 	go u.run()
 	return u, nil
@@ -103,7 +108,7 @@ func registerUplinkHelp(m *obs.Metrics) {
 // wire frame and enqueues it. It never blocks and never errors — a full
 // queue drops the oldest frame and counts it.
 func (u *Uplink) Sink(d TickDelta) {
-	f := &fleetwire.Frame{Node: u.cfg.Node, Seq: d.Seq, Sessions: uint64(d.Sessions)}
+	f := &fleetwire.Frame{Node: u.cfg.Node, Epoch: u.epoch, Seq: d.Seq, Sessions: uint64(d.Sessions)}
 	f.Keys = make([]fleetwire.KeyDelta, 0, len(d.Keys))
 	for _, k := range d.Keys {
 		f.Keys = append(f.Keys, fleetwire.KeyDelta{

@@ -16,7 +16,9 @@ import (
 
 // wireSeedCorpus covers the decoder's interesting shapes: a valid
 // frame, an empty frame, torn tails, a flipped payload byte, a future
-// version, a lying length prefix, and plain garbage.
+// version, a lying length prefix, CRC-valid frames with hostile
+// payloads (an overflowing sketch tuple count, a lying key count), and
+// plain garbage.
 func wireSeedCorpus(t testing.TB) [][]byte {
 	s := obs.NewSketch()
 	for i := 0; i < 300; i++ {
@@ -46,6 +48,35 @@ func wireSeedCorpus(t testing.TB) [][]byte {
 	lyingLen := append([]byte(nil), valid...)
 	binary.LittleEndian.PutUint32(lyingLen[8:], uint32(len(valid)))
 	double := append(append([]byte(nil), valid...), empty...)
+
+	// CRC-valid frame whose sketch blob claims a tuple count chosen so
+	// count*24 wraps uint64 (768614336404564651*24 == 2^64+8): the CRC
+	// passes, so the decoder must reject the count arithmetic itself
+	// rather than panic allocating the tuple slice.
+	blob := obs.NewSketch().AppendBinary(nil)
+	blob = binary.AppendUvarint(blob[:len(blob)-1], 768614336404564651)
+	blob = append(blob, make([]byte, 8)...)
+	var p []byte
+	p = appendString(p, "n")
+	p = binary.LittleEndian.AppendUint64(p, 1) // epoch
+	p = binary.LittleEndian.AppendUint64(p, 1) // seq
+	p = binary.LittleEndian.AppendUint64(p, 0) // sessions
+	p = binary.AppendUvarint(p, 1)
+	p = appendString(p, "m")
+	p = appendString(p, "b")
+	p = appendString(p, "r")
+	p = append(p, make([]byte, 32)...) // count, lost, jitterSum, jitterN
+	p = binary.AppendUvarint(p, uint64(len(blob)))
+	overflowTuples := rawFrame(append(p, blob...))
+
+	// CRC-valid frame claiming far more keys than its bytes can hold:
+	// the count must be rejected before the per-key pre-allocation.
+	var q []byte
+	q = appendString(q, "n")
+	q = append(q, make([]byte, 24)...) // epoch, seq, sessions
+	q = binary.AppendUvarint(q, 4096)
+	lyingKeys := rawFrame(append(q, make([]byte, 4200)...))
+
 	return [][]byte{
 		valid,
 		empty,
@@ -54,6 +85,8 @@ func wireSeedCorpus(t testing.TB) [][]byte {
 		flipped,
 		futureVer,
 		lyingLen,
+		overflowTuples,
+		lyingKeys,
 		nil,
 		magic[:],
 		[]byte("not a frame"),

@@ -28,7 +28,9 @@
 //	u32      payload length
 //	payload:
 //	    uvarint+bytes  node name
-//	    u64            frame sequence number (per node, monotone)
+//	    u64            epoch (collector boot id; sequence numbers are
+//	                   monotone within one epoch and restart with it)
+//	    u64            frame sequence number (per node+epoch, monotone)
 //	    u64            live sessions at the node
 //	    uvarint        key count
 //	    per key (strictly ascending by method, browser, region):
@@ -70,6 +72,10 @@ const (
 	maxLabel = 4096
 	// maxKeys bounds the key count in one frame.
 	maxKeys = 1 << 20
+	// minKeyEnc is the fewest payload bytes one encoded key can occupy:
+	// three empty-label length bytes, four fixed u64s, and a one-byte
+	// sketch-blob length prefix.
+	minKeyEnc = 3 + 4*8 + 1
 )
 
 // Sentinel errors; Decode wraps them with positional detail.
@@ -94,9 +100,15 @@ type KeyDelta struct {
 	Sketch                  *obs.Sketch
 }
 
-// Frame is one collector tick on the wire.
+// Frame is one collector tick on the wire. Epoch is the collector's
+// boot id (any value that changes across process restarts, e.g. the
+// start time in nanoseconds): Seq is monotone only within one epoch,
+// so a root can tell a restarted collector (new epoch, seq back at 1)
+// from a duplicated frame (same epoch, seq at or below the high-water
+// mark).
 type Frame struct {
 	Node     string
+	Epoch    uint64
 	Seq      uint64
 	Sessions uint64
 	Keys     []KeyDelta
@@ -149,6 +161,7 @@ func AppendFrame(b []byte, f *Frame) ([]byte, error) {
 	payloadStart := len(b)
 
 	b = appendString(b, f.Node)
+	b = binary.LittleEndian.AppendUint64(b, f.Epoch)
 	b = binary.LittleEndian.AppendUint64(b, f.Seq)
 	b = binary.LittleEndian.AppendUint64(b, f.Sessions)
 	b = binary.AppendUvarint(b, uint64(len(order)))
@@ -232,6 +245,9 @@ func decodePayload(p []byte) (*Frame, error) {
 		return nil, fmt.Errorf("%w: node name", ErrCorrupt)
 	}
 	f := &Frame{Node: node}
+	if f.Epoch, ok = d.u64(); !ok {
+		return nil, fmt.Errorf("%w: epoch", ErrCorrupt)
+	}
 	if f.Seq, ok = d.u64(); !ok {
 		return nil, fmt.Errorf("%w: sequence", ErrCorrupt)
 	}
@@ -239,7 +255,10 @@ func decodePayload(p []byte) (*Frame, error) {
 		return nil, fmt.Errorf("%w: sessions", ErrCorrupt)
 	}
 	nk, ok := d.uvarint()
-	if !ok || nk > maxKeys || nk > uint64(len(p)) {
+	// Bound the claimed count by the fewest bytes one encoded key can
+	// occupy in the remaining payload, so a lying count cannot force a
+	// large pre-allocation that the first failed key parse discards.
+	if !ok || nk > maxKeys || nk > uint64(len(p)-d.off)/minKeyEnc {
 		return nil, fmt.Errorf("%w: key count", ErrCorrupt)
 	}
 	f.Keys = make([]KeyDelta, 0, nk)

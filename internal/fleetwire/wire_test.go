@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"math/rand"
 	"sort"
@@ -23,7 +24,7 @@ func sketchOf(vals ...float64) *obs.Sketch {
 func testFrame(t *testing.T, seed int64) *Frame {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	f := &Frame{Node: "collector-7", Seq: uint64(seed + 1), Sessions: 4321}
+	f := &Frame{Node: "collector-7", Epoch: 777000 + uint64(seed), Seq: uint64(seed + 1), Sessions: 4321}
 	for _, k := range [][3]string{
 		{"http-get", "chrome", "us"},
 		{"http-get", "chrome", "eu"},
@@ -64,7 +65,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if n != len(enc) {
 		t.Fatalf("consumed %d of %d", n, len(enc))
 	}
-	if got.Node != f.Node || got.Seq != f.Seq || got.Sessions != f.Sessions {
+	if got.Node != f.Node || got.Epoch != f.Epoch || got.Seq != f.Seq || got.Sessions != f.Sessions {
 		t.Fatalf("header diverged: %+v", got)
 	}
 	if len(got.Keys) != len(f.Keys) {
@@ -110,7 +111,7 @@ func TestEncodeCanonical(t *testing.T) {
 	f := testFrame(t, 3)
 	first := encode(t, f)
 	// Shuffle the key order: the canonical encoder must not care.
-	shuffled := &Frame{Node: f.Node, Seq: f.Seq, Sessions: f.Sessions}
+	shuffled := &Frame{Node: f.Node, Epoch: f.Epoch, Seq: f.Seq, Sessions: f.Sessions}
 	shuffled.Keys = append([]KeyDelta(nil), f.Keys...)
 	rand.New(rand.NewSource(9)).Shuffle(len(shuffled.Keys), func(i, j int) {
 		shuffled.Keys[i], shuffled.Keys[j] = shuffled.Keys[j], shuffled.Keys[i]
@@ -191,6 +192,36 @@ func TestDecodeRejectsBadMagicAndVersion(t *testing.T) {
 	if _, _, err := DecodeFrame(huge); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("oversized length: err = %v", err)
 	}
+}
+
+// TestDecodeRejectsLyingKeyCount: a frame whose payload claims far more
+// keys than its remaining bytes could possibly hold must be rejected at
+// the count check — before the ~88-byte-per-key slice pre-allocation —
+// even when the frame is large enough that the count passes maxKeys and
+// the CRC is valid.
+func TestDecodeRejectsLyingKeyCount(t *testing.T) {
+	var p []byte
+	p = appendString(p, "n")
+	p = binary.LittleEndian.AppendUint64(p, 1) // epoch
+	p = binary.LittleEndian.AppendUint64(p, 1) // seq
+	p = binary.LittleEndian.AppendUint64(p, 0) // sessions
+	p = binary.AppendUvarint(p, maxKeys)       // claims 2^20 keys...
+	p = append(p, make([]byte, 1<<20)...)      // ...in ~1 MiB of zeros
+	frame := rawFrame(p)
+	if _, _, err := DecodeFrame(frame); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("lying key count: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// rawFrame wraps an arbitrary payload in a valid header and CRC, for
+// crafting frames the canonical encoder refuses to produce.
+func rawFrame(payload []byte) []byte {
+	b := append([]byte(nil), magic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, Version)
+	b = binary.LittleEndian.AppendUint16(b, 0)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, castagnoli))
 }
 
 // TestWireMergeBitEquivalent is the tentpole property: shipping a delta

@@ -112,8 +112,10 @@ func DecodeSketch(b []byte) (*Sketch, error) {
 	}
 	ns, ok := d.uvarint()
 	// Each tuple is 24 bytes; bounding by the remaining input rejects
-	// absurd counts before allocating.
-	if !ok || ns*24 > uint64(len(d.buf)-d.off) {
+	// absurd counts before allocating. Divide rather than multiply: ns
+	// is attacker-controlled up to 2^64-1 and ns*24 can wrap past the
+	// remaining length.
+	if !ok || ns > uint64(len(d.buf)-d.off)/24 {
 		return nil, fmt.Errorf("%w: tuple count", ErrSketchCorrupt)
 	}
 	samples := make([]sketchSample, 0, ns)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math"
 	"math/rand"
@@ -141,5 +142,22 @@ func TestSketchBinaryRejectsCorruption(t *testing.T) {
 		if !bytes.Equal(dec.AppendBinary(nil), flipped) {
 			t.Fatal("accepted a decode that does not round-trip")
 		}
+	}
+}
+
+// TestSketchBinaryRejectsOverflowingTupleCount: a tuple count chosen so
+// that count*24 wraps the uint64 remaining-bytes bound must be rejected
+// before allocation, not panic in make. 768614336404564651*24 ==
+// 2^64 + 8, so the wrapped product is 8 — small enough to pass a
+// multiplication-based bound when >= 8 bytes of input remain.
+func TestSketchBinaryRejectsOverflowingTupleCount(t *testing.T) {
+	enc := NewSketch().AppendBinary(nil)
+	// The encoding of an empty sketch ends with the one-byte tuple count
+	// 0; replace it with the overflowing count and 8 padding bytes.
+	crafted := append([]byte(nil), enc[:len(enc)-1]...)
+	crafted = binary.AppendUvarint(crafted, 768614336404564651)
+	crafted = append(crafted, make([]byte, 8)...)
+	if _, err := DecodeSketch(crafted); !errors.Is(err, ErrSketchCorrupt) {
+		t.Fatalf("overflowing tuple count: err = %v, want ErrSketchCorrupt", err)
 	}
 }
