@@ -6,6 +6,7 @@
 #   make ci          tier1 + race
 #   make bench       paper-regeneration + scheduler benchmarks
 #   make race-live   loopback server/client under -race (live network path)
+#   make profile     cpu.pprof + mem.pprof of a full-matrix run (go tool pprof)
 #   make bench-json  run committed benchmarks, write $(BENCH_JSON) trajectory
 #   make bench-diff  compare $(BENCH_OLD) vs $(BENCH_NEW), fail on allocs/op regression
 #   make fuzz-smoke  run every fuzz target briefly (native Go fuzzing)
@@ -16,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint race race-core race-live tier1 ci bench bench-json bench-diff fuzz-smoke cover sweep-smoke fleet-load fleet-cluster
+.PHONY: all build vet test lint race race-core race-live tier1 ci bench profile bench-json bench-diff fuzz-smoke cover sweep-smoke fleet-load fleet-cluster
 
 all: tier1
 
@@ -64,6 +65,16 @@ ci: tier1 race
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# profile captures pprof CPU and allocation profiles of a representative
+# full-matrix study (the Figure 3 workload the allocation work targets).
+# Inspect with `go tool pprof -top mem.pprof` or the pprof web UI; the
+# allocation war is fought from the alloc_objects view of mem.pprof.
+PROFILE_RUNS ?= 20
+profile:
+	$(GO) run ./cmd/appraise -fig 3 -runs $(PROFILE_RUNS) \
+		-cpuprofile cpu.pprof -memprofile mem.pprof >/dev/null
+	@echo "wrote cpu.pprof and mem.pprof (inspect: go tool pprof -top mem.pprof)"
 
 # bench-json runs every committed benchmark and converts the output into
 # the perf-trajectory snapshot BENCH_<pr>.json (ns/op, B/op, allocs/op

@@ -7,7 +7,10 @@ import "testing"
 // method × profile cell, 20 runs each) must stay under the ceiling. The
 // seed study needed ~740k allocations for the same workload; the pooled
 // event engine, sealed stats views and interned labels brought it under
-// 150k, and this test keeps it there with headroom for benign drift.
+// 150k, and the arena tier (worker-owned slab recycling plus persistent
+// per-cell runner state) under 16k. The ceiling keeps ~50% headroom for
+// benign drift; the near-zero warm-path contract lives in
+// TestWarmRunSteadyStateAllocs.
 func TestStudyAllocCeiling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-cell study in -short mode")
@@ -17,7 +20,7 @@ func TestStudyAllocCeiling(t *testing.T) {
 			t.Error(err)
 		}
 	})
-	const ceiling = 200_000
+	const ceiling = 24_000
 	if allocs > ceiling {
 		t.Fatalf("Fig3-style study allocated %.0f objects, ceiling %d", allocs, ceiling)
 	}
@@ -38,7 +41,7 @@ func TestCleanFaultProfileAllocCeiling(t *testing.T) {
 			t.Error(err)
 		}
 	})
-	const ceiling = 200_000
+	const ceiling = 24_000
 	if allocs > ceiling {
 		t.Fatalf("Clean-profile study allocated %.0f objects, ceiling %d", allocs, ceiling)
 	}

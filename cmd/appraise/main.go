@@ -19,6 +19,7 @@
 //	appraise -cache-dir d ...    # content-addressed cell cache: warm reruns replay from disk
 //	appraise -sweep -cache-dir d # methods x browsers x fault profiles, manifest-driven
 //	appraise -sweep -resume ...  # finish a killed sweep from its manifest
+//	appraise -cpuprofile cpu.pb.gz -memprofile mem.pb.gz ...  # pprof profiles of the run
 //
 // All progress and statistics lines go to stderr; stdout carries only the
 // regenerated artifacts, so reports can be piped or redirected cleanly.
@@ -29,12 +30,76 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 
 	bm "github.com/browsermetric/browsermetric"
 )
+
+// cpuProfileFile is the open -cpuprofile output; memProfilePath the
+// -memprofile destination. Both are finalized by stopProfiles, which
+// exit() routes every termination path through (os.Exit skips defers,
+// and a truncated CPU profile is worse than none).
+var (
+	cpuProfileFile *os.File
+	memProfilePath string
+)
+
+// startProfiles begins CPU profiling and records the heap-profile
+// destination. The heap profile is written at exit so it reflects the
+// retained state of the full run, not the state at flag parse.
+func startProfiles(cpu, mem string) error {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuProfileFile = f
+	}
+	memProfilePath = mem
+	return nil
+}
+
+// stopProfiles finalizes both profile outputs; safe to call on any path,
+// including before startProfiles ran.
+func stopProfiles() {
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuProfileFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "appraise: cpuprofile:", err)
+		}
+		cpuProfileFile = nil
+	}
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "appraise: memprofile:", err)
+			return
+		}
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "appraise: memprofile:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "appraise: memprofile:", err)
+		}
+		memProfilePath = ""
+	}
+}
+
+// exit flushes the profiles before terminating; every exit in main goes
+// through it.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
 
 // baseSeed decorrelates the study cells; settable via -seed.
 var baseSeed int64
@@ -244,8 +309,15 @@ func main() {
 		cacheDirFl  = flag.String("cache-dir", "", "content-addressed cell cache directory (unchanged cells replay from disk byte-identically)")
 		sweepFl     = flag.Bool("sweep", false, "run methods x browsers x fault profiles as one manifest-driven sweep (requires -cache-dir)")
 		resumeFl    = flag.Bool("resume", false, "with -sweep: resume a killed sweep from its manifest instead of starting fresh")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
+	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "appraise:", err)
+		os.Exit(2)
+	}
+	defer stopProfiles() // normal returns; exit() covers the error paths
 	baseSeed = *seed
 	workers = *nworkers
 	tracing = *tracePath != ""
@@ -259,7 +331,7 @@ func main() {
 		// (empty = every built-in profile).
 		if *cacheDirFl == "" {
 			fmt.Fprintln(os.Stderr, "appraise: -sweep requires -cache-dir")
-			os.Exit(2)
+			exit(2)
 		}
 		var sweepFaults []bm.FaultProfile
 		if *faultsFl != "" {
@@ -267,18 +339,18 @@ func main() {
 				fp, err := bm.ParseFaultProfile(name)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "appraise:", err)
-					os.Exit(2)
+					exit(2)
 				}
 				sweepFaults = append(sweepFaults, fp)
 			}
 		}
 		if err := runSweep(*runs, *cacheDirFl, *resumeFl, sweepFaults, *csvPath); err != nil {
 			fmt.Fprintln(os.Stderr, "appraise:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if err := writeMetricsSnapshot(*metricsPath); err != nil {
 			fmt.Fprintln(os.Stderr, "appraise:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -287,13 +359,13 @@ func main() {
 	faultProfile, err = bm.ParseFaultProfile(*faultsFl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "appraise:", err)
-		os.Exit(2)
+		exit(2)
 	}
 	if *cacheDirFl != "" {
 		studyCache, err = bm.OpenSweepCache(*cacheDirFl, "")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "appraise:", err)
-			os.Exit(2)
+			exit(2)
 		}
 		studyCache.SetLog(func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) })
 	}
@@ -301,12 +373,12 @@ func main() {
 	if !*all && *table == 0 && *fig == 0 && !*recommend && !*attribution && !*impact && *csvPath == "" && *mdPath == "" &&
 		*tracePath == "" && *metricsPath == "" && !*cellstats && !*faultimpact {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 	if err := run(*table, *fig, *runs, *all, *recommend, *ascii, *attribution, *impact,
 		*csvPath, *mdPath, *tracePath, *metricsPath, *cellstats, *faultimpact); err != nil {
 		fmt.Fprintln(os.Stderr, "appraise:", err)
-		os.Exit(1)
+		exit(1)
 	}
 }
 

@@ -8,10 +8,24 @@ import (
 	"github.com/browsermetric/browsermetric/internal/benchfmt"
 )
 
+// steadyMetric is the custom benchmark metric carrying the steady-state
+// warm-path allocation count (BenchmarkSteadyStateRun reports it via
+// b.ReportMetric). It is gated alongside allocs/op because the warm
+// number is the one the arena tier drives to zero: a cold allocs/op
+// snapshot can hide a warm-path regression behind setup-cost noise.
+const steadyMetric = "warm-allocs/run"
+
+// steadySlack is the absolute noise floor for the steady-state gate:
+// near zero, a purely relative threshold would flag 0.00 -> 0.02
+// measurement jitter, so a regression must also exceed half an object
+// per run.
+const steadySlack = 0.5
+
 // Diff renders the per-benchmark deltas between two snapshots and returns
-// the benchmarks whose allocs/op regressed by more than threshold
-// (a fraction: 0.20 = 20%). Benchmarks present in only one snapshot are
-// listed but never counted as regressions.
+// the benchmarks whose allocs/op — or whose warm-allocs/run steady-state
+// metric — regressed by more than threshold (a fraction: 0.20 = 20%).
+// Benchmarks present in only one snapshot are listed but never counted
+// as regressions.
 func Diff(oldFile, newFile *benchfmt.File, threshold float64) (report string, regressions []string) {
 	oldBy := make(map[string]benchfmt.Result, len(oldFile.Benchmarks))
 	for _, r := range oldFile.Benchmarks {
@@ -42,6 +56,16 @@ func Diff(oldFile, newFile *benchfmt.File, threshold float64) (report string, re
 			regressions = append(regressions,
 				fmt.Sprintf("%s: allocs/op %d -> %d (%s)", n.Key(), o.AllocsPerOp, n.AllocsPerOp,
 					pct(float64(o.AllocsPerOp), float64(n.AllocsPerOp))))
+		}
+		nw, nok := n.Metrics[steadyMetric]
+		ow, ook := o.Metrics[steadyMetric]
+		if nok && ook {
+			fmt.Fprintf(tw, "%s [%s]\t\t\t\t\t\t\t%.2f\t%.2f\t%s\n",
+				n.Name, steadyMetric, ow, nw, pct(ow, nw))
+			if nw > ow*(1+threshold) && nw-ow > steadySlack {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.2f -> %.2f (%s)", n.Key(), steadyMetric, ow, nw, pct(ow, nw)))
+			}
 		}
 	}
 	for _, o := range oldFile.Benchmarks {

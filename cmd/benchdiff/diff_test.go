@@ -67,3 +67,71 @@ func TestDiffHandlesAddedAndRemoved(t *testing.T) {
 		t.Fatalf("report should mark added/removed:\n%s", report)
 	}
 }
+
+// wres builds a Result carrying the steady-state warm-allocs/run metric.
+func wres(name string, allocs int64, warm float64) benchfmt.Result {
+	r := res(name, 1000, 500, allocs)
+	r.Metrics = map[string]float64{steadyMetric: warm}
+	return r
+}
+
+func TestDiffFlagsSteadyStateRegression(t *testing.T) {
+	_, regressions := Diff(
+		snap(wres("BenchmarkSteadyStateRun", 100, 1.0)),
+		snap(wres("BenchmarkSteadyStateRun", 100, 3.0)), // +200% and +2 objects
+		0.20,
+	)
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want 1", regressions)
+	}
+	if !strings.Contains(regressions[0], steadyMetric) || !strings.Contains(regressions[0], "1.00 -> 3.00") {
+		t.Fatalf("regression detail = %q", regressions[0])
+	}
+}
+
+func TestDiffSteadyStateNoiseFloorNearZero(t *testing.T) {
+	// 0.00 -> 0.30 is a huge relative jump but under half an object per
+	// run: measurement jitter, not a regression.
+	_, regressions := Diff(
+		snap(wres("BenchmarkSteadyStateRun", 100, 0.0)),
+		snap(wres("BenchmarkSteadyStateRun", 100, 0.3)),
+		0.20,
+	)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none (under the %.1f-object noise floor)", regressions, steadySlack)
+	}
+	// A whole new object per run from zero must fail even though the
+	// cold allocs/op column is unchanged.
+	_, regressions = Diff(
+		snap(wres("BenchmarkSteadyStateRun", 100, 0.0)),
+		snap(wres("BenchmarkSteadyStateRun", 100, 1.0)),
+		0.20,
+	)
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want 1", regressions)
+	}
+}
+
+func TestDiffSteadyStateMetricInReport(t *testing.T) {
+	report, _ := Diff(
+		snap(wres("BenchmarkSteadyStateRun", 100, 2.0)),
+		snap(wres("BenchmarkSteadyStateRun", 100, 1.0)),
+		0.20,
+	)
+	if !strings.Contains(report, steadyMetric) || !strings.Contains(report, "-50.0%") {
+		t.Fatalf("report missing steady-state row:\n%s", report)
+	}
+}
+
+func TestDiffSteadyStateMissingInOneSnapshotIgnored(t *testing.T) {
+	// A baseline without the metric (pre-gate snapshots) never trips the
+	// gate; only allocs/op is compared.
+	_, regressions := Diff(
+		snap(res("BenchmarkSteadyStateRun", 1000, 500, 100)),
+		snap(wres("BenchmarkSteadyStateRun", 100, 50.0)),
+		0.20,
+	)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none", regressions)
+	}
+}

@@ -1,0 +1,168 @@
+// Package arena provides a slab/epoch allocator for the simulator hot
+// path. One Arena owns every per-run buffer of a testbed: frame bytes,
+// parse scratch, capture backing. Allocation is a bump-pointer carve from
+// a current slab; Reset() makes every previously carved byte available
+// again without returning memory to the Go heap, so a steady-state run
+// allocates nothing.
+//
+// Aliasing contract: a slice returned by Bytes or Make is valid until the
+// next Reset of the arena it came from. Holding it across a Reset is a
+// use-after-free in spirit — the bytes will be recycled into unrelated
+// buffers (and, under SetPoison(true), scribbled first so the bug is loud
+// instead of a silent wrong answer). Anything that must outlive a run —
+// experiment samples, stats caches, exported rows — must be copied to the
+// ordinary heap before the run ends.
+//
+// A nil *Arena is valid everywhere and falls back to plain make(), so
+// every arena-aware call site works unchanged when no arena is attached.
+package arena
+
+const (
+	// DefaultSlabSize is the slab granularity when New is given a
+	// non-positive size. 64 KiB holds hundreds of typical probe frames,
+	// so a full measurement run touches only a handful of slabs.
+	DefaultSlabSize = 64 << 10
+
+	// oversizeThreshold: requests larger than this fraction of the slab
+	// size get a dedicated one-off allocation instead of burning most of
+	// a fresh slab. One-offs are dropped at Reset (retaining them would
+	// let a single pathological request pin memory forever).
+	oversizeDivisor = 4
+)
+
+// Arena is a slab allocator with epoch-style reuse. Not safe for
+// concurrent use: one arena belongs to one worker goroutine.
+type Arena struct {
+	slabs    [][]byte // grow-only; all retained across Reset
+	cur      int      // index into slabs of the slab being carved
+	off      int      // carve offset within slabs[cur]
+	slabSize int
+	poison   bool
+
+	// Stats (monotonic except where noted).
+	allocs    uint64 // total Bytes/Make calls served
+	bytes     uint64 // total bytes carved (including oversize)
+	resets    uint64
+	oversizes uint64 // one-off allocations this epoch (reset each Reset)
+	oversizeB uint64 // bytes in one-offs this epoch
+}
+
+// New returns an arena carving from slabs of the given size (bytes).
+// Non-positive sizes mean DefaultSlabSize.
+func New(slabSize int) *Arena {
+	if slabSize <= 0 {
+		slabSize = DefaultSlabSize
+	}
+	return &Arena{slabSize: slabSize}
+}
+
+// Bytes returns a slice of length n with capacity exactly n, carved from
+// the arena. The exact capacity is deliberate: appending to the returned
+// slice spills to the ordinary heap instead of silently overwriting the
+// neighboring carve. A nil arena returns make([]byte, n).
+func (a *Arena) Bytes(n int) []byte {
+	if a == nil {
+		return make([]byte, n)
+	}
+	b := a.Make(n, n)
+	return b
+}
+
+// Make returns a slice of length n and capacity c (c is raised to n if
+// smaller), carved from the arena with exact capacity so appends past c
+// spill to the heap rather than into a neighbor. A nil arena returns
+// make([]byte, n, c).
+func (a *Arena) Make(n, c int) []byte {
+	if c < n {
+		c = n
+	}
+	if a == nil {
+		return make([]byte, n, c)
+	}
+	a.allocs++
+	a.bytes += uint64(c)
+	if c > a.slabSize/oversizeDivisor {
+		// Oversize one-off: dedicated allocation, dropped at Reset.
+		a.oversizes++
+		a.oversizeB += uint64(c)
+		return make([]byte, n, c)
+	}
+	for {
+		if a.cur < len(a.slabs) {
+			slab := a.slabs[a.cur]
+			if a.off+c <= len(slab) {
+				b := slab[a.off : a.off+n : a.off+c]
+				a.off += c
+				return b
+			}
+			// Current slab exhausted for this request; advance.
+			a.cur++
+			a.off = 0
+			continue
+		}
+		// a.cur already indexes the slot the new slab lands in.
+		a.slabs = append(a.slabs, make([]byte, a.slabSize))
+	}
+}
+
+// Reset starts a new epoch: every slab becomes available for carving
+// again. No zeroing happens (frame builders and parsers write every byte
+// they use); under SetPoison(true) the carved region of every slab is
+// scribbled with 0xA5 so any buffer held across the Reset reads garbage
+// loudly. Oversize one-offs from the previous epoch are dropped.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	if a.poison {
+		for i := 0; i <= a.cur && i < len(a.slabs); i++ {
+			end := len(a.slabs[i])
+			if i == a.cur {
+				end = a.off
+			}
+			s := a.slabs[i][:end]
+			for j := range s {
+				s[j] = 0xA5
+			}
+		}
+	}
+	a.cur = 0
+	a.off = 0
+	a.resets++
+	a.oversizes = 0
+	a.oversizeB = 0
+}
+
+// SetPoison toggles scribbling of recycled bytes at Reset. Meant for
+// tests: it turns "stale alias across a reset" from a silent wrong
+// answer into visibly corrupted data.
+func (a *Arena) SetPoison(on bool) {
+	if a != nil {
+		a.poison = on
+	}
+}
+
+// Stats is a point-in-time snapshot of arena accounting.
+type Stats struct {
+	Slabs     int    // slabs retained
+	SlabBytes uint64 // total capacity of retained slabs
+	Allocs    uint64 // lifetime Bytes/Make calls
+	Carved    uint64 // lifetime bytes carved
+	Resets    uint64
+	Oversizes uint64 // one-off allocations in the current epoch
+}
+
+// Stats reports the arena's accounting. Valid on a nil arena (zeros).
+func (a *Arena) Stats() Stats {
+	if a == nil {
+		return Stats{}
+	}
+	return Stats{
+		Slabs:     len(a.slabs),
+		SlabBytes: uint64(len(a.slabs)) * uint64(a.slabSize),
+		Allocs:    a.allocs,
+		Carved:    a.bytes,
+		Resets:    a.resets,
+		Oversizes: a.oversizes,
+	}
+}

@@ -1,0 +1,127 @@
+package arena
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBytesExactCapacity(t *testing.T) {
+	a := New(1 << 12)
+	b := a.Bytes(10)
+	if len(b) != 10 || cap(b) != 10 {
+		t.Fatalf("Bytes(10): len=%d cap=%d, want 10/10", len(b), cap(b))
+	}
+	c := a.Bytes(5)
+	// Appending to b must spill to the heap, never into c's carve.
+	c[0] = 7
+	b = append(b, 0xFF)
+	if c[0] != 7 {
+		t.Fatalf("append to neighbor overwrote a later carve")
+	}
+}
+
+func TestMakeCapacityFloor(t *testing.T) {
+	a := New(1 << 12)
+	b := a.Make(4, 64)
+	if len(b) != 4 || cap(b) != 64 {
+		t.Fatalf("Make(4,64): len=%d cap=%d", len(b), cap(b))
+	}
+	if b2 := a.Make(8, 2); len(b2) != 8 || cap(b2) != 8 {
+		t.Fatalf("Make(8,2): len=%d cap=%d, want capacity raised to n", len(b2), cap(b2))
+	}
+}
+
+func TestNilArenaFallsBackToHeap(t *testing.T) {
+	var a *Arena
+	b := a.Bytes(16)
+	if len(b) != 16 {
+		t.Fatalf("nil arena Bytes(16) len=%d", len(b))
+	}
+	m := a.Make(3, 9)
+	if len(m) != 3 || cap(m) != 9 {
+		t.Fatalf("nil arena Make(3,9): len=%d cap=%d", len(m), cap(m))
+	}
+	a.Reset()         // must not panic
+	a.SetPoison(true) // must not panic
+	if s := a.Stats(); s.Slabs != 0 {
+		t.Fatalf("nil arena stats: %+v", s)
+	}
+}
+
+func TestResetReusesSlabsWithoutAllocating(t *testing.T) {
+	a := New(1 << 12)
+	for i := 0; i < 100; i++ {
+		a.Bytes(100)
+	}
+	warmSlabs := a.Stats().Slabs
+	allocs := testing.AllocsPerRun(50, func() {
+		a.Reset()
+		for i := 0; i < 100; i++ {
+			a.Bytes(100)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm reset+carve cycle allocates %.1f/op, want 0", allocs)
+	}
+	if got := a.Stats().Slabs; got != warmSlabs {
+		t.Fatalf("slab count grew across resets: %d -> %d", warmSlabs, got)
+	}
+}
+
+func TestOversizeGoesToHeapAndIsDropped(t *testing.T) {
+	a := New(1 << 10) // threshold = 256
+	b := a.Bytes(512)
+	if len(b) != 512 {
+		t.Fatalf("oversize len=%d", len(b))
+	}
+	if s := a.Stats(); s.Oversizes != 1 {
+		t.Fatalf("oversize not counted: %+v", s)
+	}
+	a.Reset()
+	if s := a.Stats(); s.Oversizes != 0 {
+		t.Fatalf("oversize count survived reset: %+v", s)
+	}
+}
+
+func TestPoisonScribblesOnReset(t *testing.T) {
+	a := New(1 << 12)
+	a.SetPoison(true)
+	b := a.Bytes(32)
+	for i := range b {
+		b[i] = 0x11
+	}
+	a.Reset()
+	// b aliases recycled slab memory; the poison pass must have
+	// scribbled it.
+	if !bytes.Equal(b, bytes.Repeat([]byte{0xA5}, 32)) {
+		t.Fatalf("stale alias not poisoned: % x", b[:8])
+	}
+}
+
+func TestCarvesAcrossSlabBoundaries(t *testing.T) {
+	a := New(256) // oversize threshold 64
+	var got []byte
+	for i := 0; i < 50; i++ {
+		b := a.Bytes(60)
+		for j := range b {
+			b[j] = byte(i)
+		}
+		got = append(got, b[0])
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("carve %d corrupted: got %d", i, v)
+		}
+	}
+	if s := a.Stats(); s.Slabs < 10 {
+		t.Fatalf("expected many slabs, got %d", s.Slabs)
+	}
+}
+
+func TestDefaultSlabSize(t *testing.T) {
+	a := New(0)
+	a.Bytes(1)
+	if s := a.Stats(); s.SlabBytes != DefaultSlabSize {
+		t.Fatalf("default slab size: %d", s.SlabBytes)
+	}
+}

@@ -24,6 +24,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics carries the benchmark's custom b.ReportMetric values by
+	// unit (paper medians like "flash_d2_ms", and the steady-state
+	// allocation gate "warm-allocs/run" cmd/benchdiff enforces).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Key identifies a benchmark across snapshots.
@@ -105,15 +109,23 @@ func Parse(r io.Reader) (*File, error) {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
 		}
 		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
-			if err != nil {
-				continue // non-integer custom metric; skip
-			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "B/op":
-				res.BytesPerOp = v
+				if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+					res.BytesPerOp = v
+				}
 			case "allocs/op":
-				res.AllocsPerOp = v
+				if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+					res.AllocsPerOp = v
+				}
+			default:
+				// Custom b.ReportMetric pair.
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					if res.Metrics == nil {
+						res.Metrics = make(map[string]float64)
+					}
+					res.Metrics[unit] = v
+				}
 			}
 		}
 		file.Benchmarks = append(file.Benchmarks, res)

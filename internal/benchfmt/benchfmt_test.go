@@ -12,6 +12,7 @@ cpu: AMD EPYC 7B13
 BenchmarkRunStudy-8          	      38	  30802498 ns/op	 5272947 B/op	   33772 allocs/op
 BenchmarkRunStudyParallel-8  	     100	  11111111 ns/op	  123456 B/op	    1234 allocs/op
 BenchmarkRun-8               	    2000	    500000 ns/op
+BenchmarkSteadyStateRun-8    	     120	     24802 ns/op	         1.000 warm-allocs/run	    1184 B/op	       1 allocs/op
 --- BENCH: BenchmarkNoise-8
     some_test.go:10: log line that mentions Benchmark but is indented
 PASS
@@ -30,11 +31,11 @@ func TestParse(t *testing.T) {
 	if f.Goos != "linux" || f.Goarch != "amd64" || f.CPU != "AMD EPYC 7B13" {
 		t.Fatalf("header = %q/%q/%q", f.Goos, f.Goarch, f.CPU)
 	}
-	if len(f.Benchmarks) != 4 {
-		t.Fatalf("benchmarks = %d, want 4", len(f.Benchmarks))
+	if len(f.Benchmarks) != 5 {
+		t.Fatalf("benchmarks = %d, want 5", len(f.Benchmarks))
 	}
 	// Sorted by package then name; -8 suffixes stripped.
-	wantOrder := []string{"BenchmarkRun", "BenchmarkRunStudy", "BenchmarkRunStudyParallel", "BenchmarkSketch"}
+	wantOrder := []string{"BenchmarkRun", "BenchmarkRunStudy", "BenchmarkRunStudyParallel", "BenchmarkSteadyStateRun", "BenchmarkSketch"}
 	for i, want := range wantOrder {
 		if f.Benchmarks[i].Name != want {
 			t.Fatalf("order[%d] = %s, want %s", i, f.Benchmarks[i].Name, want)
@@ -52,7 +53,16 @@ func TestParse(t *testing.T) {
 	if run.NsPerOp != 500000 || run.BytesPerOp != 0 {
 		t.Fatalf("Run = %+v", run)
 	}
-	sk := f.Benchmarks[3]
+	// Custom b.ReportMetric pairs land in Metrics keyed by unit; the
+	// standard -benchmem pairs on the same line still parse.
+	ss := f.Benchmarks[3]
+	if got := ss.Metrics["warm-allocs/run"]; got != 1.0 {
+		t.Fatalf("SteadyStateRun warm-allocs/run = %v, want 1.0 (metrics: %v)", got, ss.Metrics)
+	}
+	if ss.BytesPerOp != 1184 || ss.AllocsPerOp != 1 {
+		t.Fatalf("SteadyStateRun = %+v", ss)
+	}
+	sk := f.Benchmarks[4]
 	if sk.Package != "github.com/browsermetric/browsermetric/internal/obs" {
 		t.Fatalf("sketch package = %q", sk.Package)
 	}

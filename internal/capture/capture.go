@@ -51,6 +51,21 @@ type Capture struct {
 	// pkt is scratch decode storage for the tap filter; the *Packet a
 	// Filter sees is only valid for the duration of the call.
 	pkt netsim.Packet
+	// eachPkt is the matching paths' decode scratch (each); separate from
+	// pkt so matching can run while the tap stays installed.
+	eachPkt netsim.Packet
+	// pairScratch backs MatchRTT's result between calls; pending tracks
+	// open requests during one match pass.
+	pairScratch []WirePair
+	pending     []pendingReq
+}
+
+// pendingReq is an open request awaiting its response in MatchRTT. The
+// handful of concurrently open exchanges makes a linear scan cheaper than
+// a map, and the slice recycles across calls.
+type pendingReq struct {
+	local, remote uint16
+	idx           int
 }
 
 // Attach installs the capture on nic and returns it.
@@ -100,12 +115,12 @@ func (c *Capture) Packets() []*netsim.Packet {
 // each decodes records into one reused Packet, calling fn per decodable
 // frame. The matching paths use it to avoid materializing []*Packet.
 func (c *Capture) each(fn func(p *netsim.Packet)) {
-	var pkt netsim.Packet
+	pkt := &c.eachPkt
 	for _, r := range c.records {
 		if pkt.Parse(r.Data, r.Time) != nil {
 			continue
 		}
-		fn(&pkt)
+		fn(pkt)
 	}
 }
 
@@ -128,15 +143,20 @@ func (w WirePair) RTT() time.Duration { return w.RecvAt - w.SendAt }
 // the paper derives tN from WinDump/tcpdump traces: handshake and pure-ACK
 // packets carry no payload and are excluded from pairing (but SYNs are
 // noted so handshake-inflated browser measurements can be explained).
+//
+// The returned slice is scratch storage owned by the Capture: it is valid
+// until the next MatchRTT call on the same Capture. Callers that need the
+// pairs past that point must copy them out.
 func (c *Capture) MatchRTT(serverPort uint16) []WirePair {
-	type key struct {
-		local  uint16
-		remote uint16
-	}
-	var out []WirePair
-	pending := map[key]int{} // open request index in out
+	out := c.pairScratch[:0]
+	pending := c.pending[:0]
 	sawSyn := false
-	c.each(func(p *netsim.Packet) {
+	pkt := &c.eachPkt
+	for _, r := range c.records {
+		if pkt.Parse(r.Data, r.Time) != nil {
+			continue
+		}
+		p := pkt
 		var (
 			srcPort, dstPort uint16
 			payload          int
@@ -149,32 +169,41 @@ func (c *Capture) MatchRTT(serverPort uint16) []WirePair {
 		case p.UDP != nil:
 			srcPort, dstPort, payload = p.UDP.SrcPort, p.UDP.DstPort, len(p.Payload)
 		default:
-			return
+			continue
 		}
 		if syn && dstPort == serverPort {
 			sawSyn = true
-			return
+			continue
 		}
 		if payload == 0 {
-			return
+			continue
 		}
 		switch {
 		case dstPort == serverPort: // outbound request
-			k := key{local: srcPort, remote: dstPort}
-			if _, open := pending[k]; open {
-				return // multi-packet request: keep the first packet's time
+			open := false
+			for _, pr := range pending {
+				if pr.local == srcPort && pr.remote == dstPort {
+					open = true // multi-packet request: keep the first packet's time
+					break
+				}
+			}
+			if open {
+				continue
 			}
 			out = append(out, WirePair{SendAt: p.Time, Handshake: sawSyn})
 			sawSyn = false
-			pending[k] = len(out) - 1
+			pending = append(pending, pendingReq{local: srcPort, remote: dstPort, idx: len(out) - 1})
 		case srcPort == serverPort: // inbound response
-			k := key{local: dstPort, remote: srcPort}
-			if idx, open := pending[k]; open {
-				out[idx].RecvAt = p.Time
-				delete(pending, k)
+			for i, pr := range pending {
+				if pr.local == dstPort && pr.remote == srcPort {
+					out[pr.idx].RecvAt = p.Time
+					pending = append(pending[:i], pending[i+1:]...)
+					break
+				}
 			}
 		}
-	})
+	}
+	c.pending = pending[:0]
 	// Drop unanswered requests.
 	complete := out[:0]
 	for _, w := range out {
@@ -182,6 +211,7 @@ func (c *Capture) MatchRTT(serverPort uint16) []WirePair {
 			complete = append(complete, w)
 		}
 	}
+	c.pairScratch = out[:0]
 	return complete
 }
 

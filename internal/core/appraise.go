@@ -140,17 +140,24 @@ func RunContext(ctx context.Context, cfg Config) (*Experiment, error) {
 	tbCfg.Tracer = cfg.Tracer
 	tbCfg.Metrics = cfg.Metrics
 	tb := testbed.New(tbCfg)
+	// The arena is observational-tier plumbing (a worker-owned buffer
+	// pool); the experiment's stored config must not retain it.
+	cfg.Testbed.Arena = nil
 	if cfg.Warp > 0 {
 		tb.Advance(cfg.Warp)
 	}
 	exp := &Experiment{Config: cfg}
 	exp.Samples = make([]Sample, 0, cfg.Runs*methods.Rounds)
+	// One Runner serves every repetition: its result storage, client
+	// connections and callbacks recycle run over run, and BeginRun
+	// recycles the arena-backed buffers below them.
+	r := &methods.Runner{TB: tb, Profile: cfg.Profile, Timing: cfg.Timing}
 	for run := 0; run < cfg.Runs; run++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r := &methods.Runner{TB: tb, Profile: cfg.Profile, Timing: cfg.Timing, RunIndex: run}
-		tb.Cap.Reset()
+		r.RunIndex = run
+		tb.BeginRun()
 		res, err := r.Run(cfg.Method)
 		if err != nil {
 			return nil, fmt.Errorf("core: run %d: %w", run, err)

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/browsermetric/browsermetric/internal/arena"
+	"github.com/browsermetric/browsermetric/internal/browser"
+	"github.com/browsermetric/browsermetric/internal/faults"
+	"github.com/browsermetric/browsermetric/internal/methods"
+)
+
+// arenaEquivCases spans the method families with distinct buffer
+// lifetimes (HTTP parse buffers, WebSocket frames, raw-socket echo
+// payloads, the Flash policy-file dance) and the fault profiles that
+// leave retransmission state alive across the 1 s inter-run gap — the
+// exact regime where a premature arena reset would corrupt retransmitted
+// bytes.
+var arenaEquivCases = []struct {
+	kind methods.Kind
+	fp   faults.Profile
+}{
+	{methods.XHRGet, faults.Clean},
+	{methods.XHRGet, faults.Congested},
+	{methods.WebSocket, faults.Clean},
+	{methods.WebSocket, faults.Lossy1pct},
+	{methods.FlashGet, faults.BurstyWiFi},
+	{methods.JavaTCP, faults.Lossy1pct},
+}
+
+// runArenaCell executes one small cell with the given arena installed.
+// Gap is pinned to 1 s — the shortest gap any caller uses — so in-flight
+// retransmissions have the least time to drain before the next BeginRun.
+func runArenaCell(t *testing.T, kind methods.Kind, fp faults.Profile, a *arena.Arena) []Sample {
+	t.Helper()
+	cfg := Config{
+		Method:  kind,
+		Profile: browser.Lookup(browser.Chrome, browser.Windows),
+		Timing:  browser.NanoTime,
+		Runs:    6,
+		Gap:     time.Second,
+	}
+	cfg.Testbed.Seed = 42
+	cfg.Testbed.Faults = fp
+	cfg.Testbed.Arena = a
+	exp, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%v/%v: %v", kind, fp, err)
+	}
+	return exp.Samples
+}
+
+// TestArenaRunEquivalence is the determinism contract of the arena tier:
+// the same cell must produce identical samples with no arena (every
+// buffer heap-allocated), with a fresh arena, and with one arena reused
+// across consecutive cells the way a study worker reuses it. Any
+// divergence means a buffer outlived its epoch.
+func TestArenaRunEquivalence(t *testing.T) {
+	for _, tc := range arenaEquivCases {
+		heap := runArenaCell(t, tc.kind, tc.fp, nil)
+
+		fresh := runArenaCell(t, tc.kind, tc.fp, arena.New(0))
+		if !reflect.DeepEqual(heap, fresh) {
+			t.Errorf("%v/%v: fresh-arena samples diverge from heap samples", tc.kind, tc.fp)
+		}
+
+		// Worker-style reuse: one arena, two cells back to back. The
+		// second cell starts on recycled slabs whose bytes are the first
+		// cell's garbage.
+		shared := arena.New(0)
+		runArenaCell(t, tc.kind, tc.fp, shared)
+		reused := runArenaCell(t, tc.kind, tc.fp, shared)
+		if !reflect.DeepEqual(heap, reused) {
+			t.Errorf("%v/%v: reused-arena samples diverge from heap samples", tc.kind, tc.fp)
+		}
+	}
+}
+
+// TestArenaPoisonedRunEquivalence re-runs the matrix on a poisoning
+// arena, which scribbles 0xA5 over every recycled byte at Reset. A
+// use-after-reset read — a parse buffer, a retransmitted payload, a
+// frame header held across runs — surfaces as a sample divergence (or a
+// hard failure) instead of silently reading stale-but-plausible bytes.
+func TestArenaPoisonedRunEquivalence(t *testing.T) {
+	for _, tc := range arenaEquivCases {
+		heap := runArenaCell(t, tc.kind, tc.fp, nil)
+
+		poisoned := arena.New(0)
+		poisoned.SetPoison(true)
+		runArenaCell(t, tc.kind, tc.fp, poisoned) // dirty the slabs first
+		got := runArenaCell(t, tc.kind, tc.fp, poisoned)
+		if !reflect.DeepEqual(heap, got) {
+			t.Errorf("%v/%v: poisoned-arena samples diverge — some buffer is read after its epoch ended", tc.kind, tc.fp)
+		}
+	}
+}

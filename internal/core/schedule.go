@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/browsermetric/browsermetric/internal/arena"
 	"github.com/browsermetric/browsermetric/internal/browser"
 	"github.com/browsermetric/browsermetric/internal/methods"
 	"github.com/browsermetric/browsermetric/internal/obs"
@@ -101,6 +102,11 @@ func RunStudyContext(ctx context.Context, opts StudyOptions) (*Study, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per worker: each cell's testbed draws its hot-path
+			// buffers from it, and the slabs recycle cell after cell. The
+			// arena is single-goroutine by design, which is exactly the
+			// worker's execution model.
+			a := arena.New(0)
 			for idx := range jobs {
 				if ctx.Err() != nil {
 					return
@@ -111,7 +117,7 @@ func RunStudyContext(ctx context.Context, opts StudyOptions) (*Study, error) {
 
 				mi, pi := idx/len(opts.Profiles), idx%len(opts.Profiles)
 				cellStart := time.Now()
-				cell, err := runCell(ctx, &opts, mi, pi)
+				cell, err := runCell(ctx, &opts, mi, pi, a)
 				wall := time.Since(cellStart)
 
 				canceled := err != nil && errors.Is(err, context.Canceled) ||
@@ -200,7 +206,9 @@ func mergeStudyMetrics(st *Study, m *obs.Metrics) {
 }
 
 // runCell executes one (method, profile) cell on an isolated testbed.
-func runCell(ctx context.Context, opts *StudyOptions, mi, pi int) (Cell, error) {
+// a is the calling worker's arena; it backs the cell's hot-path buffers
+// and recycles between cells.
+func runCell(ctx context.Context, opts *StudyOptions, mi, pi int, a *arena.Arena) (Cell, error) {
 	kind := opts.Methods[mi]
 	spec := methods.Get(kind)
 	prof := opts.Profiles[pi]
@@ -229,6 +237,7 @@ func runCell(ctx context.Context, opts *StudyOptions, mi, pi int) (Cell, error) 
 			return cell, nil
 		}
 	}
+	cfg.Testbed.Arena = a
 	// Each cell gets its own tracer/registry (a Tracer is single-
 	// goroutine); the scheduler merges registries in matrix order after
 	// the workers drain.
@@ -254,6 +263,7 @@ func runCell(ctx context.Context, opts *StudyOptions, mi, pi int) (Cell, error) 
 		// config alone.
 		stored := cfg
 		stored.Tracer, stored.Metrics = nil, nil
+		stored.Testbed.Arena = nil
 		if serr := opts.Cache.Store(stored, exp); serr != nil {
 			return cell, fmt.Errorf("core: cell %s / %s: cache store: %w", spec.Name, prof.Label(), serr)
 		}

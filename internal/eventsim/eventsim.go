@@ -127,8 +127,13 @@ func (s *Simulator) Reserve(n int) {
 		copy(f, s.free)
 		s.free = f
 	}
-	for len(s.free)+len(s.queue) < n {
-		s.free = append(s.free, &event{})
+	if need := n - (len(s.free) + len(s.queue)); need > 0 {
+		// One slab for all the records instead of a heap object each:
+		// the records live as long as the simulator anyway.
+		recs := make([]event, need)
+		for i := range recs {
+			s.free = append(s.free, &recs[i])
+		}
 	}
 }
 

@@ -1,0 +1,36 @@
+package fleet
+
+import "testing"
+
+// TestObserveSteadyStateZeroAlloc pins the ingest hot path at zero
+// allocations per sample once a session and its aggregate exist: the
+// shard maps, the aggregate's sketch buckets, and the sketch's buffered
+// batch all reach capacity during warm-up, after which folding a sample
+// is pure arithmetic under the shard lock. A regression here multiplies
+// directly by fleet sample volume (100k sessions × rounds), so the guard
+// is exact — not a ceiling.
+func TestObserveSteadyStateZeroAlloc(t *testing.T) {
+	r := New(Config{Shards: 64})
+	k := Key{Method: "websocket", Browser: "chrome", Region: "eu"}
+	// Warm-up: register the session, materialize the aggregate, and cycle
+	// the sketch's internal buffer through several flushes so bucket
+	// storage and buffer capacity stop growing.
+	for i := 0; i < 4096; i++ {
+		if !r.Observe(7, k, 12.5, false) {
+			t.Fatal("warm-up Observe rejected")
+		}
+	}
+
+	if allocs := testing.AllocsPerRun(2000, func() {
+		r.Observe(7, k, 12.5, false)
+	}); allocs != 0 {
+		t.Errorf("steady-state Observe allocated %.2f objects/op, want 0", allocs)
+	}
+	// The loss path skips the sketch entirely, so it must be
+	// allocation-free too.
+	if allocs := testing.AllocsPerRun(2000, func() {
+		r.Observe(7, k, 0, true)
+	}); allocs != 0 {
+		t.Errorf("steady-state lost-sample Observe allocated %.2f objects/op, want 0", allocs)
+	}
+}

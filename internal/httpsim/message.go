@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"github.com/browsermetric/browsermetric/internal/arena"
 )
 
 // ErrIncomplete reports that more bytes are needed to finish parsing a
@@ -91,7 +93,12 @@ func headersLen(hs Headers) int {
 
 // Marshal serializes the request, adding Content-Length when a body is
 // present and none is set. The output is built in a single allocation.
-func (r *Request) Marshal() []byte {
+func (r *Request) Marshal() []byte { return r.MarshalArena(nil) }
+
+// MarshalArena is Marshal drawing the output buffer from an arena (nil
+// falls back to the heap). The bytes are valid until the arena's next
+// Reset.
+func (r *Request) MarshalArena(a *arena.Arena) []byte {
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
@@ -106,7 +113,7 @@ func (r *Request) Marshal() []byte {
 	if cl != nil {
 		n += len("Content-Length: ") + len(cl) + 2
 	}
-	b := make([]byte, 0, n)
+	b := a.Make(0, n)
 	b = append(b, r.Method...)
 	b = append(b, ' ')
 	b = append(b, r.Target...)
@@ -126,7 +133,12 @@ func (r *Request) Marshal() []byte {
 
 // Marshal serializes the response, always emitting Content-Length. The
 // output is built in a single allocation.
-func (r *Response) Marshal() []byte {
+func (r *Response) Marshal() []byte { return r.MarshalArena(nil) }
+
+// MarshalArena is Marshal drawing the output buffer from an arena (nil
+// falls back to the heap). The bytes are valid until the arena's next
+// Reset.
+func (r *Response) MarshalArena(a *arena.Arena) []byte {
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
@@ -146,7 +158,7 @@ func (r *Response) Marshal() []byte {
 	if cl != nil {
 		n += len("Content-Length: ") + len(cl) + 2
 	}
-	b := make([]byte, 0, n)
+	b := a.Make(0, n)
 	b = append(b, proto...)
 	b = append(b, ' ')
 	b = append(b, status...)
@@ -188,92 +200,169 @@ func StatusText(code int) string {
 // request and the number of bytes consumed, or ErrIncomplete if b does not
 // yet hold a full message.
 func ParseRequest(b []byte) (*Request, int, error) {
+	req := &Request{}
+	n, err := ParseRequestInto(req, b, nil, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return req, n, nil
+}
+
+// ParseRequestInto parses one request from the front of b into req,
+// reusing req's header backing, interning strings through in, and drawing
+// the body copy from a (both optional — nil means plain allocation). On
+// success the request's fields are valid until the next parse into the
+// same req or the arena's next Reset, whichever comes first. Returns the
+// number of bytes consumed, or ErrIncomplete when b does not yet hold a
+// full message (req is then partially overwritten and must not be read).
+func ParseRequestInto(req *Request, b []byte, in *Interner, a *arena.Arena) (int, error) {
 	head, bodyStart, err := splitHead(b)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	line, rest, _ := strings.Cut(head, "\r\n")
-	method, r1, ok1 := strings.Cut(line, " ")
-	target, proto, ok2 := strings.Cut(r1, " ")
-	if !ok1 || !ok2 || !strings.HasPrefix(proto, "HTTP/") {
-		return nil, 0, fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
+	line, rest := cutCRLF(head)
+	method, r1, ok1 := cutSpace(line)
+	target, proto, ok2 := cutSpace(r1)
+	if !ok1 || !ok2 || !bytes.HasPrefix(proto, httpSlash) {
+		return 0, fmt.Errorf("%w: bad request line %q", ErrMalformed, line)
 	}
-	req := &Request{Method: method, Target: target, Proto: proto}
-	if err := parseHeaders(rest, &req.Headers); err != nil {
-		return nil, 0, err
+	req.Method = in.Intern(method)
+	req.Target = in.Intern(target)
+	req.Proto = in.Intern(proto)
+	req.Body = nil
+	if err := parseHeaders(rest, &req.Headers, in); err != nil {
+		return 0, err
 	}
-	body, consumed, err := readBody(b, bodyStart, req.Headers)
+	body, consumed, err := readBody(b, bodyStart, req.Headers, a)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	req.Body = body
-	return req, consumed, nil
+	return consumed, nil
 }
 
 // ParseResponse parses one response from the front of b, analogous to
 // ParseRequest.
 func ParseResponse(b []byte) (*Response, int, error) {
+	resp := &Response{}
+	n, err := ParseResponseInto(resp, b, nil, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp, n, nil
+}
+
+// ParseResponseInto parses one response from the front of b into resp,
+// with the same reuse semantics as ParseRequestInto.
+func ParseResponseInto(resp *Response, b []byte, in *Interner, a *arena.Arena) (int, error) {
 	head, bodyStart, err := splitHead(b)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	line, rest, _ := strings.Cut(head, "\r\n")
-	proto, r1, ok := strings.Cut(line, " ")
-	if !ok || !strings.HasPrefix(proto, "HTTP/") {
-		return nil, 0, fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
+	line, rest := cutCRLF(head)
+	proto, r1, ok := cutSpace(line)
+	if !ok || !bytes.HasPrefix(proto, httpSlash) {
+		return 0, fmt.Errorf("%w: bad status line %q", ErrMalformed, line)
 	}
-	code, reason, _ := strings.Cut(r1, " ")
-	status, err := strconv.Atoi(code)
+	code, reason, _ := cutSpace(r1)
+	status, err := atoiBytes(code)
 	if err != nil {
-		return nil, 0, fmt.Errorf("%w: bad status code %q", ErrMalformed, code)
+		// Rare shapes (signed, spaced) take the allocating strconv path so
+		// acceptance matches the original parser exactly.
+		status, err = strconv.Atoi(string(code))
+		if err != nil {
+			return 0, fmt.Errorf("%w: bad status code %q", ErrMalformed, code)
+		}
 	}
-	resp := &Response{Proto: proto, Status: status, Reason: reason}
-	if err := parseHeaders(rest, &resp.Headers); err != nil {
-		return nil, 0, err
+	resp.Proto = in.Intern(proto)
+	resp.Status = status
+	resp.Reason = in.Intern(reason)
+	resp.Body = nil
+	if err := parseHeaders(rest, &resp.Headers, in); err != nil {
+		return 0, err
 	}
-	body, consumed, err := readBody(b, bodyStart, resp.Headers)
+	body, consumed, err := readBody(b, bodyStart, resp.Headers, a)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	resp.Body = body
-	return resp, consumed, nil
+	return consumed, nil
+}
+
+var (
+	crlfSep   = []byte("\r\n")
+	headSep   = []byte("\r\n\r\n")
+	httpSlash = []byte("HTTP/")
+)
+
+// cutCRLF splits b at the first CRLF; without one, the whole input is the
+// first part (mirroring strings.Cut semantics for the parsers above).
+func cutCRLF(b []byte) (line, rest []byte) {
+	if i := bytes.Index(b, crlfSep); i >= 0 {
+		return b[:i], b[i+2:]
+	}
+	return b, nil
+}
+
+// cutSpace splits b at the first space.
+func cutSpace(b []byte) (tok, rest []byte, ok bool) {
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		return b[:i], b[i+1:], true
+	}
+	return b, nil, false
+}
+
+// atoiBytes parses an unsigned decimal integer without allocating.
+func atoiBytes(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, ErrMalformed
+	}
+	n := 0
+	for _, ch := range b {
+		if ch < '0' || ch > '9' {
+			return 0, ErrMalformed
+		}
+		n = n*10 + int(ch-'0')
+	}
+	return n, nil
 }
 
 // splitHead finds the end of the header block. It returns the head (without
 // the terminating CRLFCRLF) and the body start offset.
-func splitHead(b []byte) (string, int, error) {
-	idx := bytes.Index(b, []byte("\r\n\r\n"))
+func splitHead(b []byte) ([]byte, int, error) {
+	idx := bytes.Index(b, headSep)
 	if idx < 0 {
 		if len(b) > 64<<10 {
-			return "", 0, fmt.Errorf("%w: header block exceeds 64KiB", ErrMalformed)
+			return nil, 0, fmt.Errorf("%w: header block exceeds 64KiB", ErrMalformed)
 		}
-		return "", 0, ErrIncomplete
+		return nil, 0, ErrIncomplete
 	}
-	return string(b[:idx]), idx + 4, nil
+	return b[:idx], idx + 4, nil
 }
 
 // parseHeaders scans the CRLF-separated header block (everything after
-// the start line) without materializing a []string of lines.
-func parseHeaders(block string, out *Headers) error {
-	if block != "" && *out == nil {
-		*out = make(Headers, 0, strings.Count(block, "\r\n")+1)
-	}
-	for block != "" {
-		ln, rest, _ := strings.Cut(block, "\r\n")
+// the start line), reusing out's backing array and interning the field
+// strings through in.
+func parseHeaders(block []byte, out *Headers, in *Interner) error {
+	*out = (*out)[:0]
+	for len(block) > 0 {
+		ln, rest := cutCRLF(block)
 		block = rest
-		if ln == "" {
+		if len(ln) == 0 {
 			continue
 		}
-		k, v, ok := strings.Cut(ln, ":")
-		if !ok {
+		ci := bytes.IndexByte(ln, ':')
+		if ci < 0 {
 			return fmt.Errorf("%w: bad header line %q", ErrMalformed, ln)
 		}
-		*out = append(*out, Header{strings.TrimSpace(k), strings.TrimSpace(v)})
+		k := bytes.TrimSpace(ln[:ci])
+		v := bytes.TrimSpace(ln[ci+1:])
+		*out = append(*out, Header{in.Intern(k), in.Intern(v)})
 	}
 	return nil
 }
 
-func readBody(b []byte, bodyStart int, hs Headers) ([]byte, int, error) {
+func readBody(b []byte, bodyStart int, hs Headers, a *arena.Arena) ([]byte, int, error) {
 	if strings.EqualFold(hs.Get("Transfer-Encoding"), "chunked") {
 		return readChunked(b, bodyStart)
 	}
@@ -288,7 +377,7 @@ func readBody(b []byte, bodyStart int, hs Headers) ([]byte, int, error) {
 	if len(b) < bodyStart+n {
 		return nil, 0, ErrIncomplete
 	}
-	body := make([]byte, n)
+	body := a.Bytes(n)
 	copy(body, b[bodyStart:bodyStart+n])
 	return body, bodyStart + n, nil
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/browsermetric/browsermetric/internal/eventsim"
 	"github.com/browsermetric/browsermetric/internal/httpsim"
 	"github.com/browsermetric/browsermetric/internal/obs"
+	"github.com/browsermetric/browsermetric/internal/tcpsim"
 	"github.com/browsermetric/browsermetric/internal/testbed"
 	"github.com/browsermetric/browsermetric/internal/wssim"
 )
@@ -24,6 +25,18 @@ const Rounds = 2
 // instead of hanging it. Far above any clean-path RTT, so it never fires
 // on the paper's pristine testbed.
 const udpRetryTimeout = 500 * time.Millisecond
+
+// cacheHitCost models serving an <img>/<script> from the browser cache:
+// sub-millisecond, no network involvement.
+const cacheHitCost = 300 * time.Microsecond
+
+var (
+	probeBody     = []byte("probe-body")
+	policyRequest = []byte("<policy-file-request/>\x00")
+
+	errEchoReset     = fmt.Errorf("methods: echo connection reset")
+	errPolicyRefused = fmt.Errorf("methods: flash policy fetch refused")
+)
 
 // Result holds the browser-level observations of one run.
 type Result struct {
@@ -50,6 +63,12 @@ func (r *Result) BrowserRTT(round int) time.Duration {
 }
 
 // Runner executes measurement methods in a browser profile on a testbed.
+//
+// A Runner is reusable: successive Run calls recycle all per-run state
+// (result storage, client connections, event callbacks), so the steady-state
+// cost of a run is dominated by the simulation itself rather than by setup
+// allocations. Config fields (Profile, Timing, …) must not change between
+// runs on the same Runner.
 type Runner struct {
 	TB      *testbed.Testbed
 	Profile *browser.Profile
@@ -69,7 +88,25 @@ type Runner struct {
 	RunIndex int
 
 	domCached map[string]bool
+
+	// clk caches the Profile.Clock construction per timing API; clocks are
+	// stateless (pure functions of the simulator time), so reuse across
+	// runs cannot change any reading.
+	clk    clock.Clock
+	clkAPI browser.API
+
+	// res is the reused result storage handed out by Run; it is valid
+	// until the next Run call on this Runner.
+	res  Result
+	done bool
+	fail error
+
+	hs httpState
+	ss sockState
+	fp policyState
 }
+
+func (r *Runner) finish(err error) { r.done, r.fail = true, err }
 
 // readClock takes a browser timestamp through clk and, when tracing,
 // records a "clock-read" point carrying the quantization error
@@ -94,6 +131,9 @@ func (r *Runner) readClock(clk clock.Clock, at string, round int) time.Duration 
 // browser-level result. Wire-level ground truth accumulates in the
 // testbed's capture; callers typically Reset the capture before Run and
 // MatchRTT afterwards.
+//
+// The returned Result is reused storage owned by the Runner: it is valid
+// until the next Run call. Callers that need it longer must copy it.
 func (r *Runner) Run(kind Kind) (*Result, error) {
 	spec := Get(kind)
 	if !r.Profile.Supports(spec.API) {
@@ -103,224 +143,310 @@ func (r *Runner) Run(kind Kind) (*Result, error) {
 	if timeout == 0 {
 		timeout = 30 * time.Second
 	}
-	clk := r.Profile.Clock(spec.API, r.Timing, r.TB.Sim.Now)
-	res := &Result{Kind: kind}
+	if r.clk == nil || r.clkAPI != spec.API {
+		r.clk = r.Profile.Clock(spec.API, r.Timing, r.TB.Sim.Now)
+		r.clkAPI = spec.API
+	}
+	r.res = Result{Kind: kind}
+	res := &r.res
 
 	var runSpan *obs.Span
 	if tr := r.TB.Trace; tr.Enabled() {
 		runSpan = tr.Begin("run").
 			Str("method", spec.Name).
 			Str("browser", r.Profile.Label()).
-			Str("clock", clk.Name()).
+			Str("clock", r.clk.Name()).
 			Int("run", int64(r.RunIndex))
 	}
 
-	done := false
-	fail := error(nil)
-	finish := func(err error) { done, fail = true, err }
+	r.done, r.fail = false, nil
 
-	var cleanup func()
 	switch spec.Transport {
 	case TransportHTTP:
 		res.ServerPort = testbed.HTTPPort
-		r.runHTTP(spec, clk, res, finish)
+		r.hs.begin(r, spec)
 	default:
-		cleanup = r.runSocket(spec, clk, res, finish)
+		r.ss.begin(r, spec)
 	}
 
 	deadline := r.TB.Sim.Now() + timeout
-	for !done && r.TB.Sim.Now() < deadline && r.TB.Sim.Pending() > 0 {
+	for !r.done && r.TB.Sim.Now() < deadline && r.TB.Sim.Pending() > 0 {
 		r.TB.Sim.Step()
 	}
 	runSpan.Done()
-	if cleanup != nil {
-		cleanup()
+	if r.ss.hasCleanup {
+		r.ss.cleanup()
 	}
-	if fail != nil {
-		return nil, fail
+	if r.fail != nil {
+		return nil, r.fail
 	}
-	if !done {
+	if !r.done {
 		return nil, fmt.Errorf("methods: %s timed out after %v (virtual)", spec.Name, timeout)
 	}
 	return res, nil
 }
 
-// runHTTP implements the HTTP-based methods: XHR GET/POST, DOM,
-// Flash GET/POST, Java GET/POST.
-func (r *Runner) runHTTP(spec Spec, clk clock.Clock, res *Result, finish func(error)) {
-	sim := r.TB.Sim
-	rng := sim.Rand()
-	tr := r.TB.Trace
-	met := r.TB.Metrics
+// httpState is the Runner's persistent state for the HTTP-based methods:
+// XHR GET/POST, DOM, Flash GET/POST, Java GET/POST. Its callbacks are
+// allocated once per Runner and capture only the state pointer; everything
+// per-run is a plain field reset by begin.
+type httpState struct {
+	r    *Runner
+	spec Spec
+
+	policy  browser.ConnPolicy
+	k       int // current round, 1-based
+	needNew bool
+	dialAt  time.Duration
+
+	// container carries the preparation-phase page load and is what
+	// PolicyReuse methods measure on; fresh is re-attached to each newly
+	// dialed measurement connection (the one Opera Flash GET keeps under
+	// PolicyNewOnFirst).
+	container httpsim.ClientConn
+	fresh     httpsim.ClientConn
+	freshSet  bool
+	cur       *httpsim.ClientConn
+	in        *httpsim.Interner
+
+	req httpsim.Request
+
+	// targets caches probeTarget renderings per round; the probe URL
+	// depends only on (kind, round).
+	targets [Rounds]string
+	tKind   Kind
+
+	roundSpan, reqSpan, spSpan, edSpan, hsSpan *obs.Span
+
+	onContainerEst  func()
+	onContainerResp func(*httpsim.Response)
+	startRound1     func()
+	afterSend       func()
+	onNewEst        func()
+	onProbeResp     func(*httpsim.Response)
+	afterRecv       func()
+	afterCacheHit   func()
+}
+
+func (s *httpState) begin(r *Runner, spec Spec) {
+	s.r = r
+	s.spec = spec
+	s.policy = r.Profile.HTTPConnPolicy(spec.API, spec.Post)
+	s.k = 0
+	s.freshSet = false
+	s.cur = nil
+	if s.targets[0] == "" || s.tKind != spec.Kind {
+		s.tKind = spec.Kind
+		for i := 0; i < Rounds; i++ {
+			s.targets[i] = probeTarget(spec.Kind, i+1)
+		}
+	}
+	if s.in == nil {
+		s.in = httpsim.NewInterner()
+	}
+	if s.req.Headers == nil {
+		s.req.Headers = httpsim.Headers{{Key: "Host", Value: "server"}}
+	}
+	s.initCallbacks()
 
 	// Preparation phase: download the container page on a keep-alive
 	// connection. This connection is what PolicyReuse methods measure on.
-	containerTCP, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.HTTPPort)
+	tcp, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.HTTPPort)
 	if err != nil {
-		finish(err)
+		r.finish(err)
 		return
 	}
-	container := httpsim.NewClientConn(containerTCP)
-	policy := r.Profile.HTTPConnPolicy(spec.API, spec.Post)
+	s.container.Attach(tcp)
+	s.container.In = s.in
+	tcp.OnEstablished = s.onContainerEst
+}
 
-	var flashConn *httpsim.ClientConn // the fresh connection Opera Flash GET keeps
-	var round func(k int)
-	var roundSpan *obs.Span
-
-	// endRound stamps tBr and advances to the next round (or finishes).
-	endRound := func(k int) {
-		res.TBr[k-1] = r.readClock(clk, "tBr", k)
-		roundSpan.Done()
-		if k < Rounds {
-			round(k + 1)
-		} else {
-			finish(nil)
+func (s *httpState) initCallbacks() {
+	if s.afterSend != nil {
+		return
+	}
+	s.onContainerEst = func() {
+		s.req.Method, s.req.Target, s.req.Body = "GET", "/container.html", nil
+		if err := s.container.RoundTrip(&s.req, s.onContainerResp); err != nil {
+			s.r.finish(err)
 		}
 	}
-
-	// cacheHitCost models serving an <img>/<script> from the browser
-	// cache: sub-millisecond, no network involvement.
-	const cacheHitCost = 300 * time.Microsecond
-
-	probe := func(k int, cc *httpsim.ClientConn) {
-		target := probeTarget(spec.Kind, k)
-		if spec.Kind == DOM && r.DisableCacheBust {
-			target = "/probe.img" // identical URL every round
-			if r.domCached == nil {
-				r.domCached = make(map[string]bool)
-			}
-			if r.domCached[target] {
-				// Cache hit: the onload event fires without any packet
-				// leaving the host.
-				recvCost := r.Profile.RecvCost(spec.API, rng)
-				ed := tr.Begin("event-dispatch").Int("run", int64(r.RunIndex)).Int("round", int64(k)).Bool("cache_hit", true)
-				sim.Schedule(cacheHitCost+recvCost, func() {
-					ed.Done()
-					endRound(k)
-				})
+	s.onContainerResp = func(resp *httpsim.Response) {
+		if resp.Status != 200 {
+			s.r.finish(fmt.Errorf("methods: container status %d", resp.Status))
+			return
+		}
+		// Render the page, then start measuring. The capture is reset
+		// at the measurement boundary by the caller; a small render
+		// pause keeps preparation traffic clearly separated.
+		s.r.TB.Sim.Schedule(time.Millisecond, s.startRound1)
+	}
+	s.startRound1 = func() { s.round(1) }
+	s.afterSend = func() {
+		r := s.r
+		s.spSpan.Done()
+		switch {
+		case !s.needNew && s.freshSet:
+			s.cur = &s.fresh
+			s.probe()
+		case !s.needNew:
+			s.cur = &s.container
+			s.probe()
+		default:
+			r.res.NewConnRounds[s.k-1] = true
+			s.dialAt = r.TB.Sim.Now()
+			s.hsSpan = r.TB.Trace.Begin("handshake").Int("run", int64(r.RunIndex)).Int("round", int64(s.k))
+			tcp, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.HTTPPort)
+			if err != nil {
+				r.finish(err)
 				return
 			}
-			r.domCached[target] = true
-		}
-		req := &httpsim.Request{
-			Method:  "GET",
-			Target:  target,
-			Headers: httpsim.Headers{{Key: "Host", Value: "server"}},
-		}
-		if spec.Post {
-			req.Method = "POST"
-			req.Body = []byte("probe-body")
-		}
-		reqSpan := tr.Begin("request").Int("run", int64(r.RunIndex)).Int("round", int64(k)).Str("target", target)
-		if err := cc.RoundTrip(req, func(resp *httpsim.Response) {
-			reqSpan.Done()
-			if resp.Status != 200 {
-				finish(fmt.Errorf("methods: probe status %d", resp.Status))
-				return
+			s.fresh.Attach(tcp)
+			s.fresh.In = s.in
+			if s.policy == browser.PolicyNewOnFirst {
+				s.freshSet = true
 			}
-			// Response has reached the stack; the browser still has to
-			// dispatch the event / cross the plugin bridge before the
-			// measurement code can take tBr.
-			recvCost := r.Profile.RecvCost(spec.API, rng)
-			res.RecvCosts[k-1] = recvCost
-			met.ObserveDur("stage_event_dispatch_ms", recvCost)
-			ed := tr.Begin("event-dispatch").Int("run", int64(r.RunIndex)).Int("round", int64(k))
-			sim.Schedule(recvCost, func() {
-				ed.Done()
-				endRound(k)
-			})
-		}); err != nil {
-			finish(err)
+			s.cur = &s.fresh
+			tcp.OnEstablished = s.onNewEst
 		}
 	}
-
-	round = func(k int) {
-		// The measurement code records tBs, then the request descends
-		// through the engine/plugin layers (SendCost) before any packet
-		// can leave.
-		needNew := policy == browser.PolicyNewAlways ||
-			(policy == browser.PolicyNewOnFirst && flashConn == nil)
-		roundSpan = tr.Begin("round").
-			Int("run", int64(r.RunIndex)).
-			Int("round", int64(k)).
-			Bool("new_conn", needNew)
-		res.TBs[k-1] = r.readClock(clk, "tBs", k)
-		sendCost := r.Profile.SendCost(spec.API, k, spec.Post, rng)
-		res.SendCosts[k-1] = sendCost
-		met.ObserveDur("stage_send_path_ms", sendCost)
-		sp := tr.Begin("send-path").Int("run", int64(r.RunIndex)).Int("round", int64(k))
-		sim.Schedule(sendCost, func() {
-			sp.Done()
-			switch {
-			case !needNew && flashConn != nil:
-				probe(k, flashConn)
-			case !needNew:
-				probe(k, container)
-			default:
-				res.NewConnRounds[k-1] = true
-				dialAt := sim.Now()
-				hs := tr.Begin("handshake").Int("run", int64(r.RunIndex)).Int("round", int64(k))
-				tcp, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.HTTPPort)
-				if err != nil {
-					finish(err)
-					return
-				}
-				cc := httpsim.NewClientConn(tcp)
-				if policy == browser.PolicyNewOnFirst {
-					flashConn = cc
-				}
-				tcp.OnEstablished = func() {
-					hs.Done()
-					met.ObserveDur("stage_handshake_ms", sim.Now()-dialAt)
-					probe(k, cc)
-				}
-			}
-		})
+	s.onNewEst = func() {
+		r := s.r
+		s.hsSpan.Done()
+		r.TB.Metrics.ObserveDur("stage_handshake_ms", r.TB.Sim.Now()-s.dialAt)
+		s.probe()
 	}
-
-	containerTCP.OnEstablished = func() {
-		containerReq := &httpsim.Request{
-			Method:  "GET",
-			Target:  "/container.html",
-			Headers: httpsim.Headers{{Key: "Host", Value: "server"}},
+	s.onProbeResp = func(resp *httpsim.Response) {
+		r := s.r
+		s.reqSpan.Done()
+		if resp.Status != 200 {
+			r.finish(fmt.Errorf("methods: probe status %d", resp.Status))
+			return
 		}
-		if err := container.RoundTrip(containerReq, func(resp *httpsim.Response) {
-			if resp.Status != 200 {
-				finish(fmt.Errorf("methods: container status %d", resp.Status))
-				return
-			}
-			// Render the page, then start measuring. The capture is reset
-			// at the measurement boundary by the caller; a small render
-			// pause keeps preparation traffic clearly separated.
-			sim.Schedule(time.Millisecond, func() { round(1) })
-		}); err != nil {
-			finish(err)
-		}
+		// Response has reached the stack; the browser still has to
+		// dispatch the event / cross the plugin bridge before the
+		// measurement code can take tBr.
+		recvCost := r.Profile.RecvCost(s.spec.API, r.TB.Sim.Rand())
+		r.res.RecvCosts[s.k-1] = recvCost
+		r.TB.Metrics.ObserveDur("stage_event_dispatch_ms", recvCost)
+		s.edSpan = r.TB.Trace.Begin("event-dispatch").Int("run", int64(r.RunIndex)).Int("round", int64(s.k))
+		r.TB.Sim.Schedule(recvCost, s.afterRecv)
+	}
+	s.afterRecv = func() {
+		s.edSpan.Done()
+		s.endRound()
+	}
+	s.afterCacheHit = func() {
+		s.edSpan.Done()
+		s.endRound()
 	}
 }
 
-// fetchFlashPolicy performs the Flash plugin's crossdomain policy
-// exchange on port 843, then invokes next. Failure aborts via finish.
-func (r *Runner) fetchFlashPolicy(next func(), finish func(error)) {
-	pc, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.FlashPolicyPort)
-	if err != nil {
-		finish(err)
-		return
-	}
-	got := false
-	pc.OnEstablished = func() {
-		if err := pc.Send([]byte("<policy-file-request/>\x00")); err != nil {
-			finish(err)
+// round starts round k: the measurement code records tBs, then the request
+// descends through the engine/plugin layers (SendCost) before any packet
+// can leave.
+func (s *httpState) round(k int) {
+	r := s.r
+	s.k = k
+	s.needNew = s.policy == browser.PolicyNewAlways ||
+		(s.policy == browser.PolicyNewOnFirst && !s.freshSet)
+	tr := r.TB.Trace
+	s.roundSpan = tr.Begin("round").
+		Int("run", int64(r.RunIndex)).
+		Int("round", int64(k)).
+		Bool("new_conn", s.needNew)
+	r.res.TBs[k-1] = r.readClock(r.clk, "tBs", k)
+	sendCost := r.Profile.SendCost(s.spec.API, k, s.spec.Post, r.TB.Sim.Rand())
+	r.res.SendCosts[k-1] = sendCost
+	r.TB.Metrics.ObserveDur("stage_send_path_ms", sendCost)
+	s.spSpan = tr.Begin("send-path").Int("run", int64(r.RunIndex)).Int("round", int64(k))
+	r.TB.Sim.Schedule(sendCost, s.afterSend)
+}
+
+func (s *httpState) probe() {
+	r, k := s.r, s.k
+	target := s.targets[k-1]
+	if s.spec.Kind == DOM && r.DisableCacheBust {
+		target = "/probe.img" // identical URL every round
+		if r.domCached == nil {
+			r.domCached = make(map[string]bool)
 		}
-	}
-	pc.OnData = func(p []byte) {
-		if got {
+		if r.domCached[target] {
+			// Cache hit: the onload event fires without any packet
+			// leaving the host.
+			recvCost := r.Profile.RecvCost(s.spec.API, r.TB.Sim.Rand())
+			s.edSpan = r.TB.Trace.Begin("event-dispatch").Int("run", int64(r.RunIndex)).Int("round", int64(k)).Bool("cache_hit", true)
+			r.TB.Sim.Schedule(cacheHitCost+recvCost, s.afterCacheHit)
 			return
 		}
-		got = true
-		next()
+		r.domCached[target] = true
 	}
-	pc.OnReset = func() { finish(fmt.Errorf("methods: flash policy fetch refused")) }
+	s.req.Method, s.req.Target, s.req.Body = "GET", target, nil
+	if s.spec.Post {
+		s.req.Method = "POST"
+		s.req.Body = probeBody
+	}
+	s.reqSpan = r.TB.Trace.Begin("request").Int("run", int64(r.RunIndex)).Int("round", int64(k)).Str("target", target)
+	if err := s.cur.RoundTrip(&s.req, s.onProbeResp); err != nil {
+		r.finish(err)
+	}
+}
+
+// endRound stamps tBr and advances to the next round (or finishes).
+func (s *httpState) endRound() {
+	r, k := s.r, s.k
+	r.res.TBr[k-1] = r.readClock(r.clk, "tBr", k)
+	s.roundSpan.Done()
+	if k < Rounds {
+		s.round(k + 1)
+	} else {
+		r.finish(nil)
+	}
+}
+
+// policyState is the Runner's persistent state for the Flash plugin's
+// crossdomain policy exchange on port 843 (preparation phase, outside the
+// timed window). Success invokes next; failure aborts the run.
+type policyState struct {
+	r    *Runner
+	pc   *tcpsim.Conn
+	next func()
+	got  bool
+
+	onEst   func()
+	onData  func([]byte)
+	onReset func()
+}
+
+func (r *Runner) fetchFlashPolicy(next func()) {
+	s := &r.fp
+	s.r = r
+	s.next = next
+	s.got = false
+	if s.onEst == nil {
+		s.onEst = func() {
+			if err := s.pc.Send(policyRequest); err != nil {
+				s.r.finish(err)
+			}
+		}
+		s.onData = func([]byte) {
+			if s.got {
+				return
+			}
+			s.got = true
+			s.next()
+		}
+		s.onReset = func() { s.r.finish(errPolicyRefused) }
+	}
+	pc, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.FlashPolicyPort)
+	if err != nil {
+		r.finish(err)
+		return
+	}
+	s.pc = pc
+	pc.OnEstablished = s.onEst
+	pc.OnData = s.onData
+	pc.OnReset = s.onReset
 }
 
 // probeTarget renders "/probe?m=<kind>&r=<round>" with one allocation
@@ -344,159 +470,231 @@ func payloadFor(k Kind, round int) []byte {
 	return b
 }
 
-// runSocket implements the socket-based methods: WebSocket, Flash TCP,
-// Java TCP and Java UDP. It returns an optional cleanup function to run
-// when the measurement finishes.
-func (r *Runner) runSocket(spec Spec, clk clock.Clock, res *Result, finish func(error)) (cleanup func()) {
-	sim := r.TB.Sim
-	rng := sim.Rand()
-	tr := r.TB.Trace
-	met := r.TB.Metrics
+// sockState is the Runner's persistent state for the socket-based methods:
+// WebSocket, Flash TCP, Java TCP and Java UDP. Socket methods connect
+// during preparation, so no round ever opens a fresh connection.
+type sockState struct {
+	r    *Runner
+	spec Spec
 
-	var round func(k int)
-	var sendProbe func(k int, payload []byte)
-	var onEcho func(payload []byte)
-	var roundSpan, reqSpan *obs.Span
+	k       int // current round, 1-based
+	pending int // round awaiting its echo; 0 when none
 
-	// Shared round logic: stamp tBs, descend the send path, transmit;
-	// the echo path ascends RecvCost before tBr. Socket methods connect
-	// during preparation, so no round ever opens a fresh connection.
-	round = func(k int) {
-		roundSpan = tr.Begin("round").
-			Int("run", int64(r.RunIndex)).
-			Int("round", int64(k)).
-			Bool("new_conn", false)
-		res.TBs[k-1] = r.readClock(clk, "tBs", k)
-		sendCost := r.Profile.SendCost(spec.API, k, false, rng)
-		res.SendCosts[k-1] = sendCost
-		met.ObserveDur("stage_send_path_ms", sendCost)
-		sp := tr.Begin("send-path").Int("run", int64(r.RunIndex)).Int("round", int64(k))
-		sim.Schedule(sendCost, func() {
-			sp.Done()
-			reqSpan = tr.Begin("request").Int("run", int64(r.RunIndex)).Int("round", int64(k))
-			sendProbe(k, payloadFor(spec.Kind, k))
-		})
-	}
-	pending := 0
-	onEcho = func([]byte) {
-		k := pending
-		if k == 0 {
-			// A duplicate echo for a round that already completed (frame
-			// duplication on an impaired link, or a datagram answered both
-			// late and via retry). The first copy closed the round; any
-			// further copy must not restart the dispatch path.
-			return
+	ws       *wssim.Conn
+	tcp      *tcpsim.Conn
+	udpLocal uint16
+
+	// payloads caches payloadFor renderings per round; the probe payload
+	// depends only on (kind, round).
+	payloads [Rounds][]byte
+	pKind    Kind
+
+	// UDP retry timer state (see begin's JavaUDP arm).
+	retry  eventsim.Event
+	retryK int
+
+	hasCleanup bool
+
+	roundSpan, reqSpan, spSpan, edSpan *obs.Span
+
+	afterSend  func()
+	afterRecv  func()
+	connectFn  func()
+	retryFn    func()
+	onWSEst    func()
+	onWSMsg    func(wssim.Opcode, []byte)
+	onWSOpen   func()
+	onTCPData  func([]byte)
+	onTCPEst   func()
+	onTCPReset func()
+	onUDP      func(netip.Addr, uint16, []byte)
+}
+
+func (s *sockState) begin(r *Runner, spec Spec) {
+	s.r = r
+	s.spec = spec
+	s.k = 0
+	s.pending = 0
+	s.ws, s.tcp = nil, nil
+	s.retry = eventsim.Event{}
+	if s.payloads[0] == nil || s.pKind != spec.Kind {
+		s.pKind = spec.Kind
+		for i := 0; i < Rounds; i++ {
+			s.payloads[i] = payloadFor(spec.Kind, i+1)
 		}
-		pending = 0
-		reqSpan.Done()
-		recvCost := r.Profile.RecvCost(spec.API, rng)
-		res.RecvCosts[k-1] = recvCost
-		met.ObserveDur("stage_event_dispatch_ms", recvCost)
-		ed := tr.Begin("event-dispatch").Int("run", int64(r.RunIndex)).Int("round", int64(k))
-		sim.Schedule(recvCost, func() {
-			ed.Done()
-			res.TBr[k-1] = r.readClock(clk, "tBr", k)
-			roundSpan.Done()
-			if k < Rounds {
-				round(k + 1)
-			} else {
-				finish(nil)
-			}
-		})
 	}
+	s.initCallbacks()
 
 	switch spec.Kind {
 	case WebSocket:
-		res.ServerPort = testbed.WSPort
+		r.res.ServerPort = testbed.WSPort
 		tcp, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.WSPort)
 		if err != nil {
-			finish(err)
+			r.finish(err)
 			return
 		}
-		tcp.OnEstablished = func() {
-			ws, err := wssim.Dial(tcp, "server", "/ws")
-			if err != nil {
-				finish(err)
-				return
-			}
-			sendProbe = func(k int, payload []byte) {
-				pending = k
-				if err := ws.Send(wssim.OpBinary, payload); err != nil {
-					finish(err)
-				}
-			}
-			ws.OnMessage = func(_ wssim.Opcode, p []byte) { onEcho(p) }
-			ws.OnOpen = func() { round(1) }
-		}
+		s.tcp = tcp
+		tcp.OnEstablished = s.onWSEst
 
 	case FlashTCP, JavaTCP:
-		res.ServerPort = testbed.TCPEchoPort
-		connect := func() {
-			tcp, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.TCPEchoPort)
-			if err != nil {
-				finish(err)
-				return
-			}
-			sendProbe = func(k int, payload []byte) {
-				pending = k
-				if err := tcp.Send(payload); err != nil {
-					finish(err)
-				}
-			}
-			tcp.OnData = func(p []byte) { onEcho(p) }
-			tcp.OnEstablished = func() { round(1) }
-			tcp.OnReset = func() { finish(fmt.Errorf("methods: echo connection reset")) }
-		}
+		r.res.ServerPort = testbed.TCPEchoPort
 		if spec.Kind == FlashTCP {
 			// The Flash plugin fetches the socket policy file before it
 			// allows any Socket connection; this happens in the
 			// preparation phase, outside the timed window.
-			r.fetchFlashPolicy(connect, finish)
+			r.fetchFlashPolicy(s.connectFn)
 		} else {
-			connect()
+			s.connect()
 		}
 
 	case JavaUDP:
-		res.ServerPort = testbed.UDPEchoPort
-		localPort := r.TB.NextUDPPort()
-		if err := r.TB.Client.ListenUDP(localPort, func(_ netip.Addr, _ uint16, p []byte) {
-			onEcho(p)
-		}); err != nil {
-			finish(err)
-			return nil
+		r.res.ServerPort = testbed.UDPEchoPort
+		s.udpLocal = r.TB.NextUDPPort()
+		if err := r.TB.Client.ListenUDP(s.udpLocal, s.onUDP); err != nil {
+			r.finish(err)
+			return
 		}
-		// UDP has no transport-layer recovery, so a single lost datagram
-		// would hang the round until the 30 s run timeout. Real Java probes
-		// guard against this with SO_TIMEOUT and a resend; mirror that with
-		// a retry timer that re-sends while the round is still open. On a
-		// clean link the timer never fires usefully (the echo lands ~RTT
-		// after the send) and consumes no randomness, so clean-path results
-		// are unchanged; the duplicate-echo guard in onEcho absorbs the
-		// case where both the original and a retry are answered.
-		var retry eventsim.Event
-		var arm func(k int, payload []byte)
-		arm = func(k int, payload []byte) {
-			retry = sim.Schedule(udpRetryTimeout, func() {
-				if pending != k {
-					return // round already completed
-				}
-				r.TB.Client.SendUDP(r.TB.ServerAddr, localPort, testbed.UDPEchoPort, payload)
-				arm(k, payload)
-			})
-		}
-		cleanup = func() {
-			retry.Cancel()
-			r.TB.Client.CloseUDP(localPort)
-		}
-		sendProbe = func(k int, payload []byte) {
-			pending = k
-			r.TB.Client.SendUDP(r.TB.ServerAddr, localPort, testbed.UDPEchoPort, payload)
-			arm(k, payload)
-		}
-		round(1)
+		s.hasCleanup = true
+		s.round(1)
 
 	default:
-		finish(fmt.Errorf("methods: %s is not socket-based", spec.Name))
+		r.finish(fmt.Errorf("methods: %s is not socket-based", spec.Name))
 	}
-	return cleanup
+}
+
+func (s *sockState) initCallbacks() {
+	if s.afterSend != nil {
+		return
+	}
+	s.afterSend = func() {
+		s.spSpan.Done()
+		s.reqSpan = s.r.TB.Trace.Begin("request").Int("run", int64(s.r.RunIndex)).Int("round", int64(s.k))
+		s.sendProbe()
+	}
+	s.afterRecv = func() {
+		r, k := s.r, s.k
+		s.edSpan.Done()
+		r.res.TBr[k-1] = r.readClock(r.clk, "tBr", k)
+		s.roundSpan.Done()
+		if k < Rounds {
+			s.round(k + 1)
+		} else {
+			r.finish(nil)
+		}
+	}
+	s.connectFn = func() { s.connect() }
+	// UDP has no transport-layer recovery, so a single lost datagram
+	// would hang the round until the 30 s run timeout. Real Java probes
+	// guard against this with SO_TIMEOUT and a resend; mirror that with
+	// a retry timer that re-sends while the round is still open. On a
+	// clean link the timer never fires usefully (the echo lands ~RTT
+	// after the send) and consumes no randomness, so clean-path results
+	// are unchanged; the duplicate-echo guard in onEcho absorbs the
+	// case where both the original and a retry are answered.
+	s.retryFn = func() {
+		if s.pending != s.retryK {
+			return // round already completed
+		}
+		r := s.r
+		r.TB.Client.SendUDP(r.TB.ServerAddr, s.udpLocal, testbed.UDPEchoPort, s.payloads[s.retryK-1])
+		s.arm(s.retryK)
+	}
+	s.onWSEst = func() {
+		ws, err := wssim.Dial(s.tcp, "server", "/ws")
+		if err != nil {
+			s.r.finish(err)
+			return
+		}
+		s.ws = ws
+		ws.OnMessage = s.onWSMsg
+		ws.OnOpen = s.onWSOpen
+	}
+	s.onWSMsg = func(_ wssim.Opcode, _ []byte) { s.onEcho() }
+	s.onWSOpen = func() { s.round(1) }
+	s.onTCPData = func([]byte) { s.onEcho() }
+	s.onTCPEst = func() { s.round(1) }
+	s.onTCPReset = func() { s.r.finish(errEchoReset) }
+	s.onUDP = func(_ netip.Addr, _ uint16, _ []byte) { s.onEcho() }
+}
+
+func (s *sockState) connect() {
+	r := s.r
+	tcp, err := r.TB.Client.Dial(r.TB.ServerAddr, testbed.TCPEchoPort)
+	if err != nil {
+		r.finish(err)
+		return
+	}
+	s.tcp = tcp
+	tcp.OnData = s.onTCPData
+	tcp.OnEstablished = s.onTCPEst
+	tcp.OnReset = s.onTCPReset
+}
+
+// round runs the shared round logic: stamp tBs, descend the send path,
+// transmit; the echo path ascends RecvCost before tBr.
+func (s *sockState) round(k int) {
+	r := s.r
+	s.k = k
+	tr := r.TB.Trace
+	s.roundSpan = tr.Begin("round").
+		Int("run", int64(r.RunIndex)).
+		Int("round", int64(k)).
+		Bool("new_conn", false)
+	r.res.TBs[k-1] = r.readClock(r.clk, "tBs", k)
+	sendCost := r.Profile.SendCost(s.spec.API, k, false, r.TB.Sim.Rand())
+	r.res.SendCosts[k-1] = sendCost
+	r.TB.Metrics.ObserveDur("stage_send_path_ms", sendCost)
+	s.spSpan = tr.Begin("send-path").Int("run", int64(r.RunIndex)).Int("round", int64(k))
+	r.TB.Sim.Schedule(sendCost, s.afterSend)
+}
+
+func (s *sockState) sendProbe() {
+	r, k := s.r, s.k
+	payload := s.payloads[k-1]
+	switch s.spec.Kind {
+	case WebSocket:
+		s.pending = k
+		if err := s.ws.Send(wssim.OpBinary, payload); err != nil {
+			r.finish(err)
+		}
+	case FlashTCP, JavaTCP:
+		s.pending = k
+		if err := s.tcp.Send(payload); err != nil {
+			r.finish(err)
+		}
+	case JavaUDP:
+		s.pending = k
+		r.TB.Client.SendUDP(r.TB.ServerAddr, s.udpLocal, testbed.UDPEchoPort, payload)
+		s.arm(k)
+	}
+}
+
+func (s *sockState) arm(k int) {
+	s.retryK = k
+	s.retry = s.r.TB.Sim.Schedule(udpRetryTimeout, s.retryFn)
+}
+
+func (s *sockState) onEcho() {
+	r := s.r
+	k := s.pending
+	if k == 0 {
+		// A duplicate echo for a round that already completed (frame
+		// duplication on an impaired link, or a datagram answered both
+		// late and via retry). The first copy closed the round; any
+		// further copy must not restart the dispatch path.
+		return
+	}
+	s.pending = 0
+	s.reqSpan.Done()
+	recvCost := r.Profile.RecvCost(s.spec.API, r.TB.Sim.Rand())
+	r.res.RecvCosts[k-1] = recvCost
+	r.TB.Metrics.ObserveDur("stage_event_dispatch_ms", recvCost)
+	s.edSpan = r.TB.Trace.Begin("event-dispatch").Int("run", int64(r.RunIndex)).Int("round", int64(k))
+	r.TB.Sim.Schedule(recvCost, s.afterRecv)
+}
+
+func (s *sockState) cleanup() {
+	s.retry.Cancel()
+	s.r.TB.Client.CloseUDP(s.udpLocal)
+	s.hasCleanup = false
 }

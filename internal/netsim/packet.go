@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/netip"
 	"time"
+
+	"github.com/browsermetric/browsermetric/internal/arena"
 )
 
 // Packet is a fully decoded frame as seen on a link, together with the
@@ -96,7 +98,15 @@ func (p *Packet) String() string {
 
 // BuildTCP assembles a complete Ethernet/IPv4/TCP frame in one allocation.
 func BuildTCP(srcMAC, dstMAC MAC, src, dst netip.Addr, ipID uint16, hdr *TCP, payload []byte) []byte {
-	b := make([]byte, ethernetHeaderLen+ipv4HeaderLen+tcpHeaderLen+len(payload))
+	return BuildTCPArena(nil, srcMAC, dstMAC, src, dst, ipID, hdr, payload)
+}
+
+// BuildTCPArena is BuildTCP carving the frame from an arena instead of the
+// heap (nil arena falls back to the heap). The frame is valid until the
+// arena's next Reset; every byte is written, so recycled slab memory needs
+// no zeroing.
+func BuildTCPArena(a *arena.Arena, srcMAC, dstMAC MAC, src, dst netip.Addr, ipID uint16, hdr *TCP, payload []byte) []byte {
+	b := a.Bytes(ethernetHeaderLen + ipv4HeaderLen + tcpHeaderLen + len(payload))
 	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
 	eth.put(b)
 	seg := b[ethernetHeaderLen+ipv4HeaderLen:]
@@ -109,7 +119,13 @@ func BuildTCP(srcMAC, dstMAC MAC, src, dst netip.Addr, ipID uint16, hdr *TCP, pa
 
 // BuildUDP assembles a complete Ethernet/IPv4/UDP frame in one allocation.
 func BuildUDP(srcMAC, dstMAC MAC, src, dst netip.Addr, ipID uint16, hdr *UDP, payload []byte) []byte {
-	b := make([]byte, ethernetHeaderLen+ipv4HeaderLen+udpHeaderLen+len(payload))
+	return BuildUDPArena(nil, srcMAC, dstMAC, src, dst, ipID, hdr, payload)
+}
+
+// BuildUDPArena is BuildUDP carving the frame from an arena instead of the
+// heap (nil arena falls back to the heap).
+func BuildUDPArena(a *arena.Arena, srcMAC, dstMAC MAC, src, dst netip.Addr, ipID uint16, hdr *UDP, payload []byte) []byte {
+	b := a.Bytes(ethernetHeaderLen + ipv4HeaderLen + udpHeaderLen + len(payload))
 	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
 	eth.put(b)
 	seg := b[ethernetHeaderLen+ipv4HeaderLen:]

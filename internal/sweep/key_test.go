@@ -51,6 +51,7 @@ func TestKeyCoversEveryConfigField(t *testing.T) {
 		"Metrics":         true,
 		"Testbed.Tracer":  true,
 		"Testbed.Metrics": true,
+		"Testbed.Arena":   true,
 	}
 
 	type leaf struct {

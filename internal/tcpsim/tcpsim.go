@@ -17,6 +17,7 @@ import (
 	"net/netip"
 	"time"
 
+	"github.com/browsermetric/browsermetric/internal/arena"
 	"github.com/browsermetric/browsermetric/internal/eventsim"
 	"github.com/browsermetric/browsermetric/internal/netsim"
 	"github.com/browsermetric/browsermetric/internal/obs"
@@ -107,9 +108,23 @@ type Stack struct {
 	Trace   *obs.Tracer
 	Metrics *obs.Metrics
 
+	// Arena, when non-nil, supplies frame bytes for outgoing segments and
+	// datagrams. Frames then live until the arena's next Reset, which the
+	// testbed performs only between runs — after every in-flight frame is
+	// dead. Nil means plain heap frames.
+	Arena *arena.Arena
+
 	// rxPkt is scratch decode storage for the inbound frame handler.
 	// Safe because all frame delivery is event-scheduled, never reentrant.
 	rxPkt netsim.Packet
+
+	// connSlab is a grow-only chunk of connection records handed out by
+	// newConn. A Conn's queue slices alias its own inline arrays, so a
+	// chunk is never grown or compacted in place — when exhausted it is
+	// simply abandoned for a fresh one. Conns are not recycled within a
+	// cell; the chunks amortize their allocation across runs.
+	connSlab []Conn
+	connOff  int
 }
 
 // NewStack creates a stack and installs itself as the NIC frame handler.
@@ -189,10 +204,37 @@ type Conn struct {
 	OnClose       func() // fires once when the connection fully closes
 	OnReset       func() // peer sent RST
 
+	// Sink, when non-nil, receives inbound data instead of OnData. One
+	// long-lived sink shared by every connection of a service replaces a
+	// per-conn OnData closure, which is what keeps accepting a connection
+	// allocation-free. Upper is sink-owned per-conn state (e.g. the
+	// httpsim server conn wrapping this transport conn).
+	Sink  DataSink
+	Upper any
+
 	// connectSpan covers Dial → ESTABLISHED on the active opener.
 	connectSpan *obs.Span
 
 	closed bool
+}
+
+// DataSink receives a connection's inbound in-order data. It is the
+// closure-free alternative to Conn.OnData: a service installs one sink for
+// all its connections and keys per-conn state off the *Conn (usually via
+// Conn.Upper).
+type DataSink interface {
+	ConnData(c *Conn, b []byte)
+}
+
+// deliver hands in-order payload to the connection's consumer.
+func (c *Conn) deliver(b []byte) {
+	if c.Sink != nil {
+		c.Sink.ConnData(c, b)
+		return
+	}
+	if c.OnData != nil {
+		c.OnData(b)
+	}
 }
 
 // State returns the connection state.
@@ -229,28 +271,59 @@ func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
 // seqLT reports a < b in mod-2^32 arithmetic.
 func seqLT(a, b uint32) bool { return int32(b-a) > 0 }
 
+// connChunkSize is how many Conn records a slab chunk holds. Probe
+// workloads open a handful of connections per run, so one chunk covers
+// several runs.
+const connChunkSize = 32
+
+// newConn hands out a zeroed connection record from the stack's slab
+// chunk. An exhausted chunk is abandoned (its conns still own their
+// inline queue arrays and must never move), and a fresh one allocated —
+// one allocation per 32 connections instead of one each.
+func (s *Stack) newConn() *Conn {
+	if s.connOff >= len(s.connSlab) {
+		s.connSlab = make([]Conn, connChunkSize)
+		s.connOff = 0
+	}
+	c := &s.connSlab[s.connOff]
+	s.connOff++
+	return c
+}
+
 // Dial opens a connection to dst:port. The returned Conn is in SYN_SENT;
 // OnEstablished fires when the handshake completes.
 func (s *Stack) Dial(dst netip.Addr, port uint16) (*Conn, error) {
 	local := s.allocEphemeral()
 	tuple := fourTuple{localPort: local, remotePort: port, remote: dst}
 	isn := uint32(s.sim.Rand().Int63())
-	c := &Conn{
-		stack:    s,
-		tuple:    tuple,
-		state:    StateSynSent,
-		sndUna:   isn,
-		sndTx:    isn,
-		sndNxt:   isn,
-		rto:      defaultRTO,
-		cwnd:     initialCwnd,
-		ssthresh: initialSsthresh,
-	}
+	c := s.newConn()
+	c.stack = s
+	c.tuple = tuple
+	c.state = StateSynSent
+	c.sndUna, c.sndTx, c.sndNxt = isn, isn, isn
+	c.rto = defaultRTO
+	c.cwnd = initialCwnd
+	c.ssthresh = initialSsthresh
 	c.initQueues()
 	s.conns[tuple] = c
 	c.connectSpan = s.Trace.Begin("connect").Int("dst_port", int64(port)).Int("local_port", int64(local))
 	c.enqueue(netsim.FlagSYN, nil)
 	return c, nil
+}
+
+// Quiescent reports whether no connection on the stack holds transport
+// state that references in-flight buffers: everything sent is acked,
+// nothing waits in a send queue, and no out-of-order segment is parked.
+// It is the safety predicate for resetting an arena the stack draws
+// frames and segment payloads from — a non-quiescent conn could still
+// retransmit (or deliver) bytes the reset would recycle.
+func (s *Stack) Quiescent() bool {
+	for _, c := range s.conns {
+		if c.sndUna != c.sndNxt || len(c.sendQ) > 0 || len(c.retxQ) > 0 || len(c.oo) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Tracer returns the stack's tracer (possibly nil) so higher layers
@@ -259,6 +332,10 @@ func (c *Conn) Tracer() *obs.Tracer { return c.stack.Trace }
 
 // Metrics returns the stack's metrics registry (possibly nil).
 func (c *Conn) Metrics() *obs.Metrics { return c.stack.Metrics }
+
+// Arena returns the stack's arena (possibly nil) so higher layers can
+// draw their message buffers from the same per-run epoch.
+func (c *Conn) Arena() *arena.Arena { return c.stack.Arena }
 
 func (s *Stack) allocEphemeral() uint16 {
 	for i := 0; i < 1<<14; i++ {
@@ -423,7 +500,7 @@ func (c *Conn) rawSend(flags byte, seq, ack uint32, payload []byte) {
 		Ack:     ack,
 		Flags:   flags,
 	}
-	frame := netsim.BuildTCP(s.nic.MAC, mac, s.nic.Addr, c.tuple.remote, s.ipID, hdr, payload)
+	frame := netsim.BuildTCPArena(s.Arena, s.nic.MAC, mac, s.nic.Addr, c.tuple.remote, s.ipID, hdr, payload)
 	s.Metrics.Add("tcp_segments_sent", 1)
 	s.Metrics.Add("tcp_bytes_sent", int64(len(frame)))
 	s.nic.Send(frame)
@@ -546,23 +623,20 @@ func (s *Stack) sendRST(tuple fourTuple, p *netsim.Packet) {
 		Ack:     p.TCP.Seq + 1,
 		Flags:   netsim.FlagRST | netsim.FlagACK,
 	}
-	s.nic.Send(netsim.BuildTCP(s.nic.MAC, mac, s.nic.Addr, tuple.remote, s.ipID, hdr, nil))
+	s.nic.Send(netsim.BuildTCPArena(s.Arena, s.nic.MAC, mac, s.nic.Addr, tuple.remote, s.ipID, hdr, nil))
 }
 
 func (s *Stack) acceptSyn(l *Listener, tuple fourTuple, p *netsim.Packet) {
 	isn := uint32(s.sim.Rand().Int63())
-	c := &Conn{
-		stack:    s,
-		tuple:    tuple,
-		state:    StateSynReceived,
-		sndUna:   isn,
-		sndTx:    isn,
-		sndNxt:   isn,
-		rcvNxt:   p.TCP.Seq + 1,
-		rto:      defaultRTO,
-		cwnd:     initialCwnd,
-		ssthresh: initialSsthresh,
-	}
+	c := s.newConn()
+	c.stack = s
+	c.tuple = tuple
+	c.state = StateSynReceived
+	c.sndUna, c.sndTx, c.sndNxt = isn, isn, isn
+	c.rcvNxt = p.TCP.Seq + 1
+	c.rto = defaultRTO
+	c.cwnd = initialCwnd
+	c.ssthresh = initialSsthresh
 	c.initQueues()
 	s.conns[tuple] = c
 	c.acceptCb = l.Accept
@@ -692,16 +766,16 @@ func (c *Conn) ingestData(seq uint32, payload []byte) bool {
 	}
 	if seq == c.rcvNxt && len(c.oo) == 0 {
 		c.rcvNxt += uint32(len(payload))
-		if c.OnData != nil {
-			c.OnData(payload)
-		}
+		c.deliver(payload)
 		return true
 	}
 	if c.oo == nil {
 		c.oo = make(map[uint32][]byte, 4) // lazy: most conns never reorder
 	}
 	if _, dup := c.oo[seq]; !dup {
-		buf := make([]byte, len(payload))
+		// The copy lives at most until the run ends (either drained and
+		// delivered, or dead with its connection), so arena storage is safe.
+		buf := c.stack.Arena.Bytes(len(payload))
 		copy(buf, payload)
 		c.oo[seq] = buf
 	}
@@ -718,9 +792,7 @@ func (c *Conn) drainInOrder(advanced bool) {
 			delete(c.oo, c.rcvNxt)
 			c.rcvNxt += uint32(len(data))
 			advanced = true
-			if c.OnData != nil {
-				c.OnData(data)
-			}
+			c.deliver(data)
 			continue
 		}
 		break
@@ -772,5 +844,5 @@ func (s *Stack) SendUDP(dst netip.Addr, srcPort, dstPort uint16, payload []byte)
 	}
 	s.ipID++
 	hdr := &netsim.UDP{SrcPort: srcPort, DstPort: dstPort}
-	s.nic.Send(netsim.BuildUDP(s.nic.MAC, mac, s.nic.Addr, dst, s.ipID, hdr, payload))
+	s.nic.Send(netsim.BuildUDPArena(s.Arena, s.nic.MAC, mac, s.nic.Addr, dst, s.ipID, hdr, payload))
 }

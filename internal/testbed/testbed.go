@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/browsermetric/browsermetric/internal/arena"
 	"github.com/browsermetric/browsermetric/internal/capture"
 	"github.com/browsermetric/browsermetric/internal/eventsim"
 	"github.com/browsermetric/browsermetric/internal/faults"
@@ -78,6 +79,13 @@ type Config struct {
 	// Metrics, when non-nil, receives counters and histograms from every
 	// simulated layer (segments, retransmits, bytes on wire, requests).
 	Metrics *obs.Metrics
+	// Arena, when non-nil, owns the testbed's per-run buffers (frames,
+	// HTTP messages, parse scratch); BeginRun resets it between runs so a
+	// warm run allocates nothing. New creates a private arena when nil.
+	// Like Tracer/Metrics it is observational: reuse cannot change any
+	// simulated outcome (the determinism suite enforces this), so it is
+	// excluded from sweep cache keys.
+	Arena *arena.Arena
 }
 
 func (c *Config) fillDefaults() {
@@ -121,8 +129,15 @@ type Testbed struct {
 	// observability is off; all recording methods no-op on nil).
 	Trace   *obs.Tracer
 	Metrics *obs.Metrics
+	// Arena owns the per-run buffers of every layer below (frames, HTTP
+	// messages, capture scratch). BeginRun resets it; see Config.Arena.
+	Arena *arena.Arena
 
 	cfg Config
+
+	// probe holds the per-testbed cached probe responses served by the
+	// HTTP handler, so steady-state requests build no response objects.
+	probe probeResponses
 
 	// nextUDPPort backs NextUDPPort. Keeping the allocator per-testbed
 	// (rather than process-global) makes port assignment a pure function
@@ -134,7 +149,13 @@ type Testbed struct {
 // New builds the testbed with the paper's parameters (see Config).
 func New(cfg Config) *Testbed {
 	cfg.fillDefaults()
+	if cfg.Arena == nil {
+		cfg.Arena = arena.New(0)
+	}
 	sim := eventsim.New(cfg.Seed)
+	// Slab-reserve event records for the testbed's peak concurrent load
+	// (delayed frames in flight, per-conn RTO timers, method timers).
+	sim.Reserve(256)
 	cfg.Tracer.Bind(sim.Now)
 
 	clientMAC := netsim.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
@@ -180,6 +201,8 @@ func New(cfg Config) *Testbed {
 	clientStack.Metrics = cfg.Metrics
 	serverStack.Trace = cfg.Tracer
 	serverStack.Metrics = cfg.Metrics
+	clientStack.Arena = cfg.Arena
+	serverStack.Arena = cfg.Arena
 
 	tb := &Testbed{
 		Sim:        sim,
@@ -193,41 +216,52 @@ func New(cfg Config) *Testbed {
 		Impair:     impair,
 		Trace:      cfg.Tracer,
 		Metrics:    cfg.Metrics,
+		Arena:      cfg.Arena,
 		cfg:        cfg,
 	}
 	tb.startServices()
 	return tb
 }
 
+// BeginRun marks the start of a measurement run: the capture truncates
+// and the arena recycles every per-run buffer of the previous run. Call
+// it between runs, after Advance has idled the testbed through the
+// inter-run gap.
+//
+// The arena reset is guarded by transport quiescence: if any connection
+// still holds unacked or undelivered bytes (a retransmission recovering
+// from a fault-profile loss can straddle a short gap), the reset is
+// skipped for this boundary and the arena simply keeps growing until the
+// next quiet one. Quiescence is a pure function of simulator state, so
+// the skip decision — like everything else — is deterministic.
+func (tb *Testbed) BeginRun() {
+	tb.Cap.Reset()
+	if tb.Client.Quiescent() && tb.Server.Quiescent() {
+		tb.Arena.Reset()
+	}
+}
+
 // startServices brings up the HTTP, WebSocket and echo services.
 func (tb *Testbed) startServices() {
+	tb.probe.init()
 	tb.HTTP = &httpsim.Server{
 		Sim:       tb.Sim,
 		Stack:     tb.Server,
-		Handler:   probeHandler,
+		Handler:   tb.probe.handle,
 		ParseCost: tb.cfg.ServerParseCost,
 	}
 	if err := tb.HTTP.Serve(HTTPPort); err != nil {
 		panic(err)
 	}
-	if err := wssim.Serve(tb.Server, WSPort, func(c *wssim.Conn) {
-		c.OnMessage = func(op wssim.Opcode, p []byte) { _ = c.Send(op, p) }
-	}); err != nil {
+	if err := wssim.Serve(tb.Server, WSPort, wsEchoAccept); err != nil {
 		panic(err)
 	}
-	if _, err := tb.Server.Listen(TCPEchoPort, func(c *tcpsim.Conn) {
-		c.OnData = func(b []byte) { _ = c.Send(b) }
-	}); err != nil {
+	if _, err := tb.Server.Listen(TCPEchoPort, tcpEchoAccept); err != nil {
 		panic(err)
 	}
 	// Flash socket policy service: answer <policy-file-request/> with the
 	// permissive crossdomain policy and close, as flashpolicyd does.
-	if _, err := tb.Server.Listen(FlashPolicyPort, func(c *tcpsim.Conn) {
-		c.OnData = func([]byte) {
-			_ = c.Send([]byte(flashPolicyXML))
-			c.Close()
-		}
-	}); err != nil {
+	if _, err := tb.Server.Listen(FlashPolicyPort, flashPolicyAccept); err != nil {
 		panic(err)
 	}
 	if err := tb.Server.ListenUDP(UDPEchoPort, func(src netip.Addr, srcPort uint16, p []byte) {
@@ -237,18 +271,75 @@ func (tb *Testbed) startServices() {
 	}
 }
 
-// probeHandler serves the measurement workloads: the container page that
-// the preparation phase downloads, a small single-packet probe body for
-// GET and POST requests, and bulk bodies for throughput measurement
+// tcpEchoSink echoes every inbound byte. One package-level sink serves
+// every echo connection of every testbed — accepting a connection
+// allocates nothing.
+type tcpEchoSink struct{}
+
+func (tcpEchoSink) ConnData(c *tcpsim.Conn, b []byte) { _ = c.Send(b) }
+
+// flashPolicySink answers any inbound data with the crossdomain policy
+// and closes, as flashpolicyd does.
+type flashPolicySink struct{}
+
+func (flashPolicySink) ConnData(c *tcpsim.Conn, _ []byte) {
+	_ = c.Send(flashPolicyBytes)
+	c.Close()
+}
+
+var (
+	tcpEcho          tcpsim.DataSink = tcpEchoSink{}
+	flashPolicy      tcpsim.DataSink = flashPolicySink{}
+	flashPolicyBytes                 = []byte(flashPolicyXML)
+)
+
+func tcpEchoAccept(c *tcpsim.Conn)     { c.Sink = tcpEcho }
+func flashPolicyAccept(c *tcpsim.Conn) { c.Sink = flashPolicy }
+
+// wsEchoAccept installs the shared echo handler on a fresh WebSocket.
+func wsEchoAccept(c *wssim.Conn) { c.OnMessage = wsEchoMessage(c) }
+
+// wsEchoMessage returns the shared echo callback; it is a package func so
+// every connection reuses one closure shape (see wssim.EchoHandler).
+func wsEchoMessage(c *wssim.Conn) func(wssim.Opcode, []byte) {
+	return func(op wssim.Opcode, p []byte) { _ = c.Send(op, p) }
+}
+
+// probeResponses caches the fixed probe endpoint responses of one
+// testbed, so the steady-state request path serves pointers to immutable
+// objects instead of building a Response per request. The HTTP server
+// never mutates a handler response (close headers land on a scratch
+// copy), which is what makes the sharing sound.
+type probeResponses struct {
+	container httpsim.Response
+	postOK    httpsim.Response
+	pong      httpsim.Response
+}
+
+func (pr *probeResponses) init() {
+	pr.container = httpsim.Response{
+		Status:  200,
+		Headers: httpsim.Headers{{Key: "Content-Type", Value: "text/html"}},
+		Body:    containerBody,
+	}
+	pr.postOK = httpsim.Response{Status: 200, Body: postOKBody}
+	pr.pong = httpsim.Response{Status: 200, Body: pongBody}
+}
+
+var (
+	containerBody = []byte("<html><body><script src=\"/measure.js\"></script></body></html>")
+	postOKBody    = []byte("post-ok")
+	pongBody      = []byte("pong")
+)
+
+// handle serves the measurement workloads: the container page that the
+// preparation phase downloads, a small single-packet probe body for GET
+// and POST requests, and bulk bodies for throughput measurement
 // (/download?bytes=N).
-func probeHandler(req *httpsim.Request) *httpsim.Response {
+func (pr *probeResponses) handle(req *httpsim.Request) *httpsim.Response {
 	switch {
 	case req.Target == "/container.html" || req.Target == "/":
-		return &httpsim.Response{
-			Status:  200,
-			Headers: httpsim.Headers{{Key: "Content-Type", Value: "text/html"}},
-			Body:    []byte("<html><body><script src=\"/measure.js\"></script></body></html>"),
-		}
+		return &pr.container
 	case strings.HasPrefix(req.Target, "/download"):
 		n := downloadSize(req.Target)
 		body := make([]byte, n)
@@ -257,9 +348,9 @@ func probeHandler(req *httpsim.Request) *httpsim.Response {
 		}
 		return &httpsim.Response{Status: 200, Body: body}
 	case req.Method == "POST":
-		return &httpsim.Response{Status: 200, Body: []byte("post-ok")}
+		return &pr.postOK
 	default:
-		return &httpsim.Response{Status: 200, Body: []byte("pong")}
+		return &pr.pong
 	}
 }
 

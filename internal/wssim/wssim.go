@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/browsermetric/browsermetric/internal/arena"
 	"github.com/browsermetric/browsermetric/internal/httpsim"
+	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/tcpsim"
 )
 
@@ -53,7 +55,11 @@ type Frame struct {
 
 // Marshal serializes the frame. Masked frames are XOR-masked with MaskKey
 // as the client side must do.
-func (f *Frame) Marshal() []byte {
+func (f *Frame) Marshal() []byte { return f.MarshalArena(nil) }
+
+// MarshalArena is Marshal carving the wire bytes from an arena instead of
+// the heap (nil arena falls back to make). Bytes are identical either way.
+func (f *Frame) MarshalArena(a *arena.Arena) []byte {
 	b0 := byte(f.Opcode) & 0x0f
 	if f.Fin {
 		b0 |= 0x80
@@ -70,7 +76,7 @@ func (f *Frame) Marshal() []byte {
 	if f.Masked {
 		hdrLen += 4
 	}
-	out := make([]byte, hdrLen+n) // header + payload in one allocation
+	out := a.Bytes(hdrLen + n) // header + payload in one carve
 	out[0] = b0
 	switch {
 	case n < 126:
@@ -96,57 +102,89 @@ func (f *Frame) Marshal() []byte {
 	return out
 }
 
-// ParseFrame decodes one frame from the front of b, returning the frame
-// and bytes consumed. Masked payloads are unmasked.
-func ParseFrame(b []byte) (*Frame, int, error) {
+// parseHeader decodes a frame header from the front of b, returning the
+// header length and payload length. The MaskKey (when present) lands in
+// *key.
+func parseHeader(b []byte, key *[4]byte) (fin bool, op Opcode, masked bool, off, plen int, err error) {
 	if len(b) < 2 {
-		return nil, 0, ErrIncomplete
+		return false, 0, false, 0, 0, ErrIncomplete
 	}
-	f := &Frame{
-		Fin:    b[0]&0x80 != 0,
-		Opcode: Opcode(b[0] & 0x0f),
-		Masked: b[1]&0x80 != 0,
-	}
+	fin = b[0]&0x80 != 0
+	op = Opcode(b[0] & 0x0f)
+	masked = b[1]&0x80 != 0
 	if b[0]&0x70 != 0 {
-		return nil, 0, fmt.Errorf("%w: nonzero RSV bits", ErrMalformed)
+		return false, 0, false, 0, 0, fmt.Errorf("%w: nonzero RSV bits", ErrMalformed)
 	}
-	plen := uint64(b[1] & 0x7f)
-	off := 2
-	switch plen {
+	plen64 := uint64(b[1] & 0x7f)
+	off = 2
+	switch plen64 {
 	case 126:
 		if len(b) < off+2 {
-			return nil, 0, ErrIncomplete
+			return false, 0, false, 0, 0, ErrIncomplete
 		}
-		plen = uint64(binary.BigEndian.Uint16(b[off:]))
+		plen64 = uint64(binary.BigEndian.Uint16(b[off:]))
 		off += 2
 	case 127:
 		if len(b) < off+8 {
-			return nil, 0, ErrIncomplete
+			return false, 0, false, 0, 0, ErrIncomplete
 		}
-		plen = binary.BigEndian.Uint64(b[off:])
+		plen64 = binary.BigEndian.Uint64(b[off:])
 		off += 8
-		if plen > 1<<31 {
-			return nil, 0, fmt.Errorf("%w: frame length %d too large", ErrMalformed, plen)
+		if plen64 > 1<<31 {
+			return false, 0, false, 0, 0, fmt.Errorf("%w: frame length %d too large", ErrMalformed, plen64)
 		}
 	}
-	if f.Masked {
+	if masked {
 		if len(b) < off+4 {
-			return nil, 0, ErrIncomplete
+			return false, 0, false, 0, 0, ErrIncomplete
 		}
-		copy(f.MaskKey[:], b[off:off+4])
+		copy(key[:], b[off:off+4])
 		off += 4
 	}
-	if uint64(len(b)) < uint64(off)+plen {
-		return nil, 0, ErrIncomplete
+	if uint64(len(b)) < uint64(off)+plen64 {
+		return false, 0, false, 0, 0, ErrIncomplete
+	}
+	return fin, op, masked, off, int(plen64), nil
+}
+
+// ParseFrame decodes one frame from the front of b, returning the frame
+// and bytes consumed. Masked payloads are unmasked into a fresh copy; b is
+// never mutated.
+func ParseFrame(b []byte) (*Frame, int, error) {
+	f := &Frame{}
+	var err error
+	var off, plen int
+	f.Fin, f.Opcode, f.Masked, off, plen, err = parseHeader(b, &f.MaskKey)
+	if err != nil {
+		return nil, 0, err
 	}
 	f.Payload = make([]byte, plen)
-	copy(f.Payload, b[off:off+int(plen)])
+	copy(f.Payload, b[off:off+plen])
 	if f.Masked {
 		for i := range f.Payload {
 			f.Payload[i] ^= f.MaskKey[i%4]
 		}
 	}
-	return f, off + int(plen), nil
+	return f, off + plen, nil
+}
+
+// parseFrameInto is the allocation-free variant the conn's receive loop
+// uses: the payload aliases b and masked payloads are unmasked in place,
+// so the result is only valid until b's backing buffer is recycled.
+func parseFrameInto(f *Frame, b []byte) (int, error) {
+	var err error
+	var off, plen int
+	f.Fin, f.Opcode, f.Masked, off, plen, err = parseHeader(b, &f.MaskKey)
+	if err != nil {
+		return 0, err
+	}
+	f.Payload = b[off : off+plen]
+	if f.Masked {
+		for i := range f.Payload {
+			f.Payload[i] ^= f.MaskKey[i%4]
+		}
+	}
+	return off + plen, nil
 }
 
 // AcceptKey derives the Sec-WebSocket-Accept value for a client key.
@@ -157,10 +195,16 @@ func AcceptKey(clientKey string) string {
 
 // Conn is a WebSocket connection over a tcpsim connection. Messages are
 // delivered via OnMessage once the handshake completes.
+//
+// The conn is a tcpsim.DataSink: handshake parsing and the frame receive
+// loop run without per-connection closures, and a received message's
+// payload aliases the conn's receive buffer — it is valid until the next
+// message arrives on this conn; retain a copy to keep it longer.
 type Conn struct {
 	TCP      *tcpsim.Conn
 	client   bool
 	buf      []byte
+	off      int // parse offset into buf; buf resets to [:0] once consumed
 	upgraded bool
 
 	// OnOpen fires when the handshake completes (client side only; server
@@ -173,23 +217,30 @@ type Conn struct {
 	// OnClose fires when a Close frame arrives or the TCP conn dies.
 	OnClose func()
 
-	// Fragment reassembly state.
+	// Fragment reassembly state. fragBuf keeps its capacity across
+	// messages; a delivered reassembled payload is valid until the next
+	// fragmented message starts.
 	fragOp  Opcode
 	fragBuf []byte
 	inFrag  bool
+
+	rframe   Frame       // reused receive-parse target
+	sframe   Frame       // reused send-marshal source
+	acceptCb func(*Conn) // server side: pending accept callback
+	upSpan   *obs.Span   // client side: upgrade span
 }
 
 // Send transmits one data frame. Client connections mask it, per RFC 6455.
 func (c *Conn) Send(op Opcode, payload []byte) error {
-	f := &Frame{Fin: true, Opcode: op, Payload: payload}
+	c.sframe = Frame{Fin: true, Opcode: op, Payload: payload}
 	if c.client {
-		f.Masked = true
-		f.MaskKey = [4]byte{0x12, 0x34, 0x56, 0x78}
+		c.sframe.Masked = true
+		c.sframe.MaskKey = [4]byte{0x12, 0x34, 0x56, 0x78}
 	}
 	m := c.TCP.Metrics()
 	m.Add("ws_messages_sent", 1)
 	m.Add("ws_bytes_sent", int64(len(payload)))
-	return c.TCP.Send(f.Marshal())
+	return c.TCP.Send(c.sframe.MarshalArena(c.TCP.Arena()))
 }
 
 // SendFragmented transmits one message split into chunkSize-byte frames:
@@ -205,24 +256,25 @@ func (c *Conn) SendFragmented(op Opcode, payload []byte, chunkSize int) error {
 		if n > chunkSize {
 			n = chunkSize
 		}
-		f := &Frame{
+		c.sframe = Frame{
 			Fin:     len(payload) <= chunkSize,
 			Opcode:  OpContinuation,
 			Payload: payload[:n],
 		}
 		if first {
-			f.Opcode = op
+			c.sframe.Opcode = op
 			first = false
 		}
 		if c.client {
-			f.Masked = true
-			f.MaskKey = [4]byte{0x9a, 0xbc, 0xde, 0xf0}
+			c.sframe.Masked = true
+			c.sframe.MaskKey = [4]byte{0x9a, 0xbc, 0xde, 0xf0}
 		}
-		if err := c.TCP.Send(f.Marshal()); err != nil {
+		fin := c.sframe.Fin
+		if err := c.TCP.Send(c.sframe.MarshalArena(c.TCP.Arena())); err != nil {
 			return err
 		}
 		payload = payload[n:]
-		if f.Fin {
+		if fin {
 			return nil
 		}
 	}
@@ -230,18 +282,30 @@ func (c *Conn) SendFragmented(op Opcode, payload []byte, chunkSize int) error {
 
 // Close sends a Close frame and closes the transport.
 func (c *Conn) Close() {
-	f := &Frame{Fin: true, Opcode: OpClose}
-	if c.client {
-		f.Masked = true
-	}
-	_ = c.TCP.Send(f.Marshal())
+	c.sframe = Frame{Fin: true, Opcode: OpClose, Masked: c.client}
+	_ = c.TCP.Send(c.sframe.MarshalArena(c.TCP.Arena()))
 	c.TCP.Close()
 }
 
-func (c *Conn) onData(b []byte) {
+// ConnData implements tcpsim.DataSink: handshake bytes until upgraded,
+// frames afterwards.
+func (c *Conn) ConnData(_ *tcpsim.Conn, b []byte) {
 	c.buf = append(c.buf, b...)
+	if !c.upgraded {
+		if c.client {
+			c.clientHandshake()
+		} else {
+			c.serverHandshake()
+		}
+		return
+	}
+	c.drain()
+}
+
+// drain parses and dispatches complete frames from the receive buffer.
+func (c *Conn) drain() {
 	for {
-		f, n, err := ParseFrame(c.buf)
+		n, err := parseFrameInto(&c.rframe, c.buf[c.off:])
 		if err == ErrIncomplete {
 			return
 		}
@@ -252,7 +316,16 @@ func (c *Conn) onData(b []byte) {
 			}
 			return
 		}
-		c.buf = c.buf[n:]
+		c.off += n
+		if c.off == len(c.buf) {
+			// Fully consumed: reclaim the buffer. The just-parsed payload
+			// still aliases the consumed region, which later appends will
+			// only overwrite once new data arrives — hence the "valid
+			// until the next message" delivery contract.
+			c.buf = c.buf[:0]
+			c.off = 0
+		}
+		f := &c.rframe
 		switch f.Opcode {
 		case OpClose:
 			if c.OnClose != nil {
@@ -261,8 +334,8 @@ func (c *Conn) onData(b []byte) {
 			c.TCP.Close()
 			return
 		case OpPing:
-			pong := &Frame{Fin: true, Opcode: OpPong, Payload: f.Payload, Masked: c.client}
-			_ = c.TCP.Send(pong.Marshal())
+			c.sframe = Frame{Fin: true, Opcode: OpPong, Payload: f.Payload, Masked: c.client}
+			_ = c.TCP.Send(c.sframe.MarshalArena(c.TCP.Arena()))
 		case OpContinuation:
 			if !c.inFrag {
 				// Continuation without an open message: protocol error.
@@ -274,10 +347,9 @@ func (c *Conn) onData(b []byte) {
 			}
 			c.fragBuf = append(c.fragBuf, f.Payload...)
 			if f.Fin {
-				op, payload := c.fragOp, c.fragBuf
-				c.inFrag, c.fragBuf = false, nil
+				c.inFrag = false
 				if c.OnMessage != nil {
-					c.OnMessage(op, payload)
+					c.OnMessage(c.fragOp, c.fragBuf)
 				}
 			}
 		default:
@@ -285,7 +357,7 @@ func (c *Conn) onData(b []byte) {
 				// Start of a fragmented message.
 				c.inFrag = true
 				c.fragOp = f.Opcode
-				c.fragBuf = append([]byte(nil), f.Payload...)
+				c.fragBuf = append(c.fragBuf[:0], f.Payload...)
 				continue
 			}
 			if c.OnMessage != nil {
@@ -295,17 +367,105 @@ func (c *Conn) onData(b []byte) {
 	}
 }
 
+// finishHandshake switches the conn into frame mode: the unconsumed tail
+// of the handshake bytes moves to the buffer's front so the frame loop's
+// offset bookkeeping starts clean.
+func (c *Conn) finishHandshake(consumed int) {
+	rest := c.buf[consumed:]
+	copy(c.buf, rest)
+	c.buf = c.buf[:len(rest)]
+	c.off = 0
+	c.upgraded = true
+}
+
+func (c *Conn) clientHandshake() {
+	resp, n, err := httpsim.ParseResponse(c.buf)
+	if err == httpsim.ErrIncomplete {
+		return
+	}
+	if err != nil || resp.Status != 101 || resp.Headers.Get("Sec-WebSocket-Accept") != clientAcceptKey {
+		c.TCP.Abort()
+		if c.OnClose != nil {
+			c.OnClose()
+		}
+		return
+	}
+	c.finishHandshake(n)
+	c.upSpan.Done()
+	if c.OnOpen != nil {
+		c.OnOpen()
+	}
+	if len(c.buf) > 0 {
+		c.drain()
+	}
+}
+
+func (c *Conn) serverHandshake() {
+	req, n, err := httpsim.ParseRequest(c.buf)
+	if err == httpsim.ErrIncomplete {
+		return
+	}
+	key := ""
+	if err == nil {
+		key = req.Headers.Get("Sec-WebSocket-Key")
+	}
+	if err != nil || key == "" {
+		c.TCP.Send((&httpsim.Response{Status: 400}).Marshal())
+		c.TCP.Close()
+		return
+	}
+	if key == clientKey {
+		// The simulated clients all send the static nonce; its response
+		// bytes are precomputed once per process.
+		c.TCP.Send(stdUpgradeResponse)
+	} else {
+		resp := httpsim.Response{
+			Status: 101,
+			Headers: httpsim.Headers{
+				{Key: "Upgrade", Value: "websocket"},
+				{Key: "Connection", Value: "Upgrade"},
+				{Key: "Sec-WebSocket-Accept", Value: AcceptKey(key)},
+			},
+		}
+		c.TCP.Send(resp.MarshalArena(c.TCP.Arena()))
+	}
+	c.finishHandshake(n)
+	accept := c.acceptCb
+	c.acceptCb = nil
+	if accept != nil {
+		accept(c)
+	}
+	if len(c.buf) > 0 {
+		c.drain()
+	}
+}
+
 // clientKey is the static nonce our simulated clients send; the value is
 // arbitrary but must be valid base64 of 16 bytes.
 const clientKey = "dGhlIHNhbXBsZSBub25jZQ=="
+
+// clientAcceptKey is AcceptKey(clientKey), derived once.
+var clientAcceptKey = AcceptKey(clientKey)
+
+// stdUpgradeResponse is the marshaled 101 response for the static client
+// nonce. Sending a shared slice is safe: the transport treats payload
+// bytes as read-only.
+var stdUpgradeResponse = (&httpsim.Response{
+	Status: 101,
+	Headers: httpsim.Headers{
+		{Key: "Upgrade", Value: "websocket"},
+		{Key: "Connection", Value: "Upgrade"},
+		{Key: "Sec-WebSocket-Accept", Value: clientAcceptKey},
+	},
+}).Marshal()
 
 // Dial performs the client upgrade handshake on an *established* tcpsim
 // connection and returns the WebSocket conn. OnOpen fires when the 101
 // response arrives.
 func Dial(tc *tcpsim.Conn, host, path string) (*Conn, error) {
 	c := &Conn{TCP: tc, client: true}
-	upgrade := tc.Tracer().Begin("ws-upgrade").Str("path", path)
-	req := &httpsim.Request{
+	c.upSpan = tc.Tracer().Begin("ws-upgrade").Str("path", path)
+	req := httpsim.Request{
 		Method: "GET",
 		Target: path,
 		Headers: httpsim.Headers{
@@ -316,70 +476,16 @@ func Dial(tc *tcpsim.Conn, host, path string) (*Conn, error) {
 			{Key: "Sec-WebSocket-Version", Value: "13"},
 		},
 	}
-	var hbuf []byte
-	tc.OnData = func(b []byte) {
-		if c.upgraded {
-			c.onData(b)
-			return
-		}
-		hbuf = append(hbuf, b...)
-		resp, n, err := httpsim.ParseResponse(hbuf)
-		if err == httpsim.ErrIncomplete {
-			return
-		}
-		if err != nil || resp.Status != 101 || resp.Headers.Get("Sec-WebSocket-Accept") != AcceptKey(clientKey) {
-			tc.Abort()
-			if c.OnClose != nil {
-				c.OnClose()
-			}
-			return
-		}
-		c.upgraded = true
-		upgrade.Done()
-		rest := hbuf[n:]
-		hbuf = nil
-		if c.OnOpen != nil {
-			c.OnOpen()
-		}
-		if len(rest) > 0 {
-			c.onData(rest)
-		}
-	}
-	return c, tc.Send(req.Marshal())
+	tc.Sink = c
+	return c, tc.Send(req.MarshalArena(tc.Arena()))
 }
 
 // Serve installs a WebSocket acceptor on stack port. accept is invoked
 // with each upgraded connection; the handler should set OnMessage.
 func Serve(stack *tcpsim.Stack, port uint16, accept func(*Conn)) error {
 	_, err := stack.Listen(port, func(tc *tcpsim.Conn) {
-		var hbuf []byte
-		tc.OnData = func(b []byte) {
-			hbuf = append(hbuf, b...)
-			req, n, err := httpsim.ParseRequest(hbuf)
-			if err == httpsim.ErrIncomplete {
-				return
-			}
-			if err != nil || req.Headers.Get("Sec-WebSocket-Key") == "" {
-				tc.Send((&httpsim.Response{Status: 400}).Marshal())
-				tc.Close()
-				return
-			}
-			resp := &httpsim.Response{
-				Status: 101,
-				Headers: httpsim.Headers{
-					{Key: "Upgrade", Value: "websocket"},
-					{Key: "Connection", Value: "Upgrade"},
-					{Key: "Sec-WebSocket-Accept", Value: AcceptKey(req.Headers.Get("Sec-WebSocket-Key"))},
-				},
-			}
-			tc.Send(resp.Marshal())
-			c := &Conn{TCP: tc, upgraded: true}
-			tc.OnData = c.onData
-			accept(c)
-			if rest := hbuf[n:]; len(rest) > 0 {
-				c.onData(rest)
-			}
-		}
+		c := &Conn{TCP: tc, acceptCb: accept}
+		tc.Sink = c
 	})
 	return err
 }
