@@ -14,10 +14,13 @@
 #   make sweep-smoke kill a sweep with SIGKILL, resume it, diff vs uninterrupted
 #   make fleet-load  10k-session loadgen under -race with a heap ceiling
 #   make fleet-cluster  root + 3 collectors over the wire, SIGKILL one mid-run
+#   make sweep-shard-cluster  coordinator + 3 shard workers over loopback,
+#                             SIGKILL one mid-run, merged export must be
+#                             byte-identical to the single-process sweep
 
 GO ?= go
 
-.PHONY: all build vet test lint race race-core race-live tier1 ci bench profile bench-json bench-diff fuzz-smoke cover sweep-smoke fleet-load fleet-cluster
+.PHONY: all build vet test lint race race-core race-live tier1 ci bench profile bench-json bench-diff fuzz-smoke cover sweep-smoke fleet-load fleet-cluster sweep-shard-cluster
 
 all: tier1
 
@@ -89,21 +92,22 @@ bench-json:
 	$(GO) run ./cmd/benchjson -in bench.out -benchtime $(BENCHTIME) -out $(BENCH_JSON)
 	@rm -f bench.out
 
-# bench-diff compares two trajectory snapshots and exits non-zero when any
-# benchmark's allocs/op regressed by more than 20% — the allocation gate
-# CI runs against the committed baseline. The baseline auto-discovers the
-# highest-numbered committed BENCH_<n>.json so new PRs cannot silently
-# diff against a stale hand-written default; override with BENCH_OLD=....
-BENCH_BASELINE := $(shell ls BENCH_*.json 2>/dev/null | grep -E '^BENCH_[0-9]+\.json$$' | sort -t_ -k2 -n | tail -1)
-BENCH_OLD ?= $(BENCH_BASELINE)
+# bench-diff compares two trajectory snapshots and exits non-zero when
+# any benchmark's allocs/op regressed past 20% or ns/op past 25% (above
+# the 1µs noise floor). Baseline discovery lives in benchdiff itself
+# (numerically highest committed BENCH_<n>.json, loud error when none
+# exists — the logic is unit-tested in cmd/benchdiff); override with
+# BENCH_OLD=.... On GitHub runners benchdiff also appends a Markdown
+# delta table to $GITHUB_STEP_SUMMARY.
+BENCH_OLD ?=
 BENCH_NEW ?= BENCH_ci.json
 bench-diff:
-	@if [ -z "$(BENCH_OLD)" ]; then echo "no committed BENCH_<n>.json baseline found"; exit 1; fi
-	@echo "baseline: $(BENCH_OLD)"
-	$(GO) run ./cmd/benchdiff -old $(BENCH_OLD) -new $(BENCH_NEW)
+	$(GO) run ./cmd/benchdiff $(if $(BENCH_OLD),-old $(BENCH_OLD)) -new $(BENCH_NEW)
 
 # fuzz-smoke runs each native fuzz target briefly. Go allows one -fuzz
-# target per invocation, so the ~60 s budget is split across the six.
+# target per invocation, so the budget is split across the seven. The
+# weekly extended run (.github/workflows/fuzz-weekly.yml) uses the same
+# target with FUZZTIME=100s.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -fuzz '^FuzzPacketParse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/netsim/
@@ -112,6 +116,7 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzManifestParse$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/sweep/
 	$(GO) test -fuzz '^FuzzCellDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/sweep/
 	$(GO) test -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/fleetwire/
+	$(GO) test -fuzz '^FuzzControlDecode$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/shard/
 
 # cover writes the whole-repo profile to coverage.out (the CI artifact)
 # and enforces the statement-coverage floors on the fault-injection
@@ -237,3 +242,57 @@ fleet-cluster:
 	kill $$AGG 2>/dev/null; wait $$AGG 2>/dev/null || true; trap - EXIT; \
 	echo "fleet-cluster: root survived a SIGKILLed collector; cluster view stayed live and byte-stable"
 	@rm -rf $(FLEET_CLUSTER_DIR)
+
+# sweep-shard-cluster proves the distributed shard runner end to end on
+# real processes: a coordinator plus three workers over loopback execute
+# the same sweep a single process runs first, one worker is SIGKILLed
+# mid-run (its leases must expire and be reassigned), and the merged
+# stdout report and CSV must be byte-identical to the single-process
+# artifacts. The in-process equivalence/crash/lease proofs run first
+# under -race. The runs count is sized so the worker phase takes several
+# seconds — long enough that the 2 s SIGKILL reliably lands while the
+# victim still holds leases; the kill failing because the worker already
+# exited fails the target (an un-exercised crash path is not a pass).
+SHARD_CLUSTER_DIR ?= shard-cluster.tmp
+SHARD_CLUSTER_PORT ?= 19420
+SHARD_CLUSTER_RUNS ?= 2500
+SHARD_CLUSTER_FLAGS = -runs $(SHARD_CLUSTER_RUNS) -seed 42 -faults clean,lossy1pct
+sweep-shard-cluster:
+	$(GO) test -race -count=1 -run 'TestShard|TestWire|TestPartition' ./internal/shard/
+	rm -rf $(SHARD_CLUSTER_DIR)
+	mkdir -p $(SHARD_CLUSTER_DIR)
+	$(GO) build -o $(SHARD_CLUSTER_DIR)/appraise ./cmd/appraise
+	$(SHARD_CLUSTER_DIR)/appraise -sweep $(SHARD_CLUSTER_FLAGS) \
+		-cache-dir $(SHARD_CLUSTER_DIR)/solo -csv $(SHARD_CLUSTER_DIR)/solo.csv \
+		>$(SHARD_CLUSTER_DIR)/solo.txt 2>$(SHARD_CLUSTER_DIR)/solo.log
+	@set -e; \
+	addr=127.0.0.1:$(SHARD_CLUSTER_PORT); \
+	$(SHARD_CLUSTER_DIR)/appraise -shard-coordinator $$addr $(SHARD_CLUSTER_FLAGS) \
+		-shard-count 16 -shard-lease-ttl 2s \
+		-cache-dir $(SHARD_CLUSTER_DIR)/cluster -csv $(SHARD_CLUSTER_DIR)/cluster.csv \
+		>$(SHARD_CLUSTER_DIR)/cluster.txt 2>$(SHARD_CLUSTER_DIR)/coord.log & COORD=$$!; \
+	trap 'kill $$COORD 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	for n in w1 w2 w3; do \
+		$(SHARD_CLUSTER_DIR)/appraise -shard-worker $$addr -shard-name $$n \
+			$(SHARD_CLUSTER_FLAGS) -cache-dir $(SHARD_CLUSTER_DIR)/cluster \
+			>$(SHARD_CLUSTER_DIR)/$$n.log 2>&1 & \
+		eval "$$n=$$!"; \
+	done; \
+	sleep 2; \
+	if kill -9 $$w2 2>/dev/null; then \
+		echo "sweep-shard-cluster: SIGKILLed worker w2 mid-run"; \
+	else \
+		echo "sweep-shard-cluster: w2 finished before the kill — raise SHARD_CLUSTER_RUNS"; exit 1; \
+	fi; \
+	wait $$w1 || { echo "sweep-shard-cluster: worker w1 failed"; tail -20 $(SHARD_CLUSTER_DIR)/w1.log; exit 1; }; \
+	wait $$w3 || { echo "sweep-shard-cluster: worker w3 failed"; tail -20 $(SHARD_CLUSTER_DIR)/w3.log; exit 1; }; \
+	wait $$w2 2>/dev/null || true; \
+	wait $$COORD || { echo "sweep-shard-cluster: coordinator failed"; tail -20 $(SHARD_CLUSTER_DIR)/coord.log; exit 1; }; \
+	trap - EXIT; \
+	cmp $(SHARD_CLUSTER_DIR)/solo.csv $(SHARD_CLUSTER_DIR)/cluster.csv || \
+		{ echo "sweep-shard-cluster: merged CSV differs from the single-process sweep"; exit 1; }; \
+	cmp $(SHARD_CLUSTER_DIR)/solo.txt $(SHARD_CLUSTER_DIR)/cluster.txt || \
+		{ echo "sweep-shard-cluster: merged report differs from the single-process sweep"; exit 1; }; \
+	echo "sweep-shard-cluster: merged export byte-identical to the single-process sweep after a SIGKILLed worker"
+	@rm -rf $(SHARD_CLUSTER_DIR)

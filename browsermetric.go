@@ -46,6 +46,7 @@ import (
 	"github.com/browsermetric/browsermetric/internal/methods"
 	"github.com/browsermetric/browsermetric/internal/obs"
 	"github.com/browsermetric/browsermetric/internal/server"
+	"github.com/browsermetric/browsermetric/internal/shard"
 	"github.com/browsermetric/browsermetric/internal/stats"
 	"github.com/browsermetric/browsermetric/internal/sweep"
 	"github.com/browsermetric/browsermetric/internal/testbed"
@@ -330,6 +331,44 @@ type SweepStats = sweep.Stats
 // an uninterrupted run.
 func RunSweep(ctx context.Context, opts SweepOptions) (*SweepResult, error) {
 	return sweep.Run(ctx, opts)
+}
+
+// --- Distributed shard runner ---
+
+// ShardCoordinator partitions a sweep's cell matrix into shards and
+// leases them to worker processes over a framed loopback/LAN control
+// protocol; once every shard completes it merges the per-worker
+// manifests and replays the sweep warm from the shared cache, producing
+// output byte-identical to a single-process RunSweep.
+type ShardCoordinator = shard.Coordinator
+
+// ShardCoordinatorOptions configures NewShardCoordinator.
+type ShardCoordinatorOptions = shard.CoordinatorOptions
+
+// ShardStats snapshots the coordinator's counters (the shard_* metric
+// families).
+type ShardStats = shard.Stats
+
+// ShardWorkerOptions configures RunShardWorker.
+type ShardWorkerOptions = shard.WorkerOptions
+
+// ShardWorkerStats summarizes one worker's contribution to a sweep.
+type ShardWorkerStats = shard.WorkerStats
+
+// DefaultShardCount is the default partition count for a sharded sweep.
+const DefaultShardCount = shard.DefaultShards
+
+// NewShardCoordinator starts the coordinator listening; point workers at
+// its Addr() and call Wait for the merged result. Workers must be
+// configured with an identical SweepOptions — the handshake enforces it.
+func NewShardCoordinator(opts ShardCoordinatorOptions) (*ShardCoordinator, error) {
+	return shard.NewCoordinator(opts)
+}
+
+// RunShardWorker connects to a coordinator and executes leased shards
+// (through the shared content-addressed cache) until the sweep is done.
+func RunShardWorker(ctx context.Context, opts ShardWorkerOptions) (ShardWorkerStats, error) {
+	return shard.RunWorker(ctx, opts)
 }
 
 // --- Observability ---

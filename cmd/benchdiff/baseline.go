@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// baselinePattern matches committed trajectory snapshots: BENCH_<n>.json
+// where <n> is the PR number that recorded it.
+var baselinePattern = regexp.MustCompile(`^BENCH_([0-9]+)\.json$`)
+
+// LatestBaseline finds the highest-numbered committed BENCH_<n>.json in
+// dir — the baseline `make bench-diff` gates against when -old is not
+// given explicitly. No matching file is an error, never a silent pass:
+// a gate without a baseline gates nothing.
+func LatestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("benchdiff: baseline discovery: %w", err)
+	}
+	best, bestName := -1, ""
+	for _, e := range entries {
+		m := baselinePattern.FindStringSubmatch(e.Name())
+		if m == nil || e.IsDir() {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		if n > best {
+			best, bestName = n, e.Name()
+		}
+	}
+	if best < 0 {
+		return "", fmt.Errorf("benchdiff: no committed BENCH_<n>.json baseline in %s — commit one with 'make bench-json' or pass -old explicitly", dir)
+	}
+	return bestName, nil
+}

@@ -21,12 +21,29 @@ const steadyMetric = "warm-allocs/run"
 // per run.
 const steadySlack = 0.5
 
-// Diff renders the per-benchmark deltas between two snapshots and returns
-// the benchmarks whose allocs/op — or whose warm-allocs/run steady-state
-// metric — regressed by more than threshold (a fraction: 0.20 = 20%).
-// Benchmarks present in only one snapshot are listed but never counted
-// as regressions.
-func Diff(oldFile, newFile *benchfmt.File, threshold float64) (report string, regressions []string) {
+// Thresholds bundles the regression gates Diff applies.
+type Thresholds struct {
+	// Allocs is the allocs/op (and warm-allocs/run) relative regression
+	// fraction that fails the diff (0.20 = 20%). Allocation counts are
+	// deterministic across machines, so there is no absolute floor.
+	Allocs float64
+	// Ns is the ns/op relative regression fraction (0 disables the time
+	// gate). Wall time is noisy, so this gate is looser than the
+	// allocation gate and additionally floored by NsFloor.
+	Ns float64
+	// NsFloor is the ns/op noise floor: benchmarks whose baseline ns/op
+	// is below it are never time-gated (sub-microsecond benchmarks swing
+	// far more than any sane threshold run-to-run on shared CI hardware).
+	NsFloor float64
+}
+
+// Diff renders the per-benchmark deltas between two snapshots and
+// returns the benchmarks that regressed past a Thresholds gate, plus how
+// many benchmarks the snapshots have in common. Benchmarks present in
+// only one snapshot are listed but never counted as regressions; a
+// matched count of zero means the diff gated nothing, and the caller
+// should fail loudly instead of reporting success.
+func Diff(oldFile, newFile *benchfmt.File, th Thresholds) (report string, regressions []string, matched int) {
 	oldBy := make(map[string]benchfmt.Result, len(oldFile.Benchmarks))
 	for _, r := range oldFile.Benchmarks {
 		oldBy[r.Key()] = r
@@ -47,22 +64,28 @@ func Diff(oldFile, newFile *benchfmt.File, threshold float64) (report string, re
 				n.Name, n.NsPerOp, n.BytesPerOp, n.AllocsPerOp)
 			continue
 		}
+		matched++
 		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%d\t%d\t%s\t%d\t%d\t%s\n",
 			n.Name,
 			o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp),
 			o.BytesPerOp, n.BytesPerOp, pct(float64(o.BytesPerOp), float64(n.BytesPerOp)),
 			o.AllocsPerOp, n.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(n.AllocsPerOp)))
-		if float64(n.AllocsPerOp) > float64(o.AllocsPerOp)*(1+threshold) {
+		if float64(n.AllocsPerOp) > float64(o.AllocsPerOp)*(1+th.Allocs) {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: allocs/op %d -> %d (%s)", n.Key(), o.AllocsPerOp, n.AllocsPerOp,
 					pct(float64(o.AllocsPerOp), float64(n.AllocsPerOp))))
+		}
+		if th.Ns > 0 && o.NsPerOp >= th.NsFloor && n.NsPerOp > o.NsPerOp*(1+th.Ns) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op %.0f -> %.0f (%s)", n.Key(), o.NsPerOp, n.NsPerOp,
+					pct(o.NsPerOp, n.NsPerOp)))
 		}
 		nw, nok := n.Metrics[steadyMetric]
 		ow, ook := o.Metrics[steadyMetric]
 		if nok && ook {
 			fmt.Fprintf(tw, "%s [%s]\t\t\t\t\t\t\t%.2f\t%.2f\t%s\n",
 				n.Name, steadyMetric, ow, nw, pct(ow, nw))
-			if nw > ow*(1+threshold) && nw-ow > steadySlack {
+			if nw > ow*(1+th.Allocs) && nw-ow > steadySlack {
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %s %.2f -> %.2f (%s)", n.Key(), steadyMetric, ow, nw, pct(ow, nw)))
 			}
@@ -75,7 +98,58 @@ func Diff(oldFile, newFile *benchfmt.File, threshold float64) (report string, re
 		}
 	}
 	tw.Flush()
-	return sb.String(), regressions
+	return sb.String(), regressions, matched
+}
+
+// MarkdownTable renders the per-benchmark delta as a GitHub-flavored
+// Markdown table for $GITHUB_STEP_SUMMARY: one row per benchmark present
+// in both snapshots, plus new/gone rows, with the regressions (if any)
+// called out underneath.
+func MarkdownTable(oldFile, newFile *benchfmt.File, regressions []string) string {
+	oldBy := make(map[string]benchfmt.Result, len(oldFile.Benchmarks))
+	for _, r := range oldFile.Benchmarks {
+		oldBy[r.Key()] = r
+	}
+	var sb strings.Builder
+	sb.WriteString("### Benchmark delta\n\n")
+	if oldFile.Benchtime != "" || newFile.Benchtime != "" {
+		fmt.Fprintf(&sb, "benchtime: old=`%s` new=`%s`\n\n", orDash(oldFile.Benchtime), orDash(newFile.Benchtime))
+	}
+	sb.WriteString("| benchmark | ns/op old | ns/op new | Δ | allocs/op old | allocs/op new | Δ |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+	seen := make(map[string]bool, len(newFile.Benchmarks))
+	for _, n := range newFile.Benchmarks {
+		seen[n.Key()] = true
+		o, ok := oldBy[n.Key()]
+		if !ok {
+			fmt.Fprintf(&sb, "| %s | - | %.0f | new | - | %d | new |\n", n.Name, n.NsPerOp, n.AllocsPerOp)
+			continue
+		}
+		fmt.Fprintf(&sb, "| %s | %.0f | %.0f | %s | %d | %d | %s |\n",
+			n.Name,
+			o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp),
+			o.AllocsPerOp, n.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(n.AllocsPerOp)))
+		if nw, nok := n.Metrics[steadyMetric]; nok {
+			if ow, ook := o.Metrics[steadyMetric]; ook {
+				fmt.Fprintf(&sb, "| %s `[%s]` | | | | %.2f | %.2f | %s |\n",
+					n.Name, steadyMetric, ow, nw, pct(ow, nw))
+			}
+		}
+	}
+	for _, o := range oldFile.Benchmarks {
+		if !seen[o.Key()] {
+			fmt.Fprintf(&sb, "| %s | %.0f | - | gone | %d | - | gone |\n", o.Name, o.NsPerOp, o.AllocsPerOp)
+		}
+	}
+	if len(regressions) > 0 {
+		sb.WriteString("\n**Regressions:**\n\n")
+		for _, r := range regressions {
+			fmt.Fprintf(&sb, "- ❌ %s\n", r)
+		}
+	} else {
+		sb.WriteString("\n✅ no regressions past the gates\n")
+	}
+	return sb.String()
 }
 
 // pct formats the relative change from old to new.

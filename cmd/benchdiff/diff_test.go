@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -15,14 +17,24 @@ func res(name string, ns float64, b, allocs int64) benchfmt.Result {
 	return benchfmt.Result{Name: name, Package: "pkg", NsPerOp: ns, BytesPerOp: b, AllocsPerOp: allocs}
 }
 
+// allocGate is the historical alloc-only configuration most tests use:
+// Ns=0 disables the time gate entirely.
+var allocGate = Thresholds{Allocs: 0.20}
+
+// fullGate adds the default ns/op gate (25% over a 1µs floor).
+var fullGate = Thresholds{Allocs: 0.20, Ns: 0.25, NsFloor: 1000}
+
 func TestDiffImprovementPasses(t *testing.T) {
-	report, regressions := Diff(
+	report, regressions, matched := Diff(
 		snap(res("BenchmarkA", 1000, 500, 100)),
 		snap(res("BenchmarkA", 900, 400, 20)),
-		0.20,
+		fullGate,
 	)
 	if len(regressions) != 0 {
 		t.Fatalf("regressions = %v, want none", regressions)
+	}
+	if matched != 1 {
+		t.Fatalf("matched = %d, want 1", matched)
 	}
 	if !strings.Contains(report, "BenchmarkA") || !strings.Contains(report, "-80.0%") {
 		t.Fatalf("report missing delta:\n%s", report)
@@ -30,10 +42,10 @@ func TestDiffImprovementPasses(t *testing.T) {
 }
 
 func TestDiffFlagsAllocRegression(t *testing.T) {
-	_, regressions := Diff(
+	_, regressions, _ := Diff(
 		snap(res("BenchmarkA", 1000, 500, 100)),
 		snap(res("BenchmarkA", 1000, 500, 121)), // +21% > 20% threshold
-		0.20,
+		allocGate,
 	)
 	if len(regressions) != 1 {
 		t.Fatalf("regressions = %v, want 1", regressions)
@@ -44,24 +56,65 @@ func TestDiffFlagsAllocRegression(t *testing.T) {
 }
 
 func TestDiffWithinThresholdPasses(t *testing.T) {
-	_, regressions := Diff(
+	_, regressions, _ := Diff(
 		snap(res("BenchmarkA", 1000, 500, 100)),
-		snap(res("BenchmarkA", 5000, 500, 119)), // ns/op noise ignored; +19% allocs OK
-		0.20,
+		snap(res("BenchmarkA", 5000, 500, 119)), // ns/op gate disabled; +19% allocs OK
+		allocGate,
 	)
 	if len(regressions) != 0 {
 		t.Fatalf("regressions = %v, want none", regressions)
 	}
 }
 
+func TestDiffFlagsNsRegression(t *testing.T) {
+	_, regressions, _ := Diff(
+		snap(res("BenchmarkA", 10000, 500, 100)),
+		snap(res("BenchmarkA", 13000, 500, 100)), // +30% > 25% threshold
+		fullGate,
+	)
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want 1", regressions)
+	}
+	if !strings.Contains(regressions[0], "ns/op 10000 -> 13000") {
+		t.Fatalf("regression detail = %q", regressions[0])
+	}
+}
+
+func TestDiffNsWithinThresholdPasses(t *testing.T) {
+	_, regressions, _ := Diff(
+		snap(res("BenchmarkA", 10000, 500, 100)),
+		snap(res("BenchmarkA", 12000, 500, 100)), // +20% < 25% threshold
+		fullGate,
+	)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none", regressions)
+	}
+}
+
+func TestDiffNsNoiseFloor(t *testing.T) {
+	// A 3x jump on a 200ns benchmark is scheduling noise on shared CI
+	// hardware — under the 1µs floor, never gated.
+	_, regressions, _ := Diff(
+		snap(res("BenchmarkTiny", 200, 0, 0)),
+		snap(res("BenchmarkTiny", 600, 0, 0)),
+		fullGate,
+	)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none (baseline under the %.0fns floor)", regressions, fullGate.NsFloor)
+	}
+}
+
 func TestDiffHandlesAddedAndRemoved(t *testing.T) {
-	report, regressions := Diff(
+	report, regressions, matched := Diff(
 		snap(res("BenchmarkOld", 1000, 0, 10)),
 		snap(res("BenchmarkNew", 1000, 0, 999)),
-		0.20,
+		fullGate,
 	)
 	if len(regressions) != 0 {
 		t.Fatalf("added/removed benchmarks must not regress: %v", regressions)
+	}
+	if matched != 0 {
+		t.Fatalf("matched = %d, want 0 (disjoint snapshots)", matched)
 	}
 	if !strings.Contains(report, "new") || !strings.Contains(report, "gone") {
 		t.Fatalf("report should mark added/removed:\n%s", report)
@@ -76,10 +129,10 @@ func wres(name string, allocs int64, warm float64) benchfmt.Result {
 }
 
 func TestDiffFlagsSteadyStateRegression(t *testing.T) {
-	_, regressions := Diff(
+	_, regressions, _ := Diff(
 		snap(wres("BenchmarkSteadyStateRun", 100, 1.0)),
 		snap(wres("BenchmarkSteadyStateRun", 100, 3.0)), // +200% and +2 objects
-		0.20,
+		allocGate,
 	)
 	if len(regressions) != 1 {
 		t.Fatalf("regressions = %v, want 1", regressions)
@@ -92,20 +145,20 @@ func TestDiffFlagsSteadyStateRegression(t *testing.T) {
 func TestDiffSteadyStateNoiseFloorNearZero(t *testing.T) {
 	// 0.00 -> 0.30 is a huge relative jump but under half an object per
 	// run: measurement jitter, not a regression.
-	_, regressions := Diff(
+	_, regressions, _ := Diff(
 		snap(wres("BenchmarkSteadyStateRun", 100, 0.0)),
 		snap(wres("BenchmarkSteadyStateRun", 100, 0.3)),
-		0.20,
+		allocGate,
 	)
 	if len(regressions) != 0 {
 		t.Fatalf("regressions = %v, want none (under the %.1f-object noise floor)", regressions, steadySlack)
 	}
 	// A whole new object per run from zero must fail even though the
 	// cold allocs/op column is unchanged.
-	_, regressions = Diff(
+	_, regressions, _ = Diff(
 		snap(wres("BenchmarkSteadyStateRun", 100, 0.0)),
 		snap(wres("BenchmarkSteadyStateRun", 100, 1.0)),
-		0.20,
+		allocGate,
 	)
 	if len(regressions) != 1 {
 		t.Fatalf("regressions = %v, want 1", regressions)
@@ -113,10 +166,10 @@ func TestDiffSteadyStateNoiseFloorNearZero(t *testing.T) {
 }
 
 func TestDiffSteadyStateMetricInReport(t *testing.T) {
-	report, _ := Diff(
+	report, _, _ := Diff(
 		snap(wres("BenchmarkSteadyStateRun", 100, 2.0)),
 		snap(wres("BenchmarkSteadyStateRun", 100, 1.0)),
-		0.20,
+		allocGate,
 	)
 	if !strings.Contains(report, steadyMetric) || !strings.Contains(report, "-50.0%") {
 		t.Fatalf("report missing steady-state row:\n%s", report)
@@ -126,12 +179,83 @@ func TestDiffSteadyStateMetricInReport(t *testing.T) {
 func TestDiffSteadyStateMissingInOneSnapshotIgnored(t *testing.T) {
 	// A baseline without the metric (pre-gate snapshots) never trips the
 	// gate; only allocs/op is compared.
-	_, regressions := Diff(
+	_, regressions, _ := Diff(
 		snap(res("BenchmarkSteadyStateRun", 1000, 500, 100)),
 		snap(wres("BenchmarkSteadyStateRun", 100, 50.0)),
-		0.20,
+		allocGate,
 	)
 	if len(regressions) != 0 {
 		t.Fatalf("regressions = %v, want none", regressions)
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	oldSnap := snap(res("BenchmarkA", 10000, 500, 100), res("BenchmarkGone", 1, 0, 0))
+	newSnap := snap(res("BenchmarkA", 13000, 500, 121), res("BenchmarkFresh", 1, 0, 0))
+	_, regressions, _ := Diff(oldSnap, newSnap, fullGate)
+	md := MarkdownTable(oldSnap, newSnap, regressions)
+	for _, want := range []string{
+		"### Benchmark delta",
+		"| BenchmarkA | 10000 | 13000 | +30.0% | 100 | 121 | +21.0% |",
+		"| BenchmarkFresh | - |",
+		"| BenchmarkGone | 1 | - | gone |",
+		"**Regressions:**",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	clean := MarkdownTable(oldSnap, oldSnap, nil)
+	if !strings.Contains(clean, "no regressions") {
+		t.Errorf("clean table missing the all-clear line:\n%s", clean)
+	}
+}
+
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_3.json", "BENCH_9.json", "BENCH_10.json", "BENCH_ci.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric ordering, not lexical: 10 > 9 even though "10" < "9".
+	if got != "BENCH_10.json" {
+		t.Fatalf("LatestBaseline = %q, want BENCH_10.json", got)
+	}
+}
+
+func TestLatestBaselineFailsLoudlyWhenMissing(t *testing.T) {
+	dir := t.TempDir()
+	// Near-misses only: the CI snapshot, a non-numeric name, a stray file.
+	for _, name := range []string{"BENCH_ci.json", "BENCH_.json", "bench_3.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LatestBaseline(dir); err == nil {
+		t.Fatal("LatestBaseline found a baseline in a dir with none")
+	} else if !strings.Contains(err.Error(), "no committed BENCH_<n>.json baseline") {
+		t.Fatalf("error should explain the missing baseline: %v", err)
+	}
+}
+
+func TestAppendSummaryCreatesAndAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "summary.md")
+	if err := appendSummary(path, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendSummary(path, "second"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b); got != "first\nsecond\n" {
+		t.Fatalf("summary content = %q", got)
 	}
 }

@@ -1,14 +1,20 @@
 // Command benchdiff compares two perf-trajectory snapshots (written by
 // cmd/benchjson) and prints the ns/op, B/op and allocs/op delta for every
 // benchmark present in both. It exits non-zero when any benchmark's
-// allocs/op regressed by more than the threshold (default 20%), so CI can
-// gate on allocation regressions — the one metric of the three that is
-// deterministic across machines.
+// allocs/op regressed by more than -threshold (default 20%) or any
+// benchmark's ns/op regressed by more than -ns-threshold (default 25%,
+// gated only above the -ns-floor noise floor so sub-microsecond
+// benchmarks don't flap on shared CI hardware). Snapshots that share no
+// benchmarks fail the diff outright — a gate that matches nothing is a
+// misconfiguration, not a pass.
+//
+// When -summary is set (it defaults to $GITHUB_STEP_SUMMARY), a Markdown
+// delta table is appended to that file for the CI job summary page.
 //
 // Usage:
 //
 //	benchdiff -old BENCH_3.json -new BENCH_4.json
-//	benchdiff -old BENCH_4.json -new BENCH_ci.json -threshold 0.2
+//	benchdiff -old BENCH_4.json -new BENCH_ci.json -threshold 0.2 -ns-threshold 0.25
 package main
 
 import (
@@ -21,14 +27,27 @@ import (
 
 func main() {
 	var (
-		oldPath   = flag.String("old", "", "baseline snapshot (required)")
-		newPath   = flag.String("new", "", "candidate snapshot (required)")
-		threshold = flag.Float64("threshold", 0.20, "allocs/op regression fraction that fails the diff")
+		oldPath     = flag.String("old", "", "baseline snapshot (default: highest committed BENCH_<n>.json; errors if none exists)")
+		newPath     = flag.String("new", "", "candidate snapshot (required)")
+		threshold   = flag.Float64("threshold", 0.20, "allocs/op regression fraction that fails the diff")
+		nsThreshold = flag.Float64("ns-threshold", 0.25, "ns/op regression fraction that fails the diff (0 disables the time gate)")
+		nsFloor     = flag.Float64("ns-floor", 1000, "ns/op noise floor: benchmarks whose baseline is faster than this are never time-gated")
+		summaryPath = flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"), "append a Markdown delta table to this file (defaults to $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
 		os.Exit(2)
+	}
+	if *oldPath == "" {
+		// Auto-discover the latest committed BENCH_<n>.json baseline.
+		p, err := LatestBaseline(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline %s\n", p)
+		*oldPath = p
 	}
 	oldFile, err := benchfmt.ReadFile(*oldPath)
 	if err != nil {
@@ -40,13 +59,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	report, regressions := Diff(oldFile, newFile, *threshold)
+	if len(oldFile.Benchmarks) == 0 || len(newFile.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: empty snapshot (%s has %d benchmarks, %s has %d) — nothing to gate\n",
+			*oldPath, len(oldFile.Benchmarks), *newPath, len(newFile.Benchmarks))
+		os.Exit(2)
+	}
+	th := Thresholds{Allocs: *threshold, Ns: *nsThreshold, NsFloor: *nsFloor}
+	report, regressions, matched := Diff(oldFile, newFile, th)
 	fmt.Print(report)
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s and %s share no benchmarks — the gate matched nothing (renamed benchmarks? wrong baseline?)\n",
+			*oldPath, *newPath)
+		os.Exit(2)
+	}
+	if *summaryPath != "" {
+		if err := appendSummary(*summaryPath, MarkdownTable(oldFile, newFile, regressions)); err != nil {
+			// The summary is advisory output; report but never let it
+			// mask the gate result.
+			fmt.Fprintln(os.Stderr, "benchdiff: summary:", err)
+		}
+	}
 	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d allocs/op regression(s) above %.0f%%:\n", len(regressions), *threshold*100)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) past the gates (allocs/op >%.0f%%, ns/op >%.0f%% above %.0fns):\n",
+			len(regressions), *threshold*100, *nsThreshold*100, *nsFloor)
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "  "+r)
 		}
 		os.Exit(1)
 	}
+}
+
+// appendSummary appends markdown to the step-summary file (created if
+// missing: GitHub runners pre-create it, local runs may not).
+func appendSummary(path, markdown string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(markdown + "\n"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

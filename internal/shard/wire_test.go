@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleMsgs covers every message type with every per-type field set to
+// a non-zero value, so round-trip failures cannot hide in defaults.
+func sampleMsgs() []*Msg {
+	id := strings.Repeat("ab", 32)
+	return []*Msg{
+		{Type: MsgHello, Name: "worker-1", SweepID: id},
+		{Type: MsgHelloAck, OK: true, Shards: 16},
+		{Type: MsgHelloAck, OK: false, Reason: "sweep configuration mismatch", Shards: 0},
+		{Type: MsgLeaseReq},
+		{Type: MsgLeaseGrant, Shard: 3, Shards: 16, TTL: 5 * time.Second},
+		{Type: MsgNoWork, Retry: 2500 * time.Millisecond},
+		{Type: MsgAllDone},
+		{Type: MsgRenew, Shard: 7, Done: 42},
+		{Type: MsgRenewAck, OK: true},
+		{Type: MsgRenewAck, OK: false},
+		{Type: MsgShardDone, Shard: 15, Computed: 9, Cached: 4},
+		{Type: MsgDoneAck, OK: true},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, want := range sampleMsgs() {
+		b, err := AppendMsg(nil, want)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", want.Type, err)
+		}
+		got, n, err := DecodeMsg(b)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want.Type, err)
+		}
+		if n != len(b) {
+			t.Errorf("%v: consumed %d of %d bytes", want.Type, n, len(b))
+		}
+		if *got != *want {
+			t.Errorf("%v: round trip:\n got %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+}
+
+// TestWireRoundTripConcatenated decodes a stream of back-to-back frames,
+// verifying the consumed-byte accounting that a stream reader relies on.
+func TestWireRoundTripConcatenated(t *testing.T) {
+	msgs := sampleMsgs()
+	var b []byte
+	var err error
+	for _, m := range msgs {
+		if b, err = AppendMsg(b, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; len(b) > 0; i++ {
+		got, n, err := DecodeMsg(b)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if *got != *msgs[i] {
+			t.Errorf("frame %d: got %+v want %+v", i, got, msgs[i])
+		}
+		b = b[n:]
+	}
+}
+
+// TestWireTruncation feeds every strict prefix of every encoded message:
+// each must fail cleanly (never panic, never decode) and report
+// ErrTruncated whenever the header survived intact.
+func TestWireTruncation(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		b, err := AppendMsg(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < len(b); n++ {
+			_, _, err := DecodeMsg(b[:n])
+			if err == nil {
+				t.Fatalf("%v: decoded from %d of %d bytes", m.Type, n, len(b))
+			}
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("%v: prefix %d/%d: got %v, want ErrTruncated", m.Type, n, len(b), err)
+			}
+		}
+	}
+}
+
+// TestWireBitFlips flips every bit of every encoded message; each flip
+// must either fail to decode or decode to a different-but-valid message
+// whose frame is internally consistent — a flip may never pass CRC and
+// still misreport fields. (Flips inside the CRC or the length prefix are
+// what make "decodes differently" impossible; this asserts it.)
+func TestWireBitFlips(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		b, err := AppendMsg(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(b)*8; i++ {
+			mut := make([]byte, len(b))
+			copy(mut, b)
+			mut[i/8] ^= 1 << (i % 8)
+			got, _, err := DecodeMsg(mut)
+			if err != nil {
+				continue // rejection is the expected outcome
+			}
+			// A surviving decode means the flip produced a
+			// self-consistent frame, which a single-bit flip cannot:
+			// payload flips break the CRC, header flips break the magic,
+			// version, type, or length, and CRC flips break themselves.
+			t.Fatalf("%v: bit %d flip decoded to %+v", m.Type, i, got)
+		}
+	}
+}
+
+// TestWireVersionSkew rewrites the version field; decode must return
+// ErrVersion and still report the full frame length so a stream can skip.
+func TestWireVersionSkew(t *testing.T) {
+	b, err := AppendMsg(nil, &Msg{Type: MsgLeaseReq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint16(b[4:], Version+1)
+	_, n, err := DecodeMsg(b)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+	if n != len(b) {
+		t.Fatalf("version skew consumed %d of %d bytes", n, len(b))
+	}
+}
+
+func TestWireRejectsOversizedPayloadLength(t *testing.T) {
+	b, err := AppendMsg(nil, &Msg{Type: MsgLeaseReq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(b[8:], maxPayload+1)
+	if _, _, err := DecodeMsg(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWireEncodeValidation(t *testing.T) {
+	id := strings.Repeat("ab", 32)
+	bad := []*Msg{
+		{Type: MsgHello, Name: "", SweepID: id},                       // empty name
+		{Type: MsgHello, Name: strings.Repeat("x", 65), SweepID: id},  // long name
+		{Type: MsgHello, Name: "w", SweepID: "abc"},                   // short sweep ID
+		{Type: MsgHelloAck, Reason: strings.Repeat("r", maxReason+1)}, // long reason
+		{Type: MsgType(99)}, // unknown type
+	}
+	for _, m := range bad {
+		if _, err := AppendMsg(nil, m); err == nil {
+			t.Errorf("%+v: encode accepted invalid message", m)
+		}
+	}
+}
+
+// TestWireDecodeRejectsInvalidGrants checks the semantic bounds baked
+// into decode: a grant's shard must index its partition and the TTL is
+// capped, so a corrupt-but-CRC-valid peer cannot push a worker out of
+// range.
+func TestWireDecodeRejectsInvalidGrants(t *testing.T) {
+	frame := func(shard, shards uint32, ttl time.Duration) []byte {
+		var payload []byte
+		payload = binary.LittleEndian.AppendUint32(payload, shard)
+		payload = binary.LittleEndian.AppendUint32(payload, shards)
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(ttl))
+		return rawFrame(MsgLeaseGrant, payload)
+	}
+	cases := [][]byte{
+		frame(5, 5, time.Second),         // shard == shards
+		frame(0, 0, time.Second),         // zero shards
+		frame(0, 1, 2*time.Hour),         // TTL over cap
+		rawFrame(MsgLeaseGrant, nil),     // empty payload
+		rawFrame(MsgLeaseReq, []byte{0}), // trailing bytes
+		rawFrame(MsgRenewAck, []byte{2}), // non-canonical bool
+	}
+	for i, b := range cases {
+		if _, _, err := DecodeMsg(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("case %d: got %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+// rawFrame assembles a frame around an arbitrary payload, bypassing
+// AppendMsg's validation — for testing decode's own checks.
+func rawFrame(typ MsgType, payload []byte) []byte {
+	var b []byte
+	b = append(b, magic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, Version)
+	b = binary.LittleEndian.AppendUint16(b, uint16(typ))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[4:], castagnoli))
+}

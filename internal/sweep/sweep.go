@@ -147,6 +147,24 @@ type Result struct {
 // ManifestPath returns the manifest location inside a cache dir.
 func ManifestPath(dir string) string { return filepath.Join(dir, "manifest.jsonl") }
 
+// studyOptions builds the per-fault-profile study configuration exactly
+// as Run executes it. Plan goes through the same construction, so a cell
+// planned out-of-process is content-addressed identically to one the
+// sweep scheduler runs. Callers fill Cache/OnCellDone themselves.
+func (o *Options) studyOptions(fp faults.Profile) core.StudyOptions {
+	so := core.StudyOptions{
+		Methods:  o.Methods,
+		Profiles: o.Profiles,
+		Timing:   o.Timing,
+		Runs:     o.Runs,
+		Gap:      o.Gap,
+		BaseSeed: o.BaseSeed,
+		Workers:  o.Workers,
+	}
+	so.Testbed.Faults = fp
+	return so
+}
+
 // Run executes the sweep: for each fault profile, the full methods ×
 // profiles study runs under the deterministic scheduler with the
 // content-addressed cache installed, and every completed cell is
@@ -182,17 +200,8 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 
 	start := time.Now()
 	for _, fp := range opts.Faults {
-		so := core.StudyOptions{
-			Methods:  opts.Methods,
-			Profiles: opts.Profiles,
-			Timing:   opts.Timing,
-			Runs:     opts.Runs,
-			Gap:      opts.Gap,
-			BaseSeed: opts.BaseSeed,
-			Workers:  opts.Workers,
-			Cache:    &recordingCache{c: cache, m: m},
-		}
-		so.Testbed.Faults = fp
+		so := opts.studyOptions(fp)
+		so.Cache = &recordingCache{c: cache, m: m}
 		if cb := opts.OnCell; cb != nil {
 			prof := fp
 			so.OnCellDone = func(cs core.CellStatus) { cb(prof, cs) }
